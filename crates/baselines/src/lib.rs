@@ -1,0 +1,21 @@
+//! Baseline systems the RadixVM paper compares against.
+//!
+//! * [`LinuxVm`] — the conventional design: a single address-space
+//!   read-write lock over a VMA map, one shared page table, broadcast TLB
+//!   shootdown (§2).
+//! * [`BonsaiVm`] — Bonsai-style concurrent page faults: lock-free region
+//!   lookups over an RCU-managed balanced tree; mmap/munmap serialized
+//!   (Clements et al., ASPLOS 2012).
+//! * [`SkipList`] — the lock-free concurrent skip list of §5.5 (Figure 6),
+//!   demonstrating why "lock-free" does not imply "contention-free" for
+//!   balanced structures.
+
+pub mod bonsai;
+pub mod linux;
+pub mod skiplist;
+pub mod vma;
+
+pub use bonsai::BonsaiVm;
+pub use linux::LinuxVm;
+pub use skiplist::SkipList;
+pub use vma::{Vma, VmaMap};

@@ -1,0 +1,481 @@
+//! A lock-free concurrent skip list (Herlihy & Shavit / Fraser style).
+//!
+//! This is the comparison structure of the paper's §5.5 (Figure 6): an
+//! earlier RadixVM design used exactly such a skip list for the address
+//! space index until it turned out that *inserts modify interior towers to
+//! maintain O(log n) search*, so lookups of unrelated keys re-read cache
+//! lines dirtied by unrelated writers and throughput collapses as writers
+//! are added. The radix tree (Figure 7) has no such interior maintenance
+//! writes.
+//!
+//! Lookups are wait-free-ish traversals that skip over marked nodes
+//! without helping; insert/remove are lock-free with pointer-tag marking
+//! and cooperative unlinking. Reclamation uses crossbeam-epoch. All
+//! shared-pointer operations report to the simulator so Figure 6's curves
+//! come out of the cache-line cost model.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use rvm_sync::sim;
+
+/// Maximum tower height.
+const MAX_HEIGHT: usize = 16;
+
+/// Pointer tag marking a node as logically deleted at that level.
+const MARK: usize = 1;
+
+struct SlNode {
+    key: u64,
+    height: usize,
+    next: Vec<Atomic<SlNode>>,
+}
+
+/// Deterministic tower height from the key (geometric, p = 1/2).
+fn height_of(key: u64) -> usize {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    ((z.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+}
+
+/// Instrumented load of a tower pointer.
+#[inline]
+fn ld<'g>(a: &Atomic<SlNode>, g: &'g Guard) -> Shared<'g, SlNode> {
+    sim::on_read(a as *const _ as usize);
+    a.load(Ordering::Acquire, g)
+}
+
+/// Instrumented CAS of a tower pointer.
+#[inline]
+fn cas<'g>(
+    a: &Atomic<SlNode>,
+    cur: Shared<'g, SlNode>,
+    new: Shared<'g, SlNode>,
+    g: &'g Guard,
+) -> bool {
+    sim::on_write(a as *const _ as usize);
+    a.compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire, g)
+        .is_ok()
+}
+
+/// A lock-free ordered set of `u64` keys.
+pub struct SkipList {
+    head: Vec<Atomic<SlNode>>,
+}
+
+impl SkipList {
+    /// Creates an empty list.
+    pub fn new() -> SkipList {
+        SkipList {
+            head: (0..MAX_HEIGHT).map(|_| Atomic::null()).collect(),
+        }
+    }
+
+    /// Searches for `key`, snipping out marked nodes along the way.
+    /// Returns the node if present plus pred/succ arrays per level.
+    ///
+    /// `preds[l]` is `None` when the predecessor at level `l` is the head.
+    #[allow(clippy::type_complexity)]
+    fn find<'g>(
+        &self,
+        key: u64,
+        g: &'g Guard,
+    ) -> (
+        Option<Shared<'g, SlNode>>,
+        Vec<Option<Shared<'g, SlNode>>>,
+        Vec<Shared<'g, SlNode>>,
+    ) {
+        'retry: loop {
+            let mut preds: Vec<Option<Shared<'g, SlNode>>> = vec![None; MAX_HEIGHT];
+            let mut succs: Vec<Shared<'g, SlNode>> = vec![Shared::null(); MAX_HEIGHT];
+            let mut pred: Option<Shared<'g, SlNode>> = None;
+            for level in (0..MAX_HEIGHT).rev() {
+                let pred_link = |p: &Option<Shared<'g, SlNode>>| -> &Atomic<SlNode> {
+                    match p {
+                        // SAFETY: predecessors are protected by the guard.
+                        Some(s) => &unsafe { s.deref() }.next[level],
+                        None => &self.head[level],
+                    }
+                };
+                let mut cur = ld(pred_link(&pred), g).with_tag(0);
+                loop {
+                    if cur.is_null() {
+                        break;
+                    }
+                    // SAFETY: `cur` was read through a live link under the
+                    // guard; epoch reclamation keeps it allocated.
+                    let node = unsafe { cur.deref() };
+                    let succ = ld(&node.next[level], g);
+                    if succ.tag() & MARK != 0 {
+                        // Help unlink the marked node at this level.
+                        if !cas(pred_link(&pred), cur, succ.with_tag(0), g) {
+                            continue 'retry;
+                        }
+                        cur = succ.with_tag(0);
+                        continue;
+                    }
+                    if node.key < key {
+                        pred = Some(cur);
+                        cur = succ.with_tag(0);
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = cur;
+            }
+            let found = if !succs[0].is_null() {
+                // SAFETY: protected by the guard as above.
+                let node = unsafe { succs[0].deref() };
+                (node.key == key).then_some(succs[0])
+            } else {
+                None
+            };
+            return (found, preds, succs);
+        }
+    }
+
+    /// Returns true if `key` is in the set (no helping, read-only walk).
+    pub fn contains(&self, key: u64) -> bool {
+        let g = epoch::pin();
+        let mut pred: Option<Shared<'_, SlNode>> = None;
+        let mut candidate: Option<Shared<'_, SlNode>> = None;
+        for level in (0..MAX_HEIGHT).rev() {
+            let link = match &pred {
+                // SAFETY: nodes reached through live links under the guard.
+                Some(s) => &unsafe { s.deref() }.next[level],
+                None => &self.head[level],
+            };
+            let mut cur = ld(link, g_ref(&g)).with_tag(0);
+            loop {
+                if cur.is_null() {
+                    break;
+                }
+                // SAFETY: as above.
+                let node = unsafe { cur.deref() };
+                let succ = ld(&node.next[level], g_ref(&g));
+                if succ.tag() & MARK != 0 {
+                    // Skip logically deleted nodes without helping.
+                    cur = succ.with_tag(0);
+                    continue;
+                }
+                if node.key < key {
+                    pred = Some(cur);
+                    cur = succ.with_tag(0);
+                } else {
+                    if node.key == key {
+                        candidate = Some(cur);
+                    }
+                    break;
+                }
+            }
+        }
+        match candidate {
+            None => false,
+            Some(c) => {
+                // SAFETY: as above.
+                let node = unsafe { c.deref() };
+                ld(&node.next[0], g_ref(&g)).tag() & MARK == 0
+            }
+        }
+    }
+
+    /// Inserts `key`; returns false if it was already present.
+    pub fn insert(&self, key: u64) -> bool {
+        let g = epoch::pin();
+        loop {
+            let (found, preds, succs) = self.find(key, &g);
+            if found.is_some() {
+                return false;
+            }
+            let height = height_of(key);
+            let node = Owned::new(SlNode {
+                key,
+                height,
+                next: (0..height).map(|_| Atomic::null()).collect(),
+            });
+            // Pre-link the new node's tower (unpublished: plain stores).
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                node.next[level].store(succ.with_tag(0), Ordering::Relaxed);
+            }
+            let node = node.into_shared(&g);
+            // Publish at the bottom level.
+            let bottom_link = match &preds[0] {
+                // SAFETY: preds are protected by the guard.
+                Some(s) => &unsafe { s.deref() }.next[0],
+                None => &self.head[0],
+            };
+            if !cas(bottom_link, succs[0], node, &g) {
+                // SAFETY: the node was never published; reclaim directly.
+                unsafe { drop(node.into_owned()) };
+                continue;
+            }
+            // Link the upper levels (best effort, retried via find).
+            for level in 1..height {
+                loop {
+                    // Abandon if the node is being removed already.
+                    // SAFETY: `node` is reachable; guard-protected.
+                    let n = unsafe { node.deref() };
+                    if ld(&n.next[0], &g).tag() & MARK != 0 {
+                        return true;
+                    }
+                    let (f2, preds2, succs2) = self.find(key, &g);
+                    if f2.map(|s| s.as_raw()) != Some(node.as_raw()) {
+                        // Removed (and maybe replaced) concurrently.
+                        return true;
+                    }
+                    let expected = ld(&n.next[level], &g);
+                    if expected.tag() & MARK != 0 {
+                        return true;
+                    }
+                    if expected.as_raw() != succs2[level].as_raw()
+                        && !cas(&n.next[level], expected, succs2[level].with_tag(0), &g)
+                    {
+                        continue;
+                    }
+                    let link = match &preds2[level] {
+                        // SAFETY: guard-protected.
+                        Some(s) => &unsafe { s.deref() }.next[level],
+                        None => &self.head[level],
+                    };
+                    if cas(link, succs2[level], node, &g) {
+                        break;
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Removes `key`; returns false if it was not present.
+    pub fn remove(&self, key: u64) -> bool {
+        let g = epoch::pin();
+        let (found, _preds, _succs) = self.find(key, &g);
+        let node_shared = match found {
+            Some(s) => s,
+            None => return false,
+        };
+        // SAFETY: guard-protected.
+        let node = unsafe { node_shared.deref() };
+        // Mark the upper levels top-down.
+        for level in (1..node.height).rev() {
+            loop {
+                let succ = ld(&node.next[level], &g);
+                if succ.tag() & MARK != 0 {
+                    break;
+                }
+                if cas(&node.next[level], succ, succ.with_tag(MARK), &g) {
+                    break;
+                }
+            }
+        }
+        // Claim the bottom level: whoever marks it owns the removal.
+        loop {
+            let succ = ld(&node.next[0], &g);
+            if succ.tag() & MARK != 0 {
+                return false; // another remover won
+            }
+            if cas(&node.next[0], succ, succ.with_tag(MARK), &g) {
+                // Physically unlink at all levels, then retire.
+                let _ = self.find(key, &g);
+                // SAFETY: the node is unreachable after `find` snipped all
+                // levels; epoch defers the free past current readers.
+                unsafe { g.defer_destroy(node_shared) };
+                return true;
+            }
+        }
+    }
+}
+
+/// Identity helper: keeps `contains`'s borrows of the pinned guard tidy.
+#[inline]
+fn g_ref(g: &Guard) -> &Guard {
+    g
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SkipList {
+    fn drop(&mut self) {
+        // Exclusive access: walk the bottom level and free every node.
+        let g = epoch::pin();
+        let mut cur = self.head[0].load(Ordering::Acquire, &g);
+        while !cur.is_null() {
+            // SAFETY: exclusive access in Drop; nodes are ours to free.
+            let owned = unsafe { cur.with_tag(0).into_owned() };
+            cur = owned.next[0].load(Ordering::Acquire, &g);
+        }
+    }
+}
+
+// SAFETY: the list is a lock-free structure of atomics.
+unsafe impl Send for SkipList {}
+// SAFETY: as above.
+unsafe impl Sync for SkipList {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_contains_remove() {
+        let s = SkipList::new();
+        assert!(!s.contains(5));
+        assert!(s.insert(5));
+        assert!(!s.insert(5), "duplicate insert rejected");
+        assert!(s.contains(5));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn ordered_many() {
+        let s = SkipList::new();
+        for k in (0..1000).rev() {
+            assert!(s.insert(k * 3));
+        }
+        for k in 0..1000 {
+            assert!(s.contains(k * 3));
+            assert!(!s.contains(k * 3 + 1));
+        }
+        for k in 0..1000 {
+            assert!(s.remove(k * 3));
+        }
+        for k in 0..1000 {
+            assert!(!s.contains(k * 3));
+        }
+    }
+
+    #[test]
+    fn oracle_random_ops() {
+        let s = SkipList::new();
+        let mut oracle = BTreeSet::new();
+        let mut state = 12345u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20_000 {
+            let k = rng() % 500;
+            match rng() % 3 {
+                0 => assert_eq!(s.insert(k), oracle.insert(k), "insert {k}"),
+                1 => assert_eq!(s.remove(k), oracle.remove(&k), "remove {k}"),
+                _ => assert_eq!(s.contains(k), oracle.contains(&k), "contains {k}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges() {
+        let s = Arc::new(SkipList::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let base = t * 1_000_000;
+                for i in 0..2_000 {
+                    assert!(s.insert(base + i));
+                }
+                for i in 0..2_000 {
+                    assert!(s.contains(base + i), "{}", base + i);
+                }
+                for i in (0..2_000).step_by(2) {
+                    assert!(s.remove(base + i));
+                }
+                for i in 0..2_000 {
+                    assert_eq!(s.contains(base + i), i % 2 == 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_same_keys_churn() {
+        // All threads fight over a tiny key space; counts must stay sane
+        // (each successful insert is eventually matched by one successful
+        // remove or remains present).
+        let s = Arc::new(SkipList::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut net = 0i64;
+                let mut state = t + 99;
+                for _ in 0..10_000 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let k = state % 16;
+                    if state & 1 == 0 {
+                        if s.insert(k) {
+                            net += 1;
+                        }
+                    } else if s.remove(k) {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let total: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Remaining keys must equal the net successful inserts.
+        let remaining = (0..16).filter(|&k| s.contains(k)).count() as i64;
+        assert_eq!(total, remaining);
+    }
+
+    #[test]
+    fn readers_scale_writers_dirty_sim() {
+        // The Figure 6 mechanism: a writer's inserts/removes dirty interior
+        // lines that readers of *unrelated* keys must re-fetch.
+        let guard = rvm_sync::sim::install(2, rvm_sync::CostModel::default());
+        let s = SkipList::new();
+        rvm_sync::sim::switch(0);
+        for k in 0..256 {
+            s.insert(k * 2);
+        }
+        // Warm core 1's read path.
+        rvm_sync::sim::switch(1);
+        for _ in 0..3 {
+            assert!(s.contains(400));
+        }
+        // Quiet phase: reader sweeps many keys with no writer active.
+        rvm_sync::sim::switch(1);
+        for k in 0..256 {
+            s.contains(k * 2); // warm every path once
+        }
+        let quiet_before = rvm_sync::sim::stats().cores[1].remote_transfers;
+        for k in 0..256 {
+            s.contains(k * 2);
+        }
+        let quiet = rvm_sync::sim::stats().cores[1].remote_transfers - quiet_before;
+        // Busy phase: a writer churns *unrelated* odd keys (some towers
+        // are tall and rewrite interior lines) between the same reads.
+        let busy_before = rvm_sync::sim::stats().cores[1].remote_transfers;
+        for k in 0..256u64 {
+            rvm_sync::sim::switch(0);
+            s.insert(k * 2 + 1);
+            s.remove(k * 2 + 1);
+            rvm_sync::sim::switch(1);
+            s.contains(((k * 37) % 256) * 2);
+        }
+        let busy = rvm_sync::sim::stats().cores[1].remote_transfers - busy_before;
+        assert!(
+            busy > quiet,
+            "writer churn must induce reader transfers ({busy} vs {quiet})"
+        );
+        drop(guard);
+    }
+}

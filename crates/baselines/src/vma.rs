@@ -1,0 +1,272 @@
+//! VMA (virtual memory area) map: the index structure of the Linux
+//! baseline.
+//!
+//! Linux represents an address space as a balanced tree of per-region
+//! `vm_area_struct` objects ("VMAs"), each covering a contiguous range
+//! with uniform protection and backing (§2, §5.4). Operations split and
+//! merge VMAs at range boundaries. The tree itself is protected by a
+//! single address-space lock — which is precisely why the baseline does
+//! not scale; the data structure here only needs to be *correct*, not
+//! concurrent.
+
+use rvm_hw::{Backing, Prot, Vpn};
+use std::collections::BTreeMap;
+
+/// Bytes we charge per VMA for Table 2 accounting: models Linux's
+/// `vm_area_struct` (~200 bytes) plus its red-black tree linkage.
+pub const VMA_MODEL_BYTES: u64 = 200;
+
+/// One mapped region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vma {
+    /// First page.
+    pub start: Vpn,
+    /// One past the last page.
+    pub end: Vpn,
+    /// Protection bits.
+    pub prot: Prot,
+    /// Backing store; file offsets are anchored so that a page's file
+    /// offset is `vpn + anchor`, making splits cheap.
+    pub backing: Backing,
+}
+
+impl Vma {
+    /// Number of pages covered.
+    pub fn pages(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether `other` may merge to our right.
+    fn merges_with(&self, other: &Vma) -> bool {
+        self.end == other.start && self.prot == other.prot && self.backing == other.backing
+    }
+}
+
+/// An ordered map of non-overlapping VMAs.
+#[derive(Default)]
+pub struct VmaMap {
+    map: BTreeMap<Vpn, Vma>,
+}
+
+impl VmaMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        VmaMap {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Number of VMAs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no regions are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Modeled metadata bytes (Table 2).
+    pub fn model_bytes(&self) -> u64 {
+        self.map.len() as u64 * VMA_MODEL_BYTES
+    }
+
+    /// Finds the VMA containing `vpn`.
+    pub fn lookup(&self, vpn: Vpn) -> Option<&Vma> {
+        self.map
+            .range(..=vpn)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| vpn < v.end)
+    }
+
+    /// Removes all coverage of `[lo, hi)`, splitting boundary VMAs, and
+    /// returns the removed pieces clipped to the range (in order).
+    pub fn carve(&mut self, lo: Vpn, hi: Vpn) -> Vec<Vma> {
+        let mut removed = Vec::new();
+        // Collect starts of affected VMAs: any VMA with start < hi whose
+        // end > lo.
+        let starts: Vec<Vpn> = self
+            .map
+            .range(..hi)
+            .rev()
+            .take_while(|(_, v)| v.end > lo)
+            .map(|(s, _)| *s)
+            .collect();
+        for start in starts.into_iter().rev() {
+            let vma = self.map.remove(&start).expect("collected key");
+            // Left remnant.
+            if vma.start < lo {
+                self.map.insert(
+                    vma.start,
+                    Vma {
+                        end: lo,
+                        ..vma.clone()
+                    },
+                );
+            }
+            // Right remnant.
+            if vma.end > hi {
+                self.map.insert(
+                    hi,
+                    Vma {
+                        start: hi,
+                        ..vma.clone()
+                    },
+                );
+            }
+            removed.push(Vma {
+                start: vma.start.max(lo),
+                end: vma.end.min(hi),
+                ..vma
+            });
+        }
+        removed
+    }
+
+    /// Inserts `vma`, which must not overlap existing regions (carve
+    /// first), merging with compatible neighbours as Linux does.
+    pub fn insert(&mut self, mut vma: Vma) {
+        debug_assert!(vma.start < vma.end);
+        debug_assert!(
+            self.carve_check(vma.start, vma.end),
+            "insert overlaps existing VMA"
+        );
+        // Merge left.
+        if let Some((_, left)) = self.map.range(..vma.start).next_back() {
+            if left.merges_with(&vma) && self.backing_continuous(left, &vma) {
+                let start = left.start;
+                let left = self.map.remove(&start).expect("present");
+                vma.start = left.start;
+            }
+        }
+        // Merge right.
+        if let Some((&rstart, right)) = self.map.range(vma.start..).next() {
+            if vma.merges_with(right) && self.backing_continuous(&vma, right) {
+                let right = self.map.remove(&rstart).expect("present");
+                vma.end = right.end;
+            }
+        }
+        self.map.insert(vma.start, vma);
+    }
+
+    /// Adjacent regions merge only when their backing is continuous;
+    /// anchored file offsets make this a plain equality check and
+    /// anonymous regions always qualify.
+    fn backing_continuous(&self, _left: &Vma, _right: &Vma) -> bool {
+        true // anchoring makes `backing` equality sufficient
+    }
+
+    fn carve_check(&self, lo: Vpn, hi: Vpn) -> bool {
+        !self
+            .map
+            .range(..hi)
+            .next_back()
+            .map(|(_, v)| v.end > lo)
+            .unwrap_or(false)
+    }
+
+    /// Iterates over the regions in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.map.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anon(start: Vpn, end: Vpn) -> Vma {
+        Vma {
+            start,
+            end,
+            prot: Prot::RW,
+            backing: Backing::Anon,
+        }
+    }
+
+    #[test]
+    fn insert_lookup() {
+        let mut m = VmaMap::new();
+        m.insert(anon(10, 20));
+        assert_eq!(m.lookup(10).unwrap().start, 10);
+        assert_eq!(m.lookup(19).unwrap().start, 10);
+        assert!(m.lookup(20).is_none());
+        assert!(m.lookup(9).is_none());
+    }
+
+    #[test]
+    fn adjacent_anon_merges() {
+        let mut m = VmaMap::new();
+        m.insert(anon(10, 20));
+        m.insert(anon(20, 30));
+        assert_eq!(m.len(), 1, "adjacent anonymous regions merge");
+        assert_eq!(m.lookup(25).unwrap().start, 10);
+        // Non-adjacent does not merge.
+        m.insert(anon(40, 50));
+        assert_eq!(m.len(), 2);
+        // Different protection does not merge.
+        m.insert(Vma {
+            prot: Prot::READ,
+            ..anon(50, 60)
+        });
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn carve_middle_splits() {
+        let mut m = VmaMap::new();
+        m.insert(anon(10, 30));
+        let removed = m.carve(15, 20);
+        assert_eq!(removed, vec![anon(15, 20)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.lookup(14).unwrap().end, 15);
+        assert!(m.lookup(17).is_none());
+        assert_eq!(m.lookup(25).unwrap().start, 20);
+    }
+
+    #[test]
+    fn carve_across_many() {
+        let mut m = VmaMap::new();
+        m.insert(anon(0, 10));
+        m.insert(Vma {
+            prot: Prot::READ,
+            ..anon(10, 20)
+        });
+        m.insert(Vma {
+            prot: Prot::NONE,
+            ..anon(20, 30)
+        });
+        let removed = m.carve(5, 25);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(removed[0].start, 5);
+        assert_eq!(removed[0].end, 10);
+        assert_eq!(removed[2].end, 25);
+        assert_eq!(m.len(), 2, "left and right remnants");
+    }
+
+    #[test]
+    fn carve_nothing() {
+        let mut m = VmaMap::new();
+        m.insert(anon(10, 20));
+        assert!(m.carve(30, 40).is_empty());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn carve_exact() {
+        let mut m = VmaMap::new();
+        m.insert(anon(10, 20));
+        let removed = m.carve(10, 20);
+        assert_eq!(removed, vec![anon(10, 20)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn model_bytes_counts_vmas() {
+        let mut m = VmaMap::new();
+        m.insert(anon(0, 1));
+        m.insert(anon(5, 6));
+        assert_eq!(m.model_bytes(), 2 * VMA_MODEL_BYTES);
+    }
+}

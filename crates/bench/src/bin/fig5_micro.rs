@@ -1,0 +1,63 @@
+//! Figure 5: throughput of the local, pipeline, and global
+//! microbenchmarks (total page writes/sec) on RadixVM, Bonsai, and Linux.
+//!
+//! Expected shape (paper §5.3): RadixVM scales linearly on local
+//! (zero shootdowns, zero remote traffic), near-linearly on pipeline
+//! (exactly one remote shootdown per munmap, IPI delivery cost grows with
+//! core count), and well on global (broadcast shootdowns amortized over
+//! many faults). Linux and Bonsai stay flat on local/pipeline because
+//! every operation takes the address-space lock; they do better on global
+//! thanks to its higher fault:mmap ratio.
+//!
+//! Usage: `fig5_micro [--quick]`; env `RVM_CORES`, `RVM_DUR_MS`.
+
+use rvm_bench::workloads::{global, local, pipeline, PipelineQueues};
+use rvm_bench::{core_counts, duration_ns, make_vm, point_duration, print_table, run_sim, VmKind};
+use rvm_hw::Machine;
+use rvm_sync::CostModel;
+
+fn sweep(
+    bench: &str,
+    kind: VmKind,
+    cores_list: &[usize],
+    dur: u64,
+) -> Vec<(usize, f64)> {
+    cores_list
+        .iter()
+        .map(|&n| {
+            let machine = Machine::new(n);
+            let vm = make_vm(kind, &machine);
+            let queues = PipelineQueues::new(n);
+            let point = run_sim(n, point_duration(dur, n), CostModel::default(), |c| match bench {
+                "local" => local(machine.clone(), vm.clone(), c),
+                "pipeline" => pipeline(machine.clone(), vm.clone(), queues.clone(), c, n),
+                "global" => global(machine.clone(), vm.clone(), c, n),
+                _ => unreachable!(),
+            });
+            eprintln!(
+                "  {bench:>8} {:>18} {n:>3} cores: {:>12.0} pages/s  (ipis {}, remote xfers {})",
+                kind.name(),
+                point.per_sec(),
+                point.sim.total_ipis(),
+                point.sim.total_remote(),
+            );
+            (n, point.per_sec())
+        })
+        .collect()
+}
+
+fn main() {
+    let cores_list = core_counts();
+    let dur = duration_ns();
+    let systems = [VmKind::Radix, VmKind::Bonsai, VmKind::Linux];
+    for bench in ["local", "pipeline", "global"] {
+        let series: Vec<(&str, Vec<(usize, f64)>)> = systems
+            .iter()
+            .map(|&k| (k.name(), sweep(bench, k, &cores_list, dur)))
+            .collect();
+        print_table(
+            &format!("Figure 5 ({bench}): total page writes/sec"),
+            &series,
+        );
+    }
+}

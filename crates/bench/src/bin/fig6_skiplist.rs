@@ -1,0 +1,94 @@
+//! Figure 6: concurrent skip-list lookup throughput as writers are added.
+//!
+//! The paper's §5.5 strawman: an address space simulated as 1,000 mapped
+//! regions; reader cores continuously look up random present keys
+//! (pagefault), writer cores continuously insert a random absent key and
+//! delete it again (mmap/munmap). Expected shape: lookups scale perfectly
+//! with 0 writers, degrade with 1 writer, and collapse with 5 — inserts
+//! modify interior towers, so unrelated lookups keep re-fetching dirtied
+//! cache lines.
+//!
+//! Usage: `fig6_skiplist [--quick]`; env `RVM_CORES`, `RVM_DUR_MS`.
+
+use std::sync::Arc;
+
+use rvm_baselines::SkipList;
+use rvm_bench::{core_counts, duration_ns, point_duration, print_table, run_sim};
+use rvm_sync::{sim, CostModel};
+
+const REGIONS: u64 = 1_000;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `readers` lookup cores against `writers` insert/delete cores;
+/// returns total lookups/sec.
+fn run(readers: usize, writers: usize, dur: u64) -> f64 {
+    let total = readers + writers;
+    let list = Arc::new(SkipList::new());
+    // Present keys are even; writers use odd keys.
+    for k in 0..REGIONS {
+        list.insert(k * 2);
+    }
+    let point = run_sim(total, point_duration(dur, total), CostModel::default(), |c| {
+        let list = list.clone();
+        let mut rng = splitmix(c as u64 + 1);
+        if c < readers {
+            Box::new(move || {
+                rng = splitmix(rng);
+                let key = (rng % REGIONS) * 2;
+                sim::charge(60); // fault-handler overhead around the lookup
+                assert!(list.contains(key));
+                1
+            })
+        } else {
+            let mut holding: Option<u64> = None;
+            Box::new(move || {
+                sim::charge(60);
+                match holding.take() {
+                    Some(k) => {
+                        list.remove(k);
+                    }
+                    None => {
+                        rng = splitmix(rng);
+                        // Odd keys interleave with the hot present keys,
+                        // so tower updates dirty lines on reader paths.
+                        let k = (rng % REGIONS) * 2 + 1;
+                        if list.insert(k) {
+                            holding = Some(k);
+                        }
+                    }
+                }
+                0 // writers do not count toward lookup throughput
+            })
+        }
+    });
+    point.units as f64 * 1e9 / point.virt_ns as f64
+}
+
+fn main() {
+    let dur = duration_ns();
+    let reader_counts = core_counts();
+    let series: Vec<(&str, Vec<(usize, f64)>)> = [("0 writers", 0), ("1 writer", 1), ("5 writers", 5)]
+        .iter()
+        .map(|&(name, w)| {
+            let pts = reader_counts
+                .iter()
+                .map(|&r| {
+                    let tput = run(r, w, dur);
+                    eprintln!("  skiplist {name:>10} {r:>3} readers: {tput:>14.0} lookups/s");
+                    (r, tput)
+                })
+                .collect();
+            (name, pts)
+        })
+        .collect();
+    print_table(
+        "Figure 6: skip-list lookups/sec vs reader cores",
+        &series,
+    );
+}

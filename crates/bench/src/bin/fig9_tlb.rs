@@ -1,0 +1,59 @@
+//! Figure 9: per-core page tables with targeted shootdown vs. a shared
+//! page table with broadcast shootdown, on the three microbenchmarks.
+//!
+//! Expected shape (paper §5.5): local and pipeline collapse under the
+//! shared table — every munmap must broadcast to all cores at hundreds of
+//! thousands of cycles per round. Global is closer (it broadcasts under
+//! both schemes) but per-core tables still win by eliminating contention
+//! on the shared page-table structure.
+//!
+//! Usage: `fig9_tlb [--quick]`; env `RVM_CORES`, `RVM_DUR_MS`.
+
+use rvm_bench::workloads::{global, local, pipeline, PipelineQueues};
+use rvm_bench::{core_counts, duration_ns, make_vm, point_duration, print_table, run_sim, VmKind};
+use rvm_hw::Machine;
+use rvm_sync::CostModel;
+
+fn sweep(bench: &str, kind: VmKind, cores_list: &[usize], dur: u64) -> Vec<(usize, f64)> {
+    cores_list
+        .iter()
+        .map(|&n| {
+            let machine = Machine::new(n);
+            let vm = make_vm(kind, &machine);
+            let queues = PipelineQueues::new(n);
+            let point = run_sim(n, point_duration(dur, n), CostModel::default(), |c| match bench {
+                "local" => local(machine.clone(), vm.clone(), c),
+                "pipeline" => pipeline(machine.clone(), vm.clone(), queues.clone(), c, n),
+                "global" => global(machine.clone(), vm.clone(), c, n),
+                _ => unreachable!(),
+            });
+            eprintln!(
+                "  {bench:>8} {:>18} {n:>3} cores: {:>12.0} pages/s  (ipis {})",
+                kind.name(),
+                point.per_sec(),
+                point.sim.total_ipis(),
+            );
+            (n, point.per_sec())
+        })
+        .collect()
+}
+
+fn main() {
+    let cores_list = core_counts();
+    let dur = duration_ns();
+    for bench in ["local", "pipeline", "global"] {
+        let series: Vec<(&str, Vec<(usize, f64)>)> = [VmKind::Radix, VmKind::RadixSharedPt]
+            .iter()
+            .map(|&k| {
+                (
+                    if k == VmKind::Radix { "Per-core" } else { "Shared" },
+                    sweep(bench, k, &cores_list, dur),
+                )
+            })
+            .collect();
+        print_table(
+            &format!("Figure 9 ({bench}): per-core vs shared page tables, page writes/sec"),
+            &series,
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! The host machine has no 80 cores, so scalability experiments run on
+//! the deterministic virtual-time simulator of `rvm_sync::sim`: workload
+//! closures for N virtual cores are interleaved lowest-clock-first on one
+//! OS thread, every instrumented synchronization event advances virtual
+//! clocks through a MESI-style cost model, and throughput is computed
+//! from virtual time. See DESIGN.md §1 for the fidelity argument.
+//!
+//! Binaries (one per experiment):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig4_metis` | Figure 4 — Metis jobs/hour vs cores |
+//! | `fig5_micro` | Figure 5 — local/pipeline/global microbenchmarks |
+//! | `fig6_skiplist` | Figure 6 — skip-list lookups under writers |
+//! | `fig7_radix` | Figure 7 — radix-tree lookups under writers |
+//! | `fig8_refcount` | Figure 8 — Refcache vs SNZI vs shared counter |
+//! | `fig9_tlb` | Figure 9 — per-core vs shared page tables |
+//! | `table1_loc` | Table 1 — component sizes |
+//! | `table2_memory` | Table 2 — address-space metadata memory |
+
+use std::sync::Arc;
+
+use rvm_baselines::{BonsaiVm, LinuxVm};
+use rvm_core::{RadixVm, RadixVmConfig};
+use rvm_hw::{Machine, MmuKind, VmSystem};
+use rvm_sync::{sim, CostModel, SimStats};
+
+pub mod layouts;
+pub mod workloads;
+
+/// The VM systems under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmKind {
+    /// RadixVM, full design (per-core tables, collapse on).
+    Radix,
+    /// RadixVM with a shared page table (Figure 9 ablation).
+    RadixSharedPt,
+    /// RadixVM without radix-node collapsing (paper's prototype config).
+    RadixNoCollapse,
+    /// The Bonsai baseline.
+    Bonsai,
+    /// The Linux baseline.
+    Linux,
+}
+
+impl VmKind {
+    /// Display name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            VmKind::Radix => "RadixVM",
+            VmKind::RadixSharedPt => "RadixVM/shared-pt",
+            VmKind::RadixNoCollapse => "RadixVM/no-collapse",
+            VmKind::Bonsai => "Bonsai",
+            VmKind::Linux => "Linux",
+        }
+    }
+}
+
+/// Instantiates a VM system of the given kind on `machine`.
+pub fn make_vm(kind: VmKind, machine: &Arc<Machine>) -> Arc<dyn VmSystem> {
+    match kind {
+        VmKind::Radix => RadixVm::new(machine.clone(), RadixVmConfig::default()),
+        VmKind::RadixSharedPt => RadixVm::new(
+            machine.clone(),
+            RadixVmConfig {
+                mmu: MmuKind::Shared,
+                collapse: true,
+            },
+        ),
+        VmKind::RadixNoCollapse => RadixVm::new(
+            machine.clone(),
+            RadixVmConfig {
+                mmu: MmuKind::PerCore,
+                collapse: false,
+            },
+        ),
+        VmKind::Bonsai => BonsaiVm::new(machine.clone()),
+        VmKind::Linux => LinuxVm::new(machine.clone()),
+    }
+}
+
+/// One measured point of a scalability sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Virtual cores used.
+    pub cores: usize,
+    /// Work units completed (workload-defined).
+    pub units: u64,
+    /// Virtual nanoseconds elapsed (max core clock).
+    pub virt_ns: u64,
+    /// Simulator statistics.
+    pub sim: SimStats,
+}
+
+impl SweepPoint {
+    /// Units per virtual second.
+    pub fn per_sec(&self) -> f64 {
+        if self.virt_ns == 0 {
+            0.0
+        } else {
+            self.units as f64 * 1e9 / self.virt_ns as f64
+        }
+    }
+}
+
+/// Runs a workload on `ncores` virtual cores until every core's clock
+/// passes `duration_ns`. `make(core)` builds each core's operation
+/// closure; the closure returns work units completed (0 is allowed but
+/// must still advance the clock to guarantee progress).
+pub fn run_sim(
+    ncores: usize,
+    duration_ns: u64,
+    model: CostModel,
+    mut make: impl FnMut(usize) -> Box<dyn FnMut() -> u64>,
+) -> SweepPoint {
+    let guard = sim::install(ncores, model);
+    let mut ops: Vec<Box<dyn FnMut() -> u64>> = (0..ncores).map(&mut make).collect();
+    let mut units = 0u64;
+    loop {
+        // Conservative lowest-clock-first interleaving.
+        let core = sim::min_clock_core();
+        if sim::clock(core) >= duration_ns {
+            break; // every clock has passed the horizon
+        }
+        sim::switch(core);
+        let before = sim::clock(core);
+        units += ops[core]();
+        if sim::clock(core) == before {
+            // Guarantee progress even if the op charged nothing.
+            sim::charge(50);
+        }
+    }
+    drop(ops);
+    let stats = guard.finish();
+    SweepPoint {
+        cores: ncores,
+        units,
+        virt_ns: stats.max_clock(),
+        sim: stats,
+    }
+}
+
+/// Default core counts for sweeps (the paper's x-axis, whole chips of 10
+/// cores at a time plus single core, §5.1).
+pub fn core_counts() -> Vec<usize> {
+    if let Ok(s) = std::env::var("RVM_CORES") {
+        return s
+            .split(',')
+            .filter_map(|x| x.trim().parse().ok())
+            .collect();
+    }
+    if quick() {
+        vec![1, 4, 16, 48, 80]
+    } else {
+        vec![1, 10, 20, 30, 40, 50, 60, 70, 80]
+    }
+}
+
+/// Virtual duration per measured point (base value at ≤10 cores).
+pub fn duration_ns() -> u64 {
+    std::env::var("RVM_DUR_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(if quick() { 8 } else { 25 })
+        * 1_000_000
+}
+
+/// Scales the virtual duration down at high core counts so the real cost
+/// of a point (ops × cores) stays roughly constant; throughput estimates
+/// keep a few thousand operations per core either way, and the simulator
+/// is deterministic, so shorter windows do not add noise.
+pub fn point_duration(base_ns: u64, ncores: usize) -> u64 {
+    base_ns * 10 / ncores.max(10) as u64
+}
+
+/// True when `--quick` (or RVM_QUICK=1) trims the sweep for CI runs.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var("RVM_QUICK").is_dead_simple()
+}
+
+trait EnvBool {
+    fn is_dead_simple(&self) -> bool;
+}
+
+impl EnvBool for Result<String, std::env::VarError> {
+    fn is_dead_simple(&self) -> bool {
+        matches!(self.as_deref(), Ok("1") | Ok("true"))
+    }
+}
+
+/// Prints a CSV table: header then one row per core count, one column
+/// per series.
+pub fn print_table(title: &str, series: &[(&str, Vec<(usize, f64)>)]) {
+    println!("# {title}");
+    print!("cores");
+    for (name, _) in series {
+        print!(",{name}");
+    }
+    println!();
+    let cores: Vec<usize> = series[0].1.iter().map(|(c, _)| *c).collect();
+    for (i, c) in cores.iter().enumerate() {
+        print!("{c}");
+        for (_, points) in series {
+            print!(",{:.0}", points[i].1);
+        }
+        println!();
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_sim_terminates_and_counts() {
+        let p = run_sim(4, 1_000_000, CostModel::default(), |_| {
+            Box::new(|| {
+                sim::charge(1_000);
+                1
+            })
+        });
+        assert!(p.units >= 4 * 990);
+        assert!(p.virt_ns >= 1_000_000);
+        // Perfect scaling: 4 cores do ~4x the work of one in equal time.
+        let p1 = run_sim(1, 1_000_000, CostModel::default(), |_| {
+            Box::new(|| {
+                sim::charge(1_000);
+                1
+            })
+        });
+        let ratio = p.per_sec() / p1.per_sec();
+        assert!(ratio > 3.5 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_charge_ops_still_terminate() {
+        let p = run_sim(2, 100_000, CostModel::default(), |_| Box::new(|| 0));
+        assert_eq!(p.units, 0);
+        assert!(p.virt_ns >= 100_000);
+    }
+}

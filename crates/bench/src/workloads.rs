@@ -1,0 +1,240 @@
+//! The paper's three microbenchmark workloads (§5.1).
+//!
+//! * **local** — each core repeatedly mmaps a private 4 KB region in the
+//!   shared address space, writes it, and munmaps it (the per-thread
+//!   memory-pool pattern of concurrent allocators).
+//! * **pipeline** — each core mmaps a region, writes it, and passes it to
+//!   the next core, which writes it again and munmaps it (streaming /
+//!   Map→Reduce handoff).
+//! * **global** — each core mmaps a 64 KB slice of one large shared
+//!   region; all cores then write every page of the whole region in a
+//!   random order (shared library / shared hash table).
+//!
+//! Each workload is expressed as a per-core closure for
+//! [`crate::run_sim`]; closures count *pages written* (Figure 5's
+//! y-axis) and run Refcache maintenance every few hundred operations, as
+//! a kernel timer tick would.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rvm_hw::{Backing, Machine, Prot, VmSystem, PAGE_SIZE};
+use rvm_sync::sim;
+
+/// Virtual-address region bases keep workloads clear of each other.
+const LOCAL_BASE: u64 = 0x200_0000_0000;
+const PIPE_BASE: u64 = 0x300_0000_0000;
+const GLOBAL_BASE: u64 = 0x400_0000_0000;
+
+/// Operations between Refcache maintenance ticks.
+const MAINTAIN_EVERY: u64 = 128;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the **local** workload closure for one core.
+///
+/// One op = mmap 4 KB + write the page + munmap (3 syscalls, 1 fault).
+pub fn local(
+    machine: Arc<Machine>,
+    vm: Arc<dyn VmSystem>,
+    core: usize,
+) -> Box<dyn FnMut() -> u64> {
+    vm.attach_core(core);
+    // Each core cycles through a few slots of its private gigabyte.
+    let base = LOCAL_BASE + core as u64 * (1 << 30);
+    let mut i = 0u64;
+    Box::new(move || {
+        let addr = base + (i % 64) * PAGE_SIZE;
+        i += 1;
+        vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .expect("mmap");
+        machine.touch_page(core, &*vm, addr, i as u8).expect("touch");
+        vm.munmap(core, addr, PAGE_SIZE).expect("munmap");
+        if i % MAINTAIN_EVERY == 0 {
+            vm.maintain(core);
+        }
+        1
+    })
+}
+
+/// Shared state for the pipeline workload: one handoff queue per core.
+pub struct PipelineQueues {
+    queues: Vec<RefCell<VecDeque<u64>>>,
+    cap: usize,
+}
+
+impl PipelineQueues {
+    /// Creates queues for `ncores` cores.
+    pub fn new(ncores: usize) -> Rc<PipelineQueues> {
+        Rc::new(PipelineQueues {
+            queues: (0..ncores).map(|_| RefCell::new(VecDeque::new())).collect(),
+            cap: 4,
+        })
+    }
+}
+
+/// Builds the **pipeline** workload closure for one core.
+///
+/// Each op either produces (mmap + write + hand to the next core) or
+/// consumes (write + munmap) a 4 KB region. Queues are bounded so the
+/// pipeline stays coupled.
+pub fn pipeline(
+    machine: Arc<Machine>,
+    vm: Arc<dyn VmSystem>,
+    queues: Rc<PipelineQueues>,
+    core: usize,
+    ncores: usize,
+) -> Box<dyn FnMut() -> u64> {
+    vm.attach_core(core);
+    let base = PIPE_BASE + core as u64 * (1 << 30);
+    let mut i = 0u64;
+    // Separate produce counter: region slots must only advance when a
+    // region is actually produced, or a backed-up pipeline could remap a
+    // slot that is still queued downstream.
+    let mut produced = 0u64;
+    Box::new(move || {
+        i += 1;
+        if i % MAINTAIN_EVERY == 0 {
+            vm.maintain(core);
+        }
+        // Prefer consuming a region handed to us.
+        let handed = queues.queues[core].borrow_mut().pop_front();
+        if let Some(addr) = handed {
+            machine.touch_page(core, &*vm, addr, core as u8).expect("touch");
+            vm.munmap(core, addr, PAGE_SIZE).expect("munmap");
+            return 1;
+        }
+        // Otherwise produce one for the next core, if there is room.
+        let next = (core + 1) % ncores;
+        if queues.queues[next].borrow().len() >= queues.cap {
+            // Downstream is backed up; model a brief poll.
+            sim::charge(200);
+            return 0;
+        }
+        produced += 1;
+        let addr = base + (produced % 64) * PAGE_SIZE;
+        vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .expect("mmap");
+        machine.touch_page(core, &*vm, addr, core as u8).expect("touch");
+        queues.queues[next].borrow_mut().push_back(addr);
+        1
+    })
+}
+
+/// Builds the **global** workload closure for one core.
+///
+/// Setup: the core mmaps its 64 KB slice of the shared region. Steady
+/// state: every op writes one random page of the whole region (which is
+/// `16 × ncores` pages). Slices are remapped periodically so munmap and
+/// its shootdowns stay in the mix, as in the paper's description.
+pub fn global(
+    machine: Arc<Machine>,
+    vm: Arc<dyn VmSystem>,
+    core: usize,
+    ncores: usize,
+) -> Box<dyn FnMut() -> u64> {
+    vm.attach_core(core);
+    const SLICE_PAGES: u64 = 16; // 64 KB
+    let slice = GLOBAL_BASE + core as u64 * SLICE_PAGES * PAGE_SIZE;
+    let total_pages = SLICE_PAGES * ncores as u64;
+    let mut rng = splitmix(core as u64 + 7);
+    let mut i = 0u64;
+    let mut mapped = false;
+    // Remap own slice every this many writes (keeps munmap in the mix
+    // at a rate that amortizes like the paper's: the shared region is
+    // large relative to map/unmap traffic).
+    let remap_every = total_pages * 4;
+    Box::new(move || {
+        i += 1;
+        if i % MAINTAIN_EVERY == 0 {
+            vm.maintain(core);
+        }
+        if !mapped {
+            vm.mmap(
+                core,
+                slice,
+                SLICE_PAGES * PAGE_SIZE,
+                Prot::RW,
+                Backing::Anon,
+            )
+            .expect("mmap slice");
+            mapped = true;
+            return 0;
+        }
+        if i % remap_every == 0 {
+            vm.munmap(core, slice, SLICE_PAGES * PAGE_SIZE).expect("munmap");
+            mapped = false;
+            return 0;
+        }
+        rng = splitmix(rng);
+        let page = rng % total_pages;
+        let addr = GLOBAL_BASE + page * PAGE_SIZE;
+        match machine.touch_page(core, &*vm, addr, core as u8) {
+            Ok(()) => 1,
+            // Another core's slice is mid-remap; skip this write.
+            Err(_) => {
+                sim::charge(100);
+                0
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_sim;
+    use rvm_core::{RadixVm, RadixVmConfig};
+    use rvm_sync::CostModel;
+
+    fn radix_vm(ncores: usize) -> (Arc<Machine>, Arc<dyn VmSystem>) {
+        let machine = Machine::new(ncores);
+        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        (machine, vm)
+    }
+
+    #[test]
+    fn local_scales_on_radixvm() {
+        let (m1, v1) = radix_vm(1);
+        let p1 = run_sim(1, 2_000_000, CostModel::default(), |c| {
+            local(m1.clone(), v1.clone(), c)
+        });
+        let (m8, v8) = radix_vm(8);
+        let p8 = run_sim(8, 2_000_000, CostModel::default(), |c| {
+            local(m8.clone(), v8.clone(), c)
+        });
+        let speedup = p8.per_sec() / p1.per_sec();
+        assert!(speedup > 6.0, "local must scale near-linearly: {speedup}");
+        // And with zero shootdown IPIs.
+        assert_eq!(m8.stats().shootdown_ipis, 0);
+    }
+
+    #[test]
+    fn pipeline_produces_and_consumes() {
+        let (m, v) = radix_vm(4);
+        let queues = PipelineQueues::new(4);
+        let p = run_sim(4, 2_000_000, CostModel::default(), |c| {
+            pipeline(m.clone(), v.clone(), queues.clone(), c, 4)
+        });
+        assert!(p.units > 100, "pipeline made progress: {}", p.units);
+        // Every munmap of a handed-off page shoots exactly one remote TLB.
+        assert!(m.stats().shootdown_ipis > 0);
+        assert!(m.stats().shootdown_ipis <= m.stats().shootdown_rounds * 1);
+    }
+
+    #[test]
+    fn global_touches_shared_region() {
+        let (m, v) = radix_vm(4);
+        let p = run_sim(4, 2_000_000, CostModel::default(), |c| {
+            global(m.clone(), v.clone(), c, 4)
+        });
+        assert!(p.units > 100, "global made progress: {}", p.units);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-page mapping metadata and Refcache-managed physical pages.
+//!
+//! Unlike Linux's one-VMA-per-region design, RadixVM stores a *separate
+//! copy* of the mapping metadata for each page (§3.2): the metadata is
+//! small, copies eliminate the shared object that would otherwise be
+//! contended when mappings split or merge, and — crucially — the initial
+//! metadata is **identical for every page** of a mapping, so large
+//! mappings fold into a handful of radix-tree slots.
+//!
+//! The metadata also records, per page, the physical page pointer (making
+//! the radix tree the canonical owner of physical memory, so hardware page
+//! tables are disposable caches) and the set of cores that faulted the
+//! page — the basis of targeted TLB shootdown (§3.3).
+
+use std::sync::Arc;
+
+use rvm_hw::{Backing, Prot};
+use rvm_mem::{FramePool, Pfn};
+use rvm_refcache::{Managed, RcPtr, ReleaseCtx};
+use rvm_sync::CoreSet;
+
+/// A Refcache-managed physical page.
+///
+/// The reference count tracks how many mappings (and in-flight operations)
+/// reference the frame; when it is confirmed zero, the frame returns to
+/// the pool. Shared counters here are exactly what Figure 8 shows not to
+/// scale — Refcache keeps the common same-core map/unmap cycle free of
+/// cache-line movement.
+pub struct PhysPage {
+    pfn: Pfn,
+    pool: Arc<FramePool>,
+}
+
+impl PhysPage {
+    /// Wraps frame `pfn` (already allocated from `pool`).
+    pub fn new(pfn: Pfn, pool: Arc<FramePool>) -> Self {
+        PhysPage { pfn, pool }
+    }
+
+    /// The wrapped frame number.
+    pub fn pfn(&self) -> Pfn {
+        self.pfn
+    }
+}
+
+impl Managed for PhysPage {
+    fn on_release(&mut self, ctx: &ReleaseCtx<'_>) {
+        self.pool.free(ctx.core, self.pfn);
+    }
+}
+
+/// How the page's contents are produced and whether writes must copy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageKind {
+    /// Ordinary anonymous or file page.
+    Plain,
+    /// Copy-on-write: shared with another address space; a write fault
+    /// copies the frame and drops one reference.
+    Cow,
+}
+
+/// Per-page mapping metadata: the radix tree's value type.
+///
+/// Designed to be identical for every page of a mapping at `mmap` time
+/// (`file_anchor` is relative to VPN, and `phys`/`coreset` start empty),
+/// so fresh mappings fold. Fault-time state (`phys`, `coreset`, `Cow`
+/// resolution) is only ever written to *expanded* per-page copies under
+/// the page's slot lock.
+#[derive(Clone)]
+pub struct PageMeta {
+    /// What backs the mapping.
+    pub backing: Backing,
+    /// Protection bits.
+    pub prot: Prot,
+    /// Plain or copy-on-write.
+    pub kind: PageKind,
+    /// The physical page, once faulted. The `RcPtr` is an owning logical
+    /// reference counted in Refcache.
+    ///
+    /// Invariant: folded (block) metadata never has `phys` set — a fault
+    /// expands to leaf granularity first — so cloning templates never
+    /// duplicates a reference.
+    pub phys: Option<RcPtr<PhysPage>>,
+    /// Cores that faulted this page into their per-core page tables (the
+    /// targeted-shootdown set). Mutated only under the page's slot lock.
+    pub coreset: CoreSet,
+}
+
+impl PageMeta {
+    /// Fresh metadata for a new mapping (foldable: no fault state).
+    pub fn new(backing: Backing, prot: Prot) -> Self {
+        PageMeta {
+            backing,
+            prot,
+            kind: PageKind::Plain,
+            phys: None,
+            coreset: CoreSet::EMPTY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_refcache::Refcache;
+
+    #[test]
+    fn physpage_returns_frame_on_release() {
+        let pool = Arc::new(FramePool::new(1));
+        let cache = Refcache::new(1);
+        let pfn = pool.alloc(0);
+        let page = cache.alloc(1, PhysPage::new(pfn, pool.clone()));
+        cache.dec(0, page);
+        cache.quiesce();
+        // The frame is back on core 0's free list.
+        let again = pool.alloc(0);
+        assert_eq!(again, pfn);
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn pagemeta_template_is_foldable() {
+        let m = PageMeta::new(Backing::Anon, Prot::RW);
+        assert!(m.phys.is_none());
+        assert!(m.coreset.is_empty());
+        let c = m.clone();
+        assert!(c.phys.is_none());
+        assert_eq!(c.prot, Prot::RW);
+    }
+}

@@ -1,0 +1,510 @@
+//! The RadixVM address space: scalable mmap / munmap / pagefault.
+//!
+//! Implements the paper's VM operations (§3.4) over the radix tree:
+//!
+//! * **mmap** locks the target range (folding whole-block mappings into
+//!   interior slots), replaces any existing metadata — unmapping displaced
+//!   pages exactly like munmap — and fills in the new mapping metadata.
+//!   No physical pages are allocated.
+//! * **pagefault** locks the single page's metadata (expanding folded
+//!   blocks to leaf granularity so per-page fault state has a home),
+//!   allocates the physical page if needed, installs the PTE in the
+//!   faulting core's table, records the core in the page's shootdown set,
+//!   and fills the TLB *before releasing the slot lock* — serializing
+//!   correctly against a concurrent munmap of the same page.
+//! * **munmap** locks the range, collects physical pages and the fault
+//!   core set from the metadata while clearing it, clears page tables and
+//!   shoots down precisely the tracked TLBs, and only then releases the
+//!   range lock and drops the page references (Refcache makes the drops
+//!   core-local).
+//!
+//! Extensions beyond the paper's evaluation: `mprotect` (revoke-and-
+//! refault) and `fork` with copy-on-write anonymous memory, both built on
+//! the same range-locking plan.
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use rvm_hw::{
+    vpn_of, AccessKind, Asid, Backing, Machine, Mmu, MmuKind, PerCoreMmu, Prot, Pte, SharedMmu,
+    SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, PAGE_SIZE,
+    VA_LIMIT,
+};
+use rvm_radix::{LockMode, RadixConfig, RadixTree, Removed, VPN_LIMIT};
+use rvm_refcache::{RcPtr, Refcache};
+use rvm_sync::atomic::AtomicCoreSet;
+use rvm_sync::{sim, CoreSet};
+
+use crate::meta::{PageKind, PageMeta, PhysPage};
+
+/// Configuration of a [`RadixVm`] address space.
+#[derive(Clone, Debug)]
+pub struct RadixVmConfig {
+    /// Page-table organization (per-core enables targeted shootdown).
+    pub mmu: MmuKind,
+    /// Collapse empty radix nodes (the full design; the paper's prototype
+    /// shipped without it).
+    pub collapse: bool,
+}
+
+impl Default for RadixVmConfig {
+    fn default() -> Self {
+        RadixVmConfig {
+            mmu: MmuKind::PerCore,
+            collapse: true,
+        }
+    }
+}
+
+/// Operation counters (the paper reports these for Metis, §5.2).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VmOpStats {
+    /// mmap invocations.
+    pub mmaps: u64,
+    /// munmap invocations.
+    pub munmaps: u64,
+    /// Faults that allocated a new physical page.
+    pub faults_alloc: u64,
+    /// Faults that only filled a translation (page already present).
+    pub faults_fill: u64,
+    /// Copy-on-write resolutions.
+    pub faults_cow: u64,
+}
+
+#[derive(Default)]
+struct OpStatCells {
+    mmaps: AtomicU64,
+    munmaps: AtomicU64,
+    faults_alloc: AtomicU64,
+    faults_fill: AtomicU64,
+    faults_cow: AtomicU64,
+}
+
+/// A RadixVM address space.
+pub struct RadixVm {
+    machine: Arc<Machine>,
+    cache: Arc<Refcache>,
+    tree: RadixTree<PageMeta>,
+    mmu: Box<dyn Mmu>,
+    asid: Asid,
+    attached: AtomicCoreSet,
+    cfg: RadixVmConfig,
+    stats: OpStatCells,
+}
+
+impl RadixVm {
+    /// Creates an address space with its own Refcache.
+    pub fn new(machine: Arc<Machine>, cfg: RadixVmConfig) -> Arc<RadixVm> {
+        let cache = Arc::new(Refcache::new(machine.ncores()));
+        Self::with_cache(machine, cache, cfg)
+    }
+
+    /// Creates an address space sharing an existing Refcache (as all
+    /// address spaces in one kernel would).
+    pub fn with_cache(
+        machine: Arc<Machine>,
+        cache: Arc<Refcache>,
+        cfg: RadixVmConfig,
+    ) -> Arc<RadixVm> {
+        let mmu: Box<dyn Mmu> = match cfg.mmu {
+            MmuKind::PerCore => Box::new(PerCoreMmu::new(machine.ncores())),
+            MmuKind::Shared => Box::new(SharedMmu::new()),
+        };
+        let tree = RadixTree::new(
+            cache.clone(),
+            RadixConfig {
+                collapse: cfg.collapse,
+            },
+        );
+        Arc::new(RadixVm {
+            asid: machine.alloc_asid(),
+            machine,
+            cache,
+            tree,
+            mmu,
+            attached: AtomicCoreSet::new(),
+            cfg,
+            stats: OpStatCells::default(),
+        })
+    }
+
+    /// The machine this address space runs on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The Refcache managing pages and radix nodes.
+    pub fn cache(&self) -> &Arc<Refcache> {
+        &self.cache
+    }
+
+    /// Operation counters.
+    pub fn op_stats(&self) -> VmOpStats {
+        VmOpStats {
+            mmaps: self.stats.mmaps.load(StdOrdering::Relaxed),
+            munmaps: self.stats.munmaps.load(StdOrdering::Relaxed),
+            faults_alloc: self.stats.faults_alloc.load(StdOrdering::Relaxed),
+            faults_fill: self.stats.faults_fill.load(StdOrdering::Relaxed),
+            faults_cow: self.stats.faults_cow.load(StdOrdering::Relaxed),
+        }
+    }
+
+    /// Radix-tree statistics (node counts, expansions, collapses).
+    pub fn tree_stats(&self) -> &rvm_radix::TreeStats {
+        self.tree.stats()
+    }
+
+    fn check_range(addr: Vaddr, len: u64) -> VmResult<(Vpn, u64)> {
+        if len == 0
+            || addr % PAGE_SIZE != 0
+            || len % PAGE_SIZE != 0
+            || addr.checked_add(len).is_none()
+            || addr + len > VA_LIMIT
+        {
+            return Err(VmError::BadRange);
+        }
+        Ok((vpn_of(addr), len / PAGE_SIZE))
+    }
+
+    /// Clears page tables and shoots down TLBs for displaced metadata,
+    /// then drops the physical page references. `lo..lo+n` is the overall
+    /// operation range (used for TLB invalidation); page tables are
+    /// cleared per contiguous run of removed pages.
+    ///
+    /// Must be called *before* the range lock is released (the caller
+    /// still holds the guard), per the paper's ordering invariant: no
+    /// thread may access the pages after munmap returns, and the physical
+    /// pages are released only after every stale translation is gone.
+    fn finish_unmap(&self, core: usize, lo: Vpn, n: u64, removed: Vec<Removed<PageMeta>>) {
+        let mut tracked = CoreSet::EMPTY;
+        let mut phys: Vec<RcPtr<PhysPage>> = Vec::new();
+        let mut runs: Vec<(Vpn, u64)> = Vec::new();
+        for r in &removed {
+            if let Removed::Page(vpn, m) = r {
+                if m.phys.is_some() || !m.coreset.is_empty() {
+                    tracked = tracked.union(m.coreset);
+                    match runs.last_mut() {
+                        Some((start, len)) if *start + *len == *vpn => *len += 1,
+                        _ => runs.push((*vpn, 1)),
+                    }
+                }
+                if let Some(p) = m.phys {
+                    phys.push(p);
+                }
+            }
+            // Folded blocks have no fault state: no PTEs, no TLB entries,
+            // no physical pages (invariant in `PageMeta`).
+        }
+        if !runs.is_empty() {
+            let attached = self.attached.load();
+            let mut targets = CoreSet::EMPTY;
+            for (start, len) in &runs {
+                targets = targets.union(self.mmu.unmap_range(*start, *len, tracked, attached));
+            }
+            self.machine.shootdown(core, self.asid, lo, n, targets);
+        }
+        for p in phys {
+            self.cache.dec(core, p);
+        }
+    }
+
+    /// Forks the address space: the child shares all faulted pages; pages
+    /// under writable mappings become copy-on-write in both parent and
+    /// child. Returns the child address space (same machine and Refcache).
+    pub fn fork(&self, core: usize) -> Arc<RadixVm> {
+        sim::charge_op_base();
+        let child = RadixVm::with_cache(self.machine.clone(), self.cache.clone(), self.cfg.clone());
+        let mut entries: Vec<(Vpn, u64, PageMeta)> = Vec::new();
+        let mut revoke_runs: Vec<(Vpn, u64)> = Vec::new();
+        let mut revoke_set = CoreSet::EMPTY;
+        {
+            let mut g = self
+                .tree
+                .lock_range(core, 0, VPN_LIMIT, LockMode::ExpandFolded);
+            g.for_each_entry_mut(|vpn, pages, m| {
+                if m.phys.is_some() && m.prot.writable() {
+                    m.kind = PageKind::Cow;
+                }
+                if let Some(p) = m.phys {
+                    // The child's copy of the metadata owns one reference.
+                    self.cache.inc(core, p);
+                }
+                if !m.coreset.is_empty() {
+                    // Parent translations must be revoked so future parent
+                    // writes take the copy-on-write fault.
+                    revoke_set = revoke_set.union(m.coreset);
+                    m.coreset = CoreSet::EMPTY;
+                    match revoke_runs.last_mut() {
+                        Some((start, len)) if *start + *len == vpn => *len += pages,
+                        _ => revoke_runs.push((vpn, pages)),
+                    }
+                }
+                entries.push((vpn, pages, m.clone()));
+            });
+            if !revoke_runs.is_empty() {
+                let attached = self.attached.load();
+                let mut targets = CoreSet::EMPTY;
+                for (start, len) in &revoke_runs {
+                    targets =
+                        targets.union(self.mmu.unmap_range(*start, *len, revoke_set, attached));
+                }
+                self.machine
+                    .shootdown(core, self.asid, 0, VPN_LIMIT, targets);
+            }
+        }
+        for (vpn, pages, meta) in entries {
+            let mut g = child
+                .tree
+                .lock_range(core, vpn, vpn + pages, LockMode::ExpandAll);
+            let displaced = g.replace(&meta);
+            debug_assert!(displaced.is_empty());
+        }
+        child
+    }
+
+    /// Space used by the radix tree alone (Table 2's "radix tree" column).
+    pub fn index_bytes(&self) -> u64 {
+        self.tree.space_bytes()
+    }
+}
+
+impl VmSystem for RadixVm {
+    fn name(&self) -> &'static str {
+        match self.cfg.mmu {
+            MmuKind::PerCore => "RadixVM",
+            MmuKind::Shared => "RadixVM/shared-pt",
+        }
+    }
+
+    fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    fn attach_core(&self, core: usize) {
+        self.attached.insert(core);
+    }
+
+    fn mmap(
+        &self,
+        core: usize,
+        addr: Vaddr,
+        len: u64,
+        prot: Prot,
+        backing: Backing,
+    ) -> VmResult<Vaddr> {
+        sim::charge_op_base();
+        let (lo, n) = Self::check_range(addr, len)?;
+        self.stats.mmaps.fetch_add(1, StdOrdering::Relaxed);
+        // Anchor file offsets to the VPN so every page's metadata is
+        // identical and the mapping folds (§3.2).
+        let backing = match backing {
+            Backing::File { file, offset_pages } => Backing::File {
+                file,
+                offset_pages: offset_pages.wrapping_sub(lo),
+            },
+            b => b,
+        };
+        let template = PageMeta::new(backing, prot);
+        let mut guard = self.tree.lock_range(core, lo, lo + n, LockMode::ExpandAll);
+        let displaced = guard.replace(&template);
+        if !displaced.is_empty() {
+            self.finish_unmap(core, lo, n, displaced);
+        }
+        Ok(addr)
+    }
+
+    fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
+        sim::charge_op_base();
+        let (lo, n) = Self::check_range(addr, len)?;
+        self.stats.munmaps.fetch_add(1, StdOrdering::Relaxed);
+        let mut guard = self
+            .tree
+            .lock_range(core, lo, lo + n, LockMode::ExpandFolded);
+        let removed = guard.clear();
+        self.finish_unmap(core, lo, n, removed);
+        Ok(())
+    }
+
+    fn pagefault(&self, core: usize, va: Vaddr, kind: AccessKind) -> VmResult<Translation> {
+        if va >= VA_LIMIT {
+            return Err(VmError::BadRange);
+        }
+        sim::charge_op_base();
+        self.attached.insert(core);
+        let vpn = vpn_of(va);
+        let mut guard = self
+            .tree
+            .lock_range(core, vpn, vpn + 1, LockMode::ExpandFolded);
+        // Shared-table configuration: a PTE installed by another core is
+        // filled by hardware without kernel involvement; model that as a
+        // cheap walk that bypasses the metadata entirely.
+        if self.mmu.kind() == MmuKind::Shared {
+            let pte = self.mmu.walk(core, vpn);
+            if pte.present() && (kind == AccessKind::Read || pte.writable()) {
+                self.stats.faults_fill.fetch_add(1, StdOrdering::Relaxed);
+                let tr = Translation {
+                    pfn: pte.pfn(),
+                    gen: self.machine.pool().generation(pte.pfn()),
+                    writable: pte.writable(),
+                };
+                self.fill(core, vpn, tr);
+                return Ok(tr);
+            }
+        }
+        let meta = guard.page_value_mut().ok_or(VmError::NoMapping)?;
+        match kind {
+            AccessKind::Read if !meta.prot.readable() => return Err(VmError::ProtViolation),
+            AccessKind::Write if !meta.prot.writable() => return Err(VmError::ProtViolation),
+            _ => {}
+        }
+        // Copy-on-write resolution for write faults.
+        if kind == AccessKind::Write && meta.kind == PageKind::Cow {
+            self.stats.faults_cow.fetch_add(1, StdOrdering::Relaxed);
+            let pool = self.machine.pool();
+            let old = meta.phys.take();
+            let new_pfn = pool.alloc(core);
+            if let Some(old_ref) = old {
+                // SAFETY: the metadata held a reference until `take`, and
+                // we have not yet decremented it.
+                let old_pfn = unsafe { old_ref.as_ref() }.pfn();
+                // Copy the old contents into the private page.
+                // SAFETY: both frames are live (old holds a ref; new was
+                // just allocated) and FRAME_SIZE-bounded.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        pool.frame_ptr(old_pfn),
+                        pool.frame_ptr(new_pfn),
+                        rvm_mem::FRAME_SIZE,
+                    );
+                }
+                sim::charge_page_work();
+                // Revoke stale translations to the shared page, then drop
+                // our reference to it.
+                let tracked = meta.coreset;
+                meta.coreset = CoreSet::EMPTY;
+                if !tracked.is_empty() {
+                    let targets =
+                        self.mmu
+                            .unmap_range(vpn, 1, tracked, self.attached.load());
+                    self.machine.shootdown(core, self.asid, vpn, 1, targets);
+                }
+                self.cache.dec(core, old_ref);
+            }
+            let page = self
+                .cache
+                .alloc(1, PhysPage::new(new_pfn, pool.clone()));
+            meta.phys = Some(page);
+            meta.kind = PageKind::Plain;
+        }
+        let phys = match meta.phys {
+            Some(p) => {
+                self.stats.faults_fill.fetch_add(1, StdOrdering::Relaxed);
+                p
+            }
+            None => {
+                self.stats.faults_alloc.fetch_add(1, StdOrdering::Relaxed);
+                let pool = self.machine.pool();
+                let pfn = pool.alloc(core);
+                let page = self.cache.alloc(1, PhysPage::new(pfn, pool.clone()));
+                meta.phys = Some(page);
+                page
+            }
+        };
+        // SAFETY: the metadata owns a reference to the page.
+        let pfn = unsafe { phys.as_ref() }.pfn();
+        // Copy-on-write pages map read-only until resolved.
+        let writable = meta.prot.writable() && meta.kind != PageKind::Cow;
+        meta.coreset.insert(core);
+        let tr = Translation {
+            pfn,
+            gen: self.machine.pool().generation(pfn),
+            writable,
+        };
+        self.mmu.map(core, vpn, Pte::new(pfn, writable));
+        // Fill the TLB before the slot lock is released (guard drop):
+        // a munmap racing on this page cannot start its shootdown until
+        // we are done, so the entry cannot be stale.
+        self.fill(core, vpn, tr);
+        Ok(tr)
+    }
+
+    fn mprotect(&self, core: usize, addr: Vaddr, len: u64, prot: Prot) -> VmResult<()> {
+        sim::charge_op_base();
+        let (lo, n) = Self::check_range(addr, len)?;
+        let mut guard = self
+            .tree
+            .lock_range(core, lo, lo + n, LockMode::ExpandFolded);
+        let mut tracked = CoreSet::EMPTY;
+        let mut runs: Vec<(Vpn, u64)> = Vec::new();
+        let mut mapped_pages = 0u64;
+        guard.for_each_entry_mut(|vpn, pages, m| {
+            mapped_pages += pages;
+            m.prot = prot;
+            if !m.coreset.is_empty() {
+                tracked = tracked.union(m.coreset);
+                m.coreset = CoreSet::EMPTY;
+                match runs.last_mut() {
+                    Some((start, len)) if *start + *len == vpn => *len += pages,
+                    _ => runs.push((vpn, pages)),
+                }
+            }
+        });
+        if mapped_pages == 0 {
+            return Err(VmError::NoMapping);
+        }
+        // Revoke-and-refault: existing translations (either direction of
+        // change) are cleared; subsequent accesses fault with the new
+        // protection.
+        if !runs.is_empty() {
+            let attached = self.attached.load();
+            let mut targets = CoreSet::EMPTY;
+            for (start, len) in &runs {
+                targets = targets.union(self.mmu.unmap_range(*start, *len, tracked, attached));
+            }
+            self.machine.shootdown(core, self.asid, lo, n, targets);
+        }
+        Ok(())
+    }
+
+    fn maintain(&self, core: usize) {
+        self.cache.maintain(core);
+    }
+
+    fn space_usage(&self) -> SpaceUsage {
+        SpaceUsage {
+            index_bytes: self.tree.space_bytes(),
+            pagetable_bytes: self.mmu.table_bytes(),
+        }
+    }
+}
+
+impl RadixVm {
+    /// Installs a TLB entry for this address space.
+    fn fill(&self, core: usize, vpn: Vpn, tr: Translation) {
+        self.machine.tlb_fill(
+            core,
+            TlbEntry {
+                asid: self.asid,
+                vpn,
+                pfn: tr.pfn,
+                gen: tr.gen,
+                writable: tr.writable,
+                valid: true,
+            },
+        );
+    }
+}
+
+impl Drop for RadixVm {
+    fn drop(&mut self) {
+        // Unmap everything so physical pages return to the pool, then let
+        // the tree tear itself down.
+        let removed = {
+            let mut guard = self.tree.lock_range(0, 0, VPN_LIMIT, LockMode::ExpandFolded);
+            guard.clear()
+        };
+        self.finish_unmap(0, 0, VPN_LIMIT, removed);
+        self.machine.flush_asid(self.asid);
+        self.cache.quiesce();
+    }
+}

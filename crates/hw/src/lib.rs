@@ -1,0 +1,651 @@
+//! Simulated multicore hardware: the machine, cores, TLBs, and the access
+//! path connecting user memory operations to VM systems.
+//!
+//! A [`Machine`] bundles the physical [`FramePool`], one software [`Tlb`]
+//! per core, ASID allocation, and the shootdown engine. VM systems — the
+//! RadixVM core and the Linux/Bonsai baselines — implement [`VmSystem`]
+//! and plug in underneath the same access path:
+//!
+//! ```text
+//! workload op ──> Machine::write(core, vm, va)
+//!                   │  TLB hit → frame access (generation-checked)
+//!                   └─ TLB miss → vm.pagefault() → TLB fill
+//! vm.munmap ──> Machine::shootdown(targets) → IPIs + remote TLB clears
+//! ```
+//!
+//! Shootdowns are *sender-executed*: the munmapping core performs the
+//! remote TLB invalidations itself while the simulator charges IPI
+//! latencies to sender and targets (see DESIGN.md; delivery mechanics are
+//! not what the paper measures — the number of cores contacted is). The
+//! `shootdown_enabled` switch exists for failure injection: with it off,
+//! stale TLB entries survive and the generation check converts the
+//! resulting silent use-after-free into a detectable
+//! [`VmError::StaleTranslation`].
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rvm_mem::{FramePool, Pfn, FRAME_SIZE};
+use rvm_sync::{sim, CachePadded, CoreSet, SpinLock};
+
+pub mod mmu;
+pub mod pagetable;
+pub mod tlb;
+
+pub use mmu::{Mmu, MmuKind, PerCoreMmu, SharedMmu};
+pub use pagetable::{PageTable, Pte};
+pub use tlb::{Tlb, TlbEntry};
+
+/// Virtual address.
+pub type Vaddr = u64;
+/// Virtual page number.
+pub type Vpn = u64;
+/// Address-space identifier.
+pub type Asid = u32;
+
+/// Virtual address bits (x86-64 canonical user space).
+pub const VA_BITS: usize = 48;
+/// Virtual page number bits.
+pub const VPN_BITS: usize = 36;
+/// Page size in bytes (= frame size).
+pub const PAGE_SIZE: u64 = FRAME_SIZE as u64;
+/// log2(PAGE_SIZE).
+pub const PAGE_SHIFT: u32 = 12;
+/// Exclusive upper bound of user virtual addresses.
+pub const VA_LIMIT: Vaddr = 1 << VA_BITS;
+
+/// Converts an address to its page number.
+#[inline]
+pub fn vpn_of(va: Vaddr) -> Vpn {
+    va >> PAGE_SHIFT
+}
+
+/// Memory protection bits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Prot(pub u8);
+
+impl Prot {
+    /// No access.
+    pub const NONE: Prot = Prot(0);
+    /// Readable.
+    pub const READ: Prot = Prot(1);
+    /// Readable and writable.
+    pub const RW: Prot = Prot(3);
+
+    /// Returns true if reads are permitted.
+    #[inline]
+    pub fn readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns true if writes are permitted.
+    #[inline]
+    pub fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+/// What backs a mapping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backing {
+    /// Demand-zero anonymous memory.
+    Anon,
+    /// A (simulated) file: mapping metadata records `(file, page offset)`.
+    File {
+        /// File identifier.
+        file: u32,
+        /// Page offset of the mapping's start within the file.
+        offset_pages: u64,
+    },
+}
+
+/// The kind of memory access being performed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// Errors surfaced by VM operations and the access path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// Address or length is malformed (unaligned, out of range, zero).
+    BadRange,
+    /// Access or operation on an unmapped address.
+    NoMapping,
+    /// Access violates the mapping's protection.
+    ProtViolation,
+    /// An access went through a stale TLB entry to a reused frame — the
+    /// corruption TLB shootdown exists to prevent (failure injection).
+    StaleTranslation,
+    /// The operation is not supported by this VM system.
+    Unsupported,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VmError::BadRange => "bad address range",
+            VmError::NoMapping => "no mapping",
+            VmError::ProtViolation => "protection violation",
+            VmError::StaleTranslation => "stale TLB translation (missed shootdown)",
+            VmError::Unsupported => "unsupported operation",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Result type for VM operations.
+pub type VmResult<T> = Result<T, VmError>;
+
+/// A translation produced by a page-fault handler, ready for TLB fill.
+#[derive(Clone, Copy, Debug)]
+pub struct Translation {
+    /// Target frame.
+    pub pfn: Pfn,
+    /// Frame generation at mapping time.
+    pub gen: u64,
+    /// Whether stores are permitted.
+    pub writable: bool,
+}
+
+/// Space consumed by a VM system's address-space structures (Table 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpaceUsage {
+    /// Bytes of index metadata (VMA tree / radix tree, including per-page
+    /// mapping metadata).
+    pub index_bytes: u64,
+    /// Bytes of hardware page tables.
+    pub pagetable_bytes: u64,
+}
+
+impl SpaceUsage {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.index_bytes + self.pagetable_bytes
+    }
+}
+
+/// A virtual memory system managing one address space.
+///
+/// Implemented by `rvm_core::RadixVm` and the baselines. All operations
+/// take the executing core explicitly (kernel code runs on a core).
+pub trait VmSystem: Send + Sync {
+    /// Short human-readable name for harness output.
+    fn name(&self) -> &'static str;
+
+    /// This address space's identifier (TLB tag).
+    fn asid(&self) -> Asid;
+
+    /// Declares that `core` runs threads of this address space (used for
+    /// conservative broadcast shootdown).
+    fn attach_core(&self, core: usize);
+
+    /// Maps `[addr, addr + len)` with the given protection and backing.
+    /// Returns the mapped address. Fixed-address semantics: existing
+    /// mappings in the range are replaced.
+    fn mmap(&self, core: usize, addr: Vaddr, len: u64, prot: Prot, backing: Backing)
+        -> VmResult<Vaddr>;
+
+    /// Unmaps `[addr, addr + len)`: clears metadata and page tables,
+    /// shoots down TLBs, and releases physical pages.
+    fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()>;
+
+    /// Handles a page fault at `va` for the given access kind, returning
+    /// the translation to cache.
+    fn pagefault(&self, core: usize, va: Vaddr, kind: AccessKind) -> VmResult<Translation>;
+
+    /// Changes protection on `[addr, addr + len)`.
+    fn mprotect(&self, _core: usize, _addr: Vaddr, _len: u64, _prot: Prot) -> VmResult<()> {
+        Err(VmError::Unsupported)
+    }
+
+    /// Periodic per-core maintenance (Refcache ticks); default no-op.
+    fn maintain(&self, _core: usize) {}
+
+    /// Current space consumption of the address-space structures.
+    fn space_usage(&self) -> SpaceUsage;
+}
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of cores.
+    pub ncores: usize,
+    /// TLB entries per core (power of two).
+    pub tlb_entries: usize,
+    /// Whether munmap sends shootdowns (disable for failure injection).
+    pub shootdown_enabled: bool,
+    /// Whether accesses validate frame generations (use-after-free
+    /// detection; negligible cost, recommended on).
+    pub check_generations: bool,
+}
+
+impl MachineConfig {
+    /// Defaults for `ncores` cores.
+    pub fn new(ncores: usize) -> Self {
+        MachineConfig {
+            ncores,
+            tlb_entries: 1024,
+            shootdown_enabled: true,
+            check_generations: true,
+        }
+    }
+}
+
+/// Machine-level event counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MachineStats {
+    /// TLB hits on the access path.
+    pub tlb_hits: u64,
+    /// TLB misses (page faults taken).
+    pub tlb_misses: u64,
+    /// Shootdown rounds with at least one remote target.
+    pub shootdown_rounds: u64,
+    /// Total remote shootdown IPIs delivered.
+    pub shootdown_ipis: u64,
+    /// Shootdowns suppressed by failure injection.
+    pub shootdowns_suppressed: u64,
+    /// Stale translations detected (should be zero unless injected).
+    pub stale_detected: u64,
+}
+
+#[derive(Default)]
+struct MachineStatCells {
+    tlb_hits: AtomicU64,
+    tlb_misses: AtomicU64,
+    shootdown_rounds: AtomicU64,
+    shootdown_ipis: AtomicU64,
+    shootdowns_suppressed: AtomicU64,
+    stale_detected: AtomicU64,
+}
+
+/// Bound on fault-retry iterations in [`Machine::access`] before the
+/// machine declares a livelock (indicates a VM-system bug).
+const RETRY_LIMIT: usize = 1024;
+
+/// The simulated multicore machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    pool: Arc<FramePool>,
+    tlbs: Vec<CachePadded<SpinLock<Tlb>>>,
+    next_asid: AtomicU32,
+    stats: MachineStatCells,
+}
+
+impl Machine {
+    /// Creates a machine with default configuration for `ncores`.
+    pub fn new(ncores: usize) -> Arc<Machine> {
+        Self::with_config(MachineConfig::new(ncores))
+    }
+
+    /// Creates a machine with the given configuration.
+    pub fn with_config(cfg: MachineConfig) -> Arc<Machine> {
+        assert!(cfg.ncores >= 1 && cfg.ncores <= rvm_sync::MAX_CORES);
+        let pool = Arc::new(FramePool::new(cfg.ncores));
+        let tlbs = (0..cfg.ncores)
+            .map(|_| CachePadded::new(SpinLock::new(Tlb::new(cfg.tlb_entries))))
+            .collect();
+        Arc::new(Machine {
+            cfg,
+            pool,
+            tlbs,
+            next_asid: AtomicU32::new(1),
+            stats: MachineStatCells::default(),
+        })
+    }
+
+    /// Number of cores.
+    pub fn ncores(&self) -> usize {
+        self.cfg.ncores
+    }
+
+    /// The machine's physical frame pool.
+    pub fn pool(&self) -> &Arc<FramePool> {
+        &self.pool
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Allocates a fresh address-space identifier.
+    pub fn alloc_asid(&self) -> Asid {
+        self.next_asid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Snapshot of machine counters.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            tlb_hits: self.stats.tlb_hits.load(Ordering::Relaxed),
+            tlb_misses: self.stats.tlb_misses.load(Ordering::Relaxed),
+            shootdown_rounds: self.stats.shootdown_rounds.load(Ordering::Relaxed),
+            shootdown_ipis: self.stats.shootdown_ipis.load(Ordering::Relaxed),
+            shootdowns_suppressed: self.stats.shootdowns_suppressed.load(Ordering::Relaxed),
+            stale_detected: self.stats.stale_detected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fills `core`'s TLB with `entry`.
+    ///
+    /// Page-fault handlers must call this *before releasing the lock that
+    /// serializes the fault against munmap of the same page*; otherwise a
+    /// completed shootdown could be followed by a stale fill. (Real MMUs
+    /// make the fill atomic with the faulting access; this is the software
+    /// model's equivalent ordering obligation.)
+    pub fn tlb_fill(&self, core: usize, entry: TlbEntry) {
+        self.tlbs[core].lock().insert(entry);
+    }
+
+    /// Performs a user memory access at `va`: translates through `core`'s
+    /// TLB (faulting into `vm` on a miss and retrying, as hardware
+    /// re-executes the access) and runs `f` on the target frame while the
+    /// TLB entry is pinned.
+    ///
+    /// Running `f` under the TLB lock guarantees that a concurrent
+    /// shootdown — which must take the same lock — cannot complete, and
+    /// hence the frame cannot be freed, while the access is in flight.
+    pub fn access<R>(
+        &self,
+        core: usize,
+        vm: &dyn VmSystem,
+        va: Vaddr,
+        kind: AccessKind,
+        f: impl FnOnce(&FramePool, Pfn, usize) -> R,
+    ) -> VmResult<R> {
+        if va >= VA_LIMIT {
+            return Err(VmError::BadRange);
+        }
+        let vpn = vpn_of(va);
+        let asid = vm.asid();
+        let offset = (va % PAGE_SIZE) as usize;
+        for _attempt in 0..RETRY_LIMIT {
+            {
+                let mut tlb = self.tlbs[core].lock();
+                if let Some(e) = tlb.lookup(asid, vpn) {
+                    if kind == AccessKind::Read || e.writable {
+                        if self.cfg.check_generations && self.pool.generation(e.pfn) != e.gen {
+                            // Report the use-after-unmap and evict the
+                            // poisoned entry so later accesses refault
+                            // instead of repeating the report.
+                            tlb.invalidate_page(asid, vpn);
+                            drop(tlb);
+                            self.stats.stale_detected.fetch_add(1, Ordering::Relaxed);
+                            return Err(VmError::StaleTranslation);
+                        }
+                        self.stats.tlb_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(f(&self.pool, e.pfn, offset));
+                    }
+                    // Write through a read-only entry: fall through to a
+                    // fault (the VM may upgrade, e.g. copy-on-write).
+                }
+            }
+            self.stats.tlb_misses.fetch_add(1, Ordering::Relaxed);
+            let tr = vm.pagefault(core, va, kind)?;
+            // Complete the access through the translation the fault
+            // handler produced, even if a concurrent munmap has already
+            // shot the fresh TLB entry down — the paper's §3.4 semantics:
+            // when pagefault wins the metadata lock, the faulting access
+            // may complete while munmap is in flight. This is safe
+            // because physical frames are freed through Refcache, whose
+            // epoch barrier cannot pass until *this* core flushes again —
+            // which it cannot do mid-access. The generation check guards
+            // the (never-taken in practice) remaining window.
+            if (kind == AccessKind::Read || tr.writable)
+                && (!self.cfg.check_generations || self.pool.generation(tr.pfn) == tr.gen)
+            {
+                return Ok(f(&self.pool, tr.pfn, offset));
+            }
+            // Protection changed or frame already recycled: fault again.
+        }
+        panic!("translation livelock at va {va:#x} (fault/shootdown loop)");
+    }
+
+    /// Writes a word at `va` through the access path.
+    pub fn write_u64(&self, core: usize, vm: &dyn VmSystem, va: Vaddr, val: u64) -> VmResult<()> {
+        self.access(core, vm, va, AccessKind::Write, |pool, pfn, off| {
+            pool.write_u64(pfn, off, val)
+        })
+    }
+
+    /// Reads a word at `va` through the access path.
+    pub fn read_u64(&self, core: usize, vm: &dyn VmSystem, va: Vaddr) -> VmResult<u64> {
+        self.access(core, vm, va, AccessKind::Read, |pool, pfn, off| {
+            pool.read_u64(pfn, off)
+        })
+    }
+
+    /// Writes an entire page (workload "touch": one access + page fill).
+    pub fn touch_page(&self, core: usize, vm: &dyn VmSystem, va: Vaddr, byte: u8) -> VmResult<()> {
+        self.access(core, vm, va, AccessKind::Write, |pool, pfn, _| {
+            pool.fill(pfn, byte)
+        })
+    }
+
+    /// Invalidates `core`'s own TLB for a page range (no IPI).
+    pub fn invalidate_local(&self, core: usize, asid: Asid, start_vpn: Vpn, n: u64) {
+        self.tlbs[core].lock().invalidate_range(asid, start_vpn, n);
+    }
+
+    /// Performs a TLB shootdown round from `sender` to `targets`.
+    ///
+    /// The sender's own TLB (if in `targets`) is invalidated locally
+    /// without an IPI; remote targets each cost an IPI and have the range
+    /// cleared from their TLBs. Returns the number of remote IPIs.
+    pub fn shootdown(
+        &self,
+        sender: usize,
+        asid: Asid,
+        start_vpn: Vpn,
+        n: u64,
+        targets: CoreSet,
+    ) -> usize {
+        if targets.contains(sender) {
+            self.invalidate_local(sender, asid, start_vpn, n);
+        }
+        let mut remote = targets;
+        remote.remove(sender);
+        if remote.is_empty() {
+            return 0;
+        }
+        if !self.cfg.shootdown_enabled {
+            self.stats
+                .shootdowns_suppressed
+                .fetch_add(remote.len() as u64, Ordering::Relaxed);
+            return 0;
+        }
+        sim::ipi_round(remote);
+        for t in remote.iter() {
+            self.tlbs[t].lock().invalidate_range(asid, start_vpn, n);
+        }
+        self.stats.shootdown_rounds.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .shootdown_ipis
+            .fetch_add(remote.len() as u64, Ordering::Relaxed);
+        remote.len()
+    }
+
+    /// Flushes every core's TLB entries for an address space (used when an
+    /// address space is destroyed).
+    pub fn flush_asid(&self, asid: Asid) {
+        for t in &self.tlbs {
+            t.lock().invalidate_asid(asid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial VmSystem: identity-ish mapping over a fixed set of pages,
+    /// allocating frames on first fault.
+    struct ToyVm {
+        asid: Asid,
+        machine: Arc<Machine>,
+        frames: rvm_sync::Mutex<std::collections::HashMap<Vpn, Pfn>>,
+        limit_vpn: Vpn,
+    }
+
+    impl ToyVm {
+        fn new(m: &Arc<Machine>, limit_vpn: Vpn) -> ToyVm {
+            ToyVm {
+                asid: m.alloc_asid(),
+                machine: m.clone(),
+                frames: rvm_sync::Mutex::new(std::collections::HashMap::new()),
+                limit_vpn,
+            }
+        }
+    }
+
+    impl VmSystem for ToyVm {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn asid(&self) -> Asid {
+            self.asid
+        }
+
+        fn attach_core(&self, _core: usize) {}
+
+        fn mmap(&self, _c: usize, a: Vaddr, _l: u64, _p: Prot, _b: Backing) -> VmResult<Vaddr> {
+            Ok(a)
+        }
+
+        fn munmap(&self, _c: usize, _a: Vaddr, _l: u64) -> VmResult<()> {
+            Ok(())
+        }
+
+        fn pagefault(&self, core: usize, va: Vaddr, _k: AccessKind) -> VmResult<Translation> {
+            let vpn = vpn_of(va);
+            if vpn >= self.limit_vpn {
+                return Err(VmError::NoMapping);
+            }
+            let pool = self.machine.pool();
+            let mut frames = self.frames.lock();
+            let pfn = *frames.entry(vpn).or_insert_with(|| pool.alloc(core));
+            let tr = Translation {
+                pfn,
+                gen: pool.generation(pfn),
+                writable: true,
+            };
+            // Fill while holding the frames lock (serializes vs. unmap).
+            self.machine.tlb_fill(
+                core,
+                TlbEntry {
+                    asid: self.asid,
+                    vpn,
+                    pfn: tr.pfn,
+                    gen: tr.gen,
+                    writable: tr.writable,
+                    valid: true,
+                },
+            );
+            Ok(tr)
+        }
+
+        fn space_usage(&self) -> SpaceUsage {
+            SpaceUsage::default()
+        }
+    }
+
+    #[test]
+    fn access_path_roundtrip() {
+        let m = Machine::new(2);
+        let vm = ToyVm::new(&m, 100);
+        m.write_u64(0, &vm, 0x1000, 0xABCD).unwrap();
+        assert_eq!(m.read_u64(0, &vm, 0x1000).unwrap(), 0xABCD);
+        // Second access hits the TLB.
+        let s0 = m.stats();
+        assert_eq!(m.read_u64(0, &vm, 0x1008).unwrap(), 0);
+        let s1 = m.stats();
+        assert_eq!(s1.tlb_misses, s0.tlb_misses);
+        assert!(s1.tlb_hits > s0.tlb_hits);
+    }
+
+    #[test]
+    fn fault_on_unmapped() {
+        let m = Machine::new(1);
+        let vm = ToyVm::new(&m, 4);
+        assert_eq!(
+            m.read_u64(0, &vm, 100 << PAGE_SHIFT),
+            Err(VmError::NoMapping)
+        );
+        assert_eq!(m.read_u64(0, &vm, VA_LIMIT), Err(VmError::BadRange));
+    }
+
+    #[test]
+    fn shootdown_clears_remote_tlbs() {
+        let m = Machine::new(3);
+        let vm = ToyVm::new(&m, 100);
+        // Cores 1 and 2 cache vpn 1.
+        m.write_u64(1, &vm, 0x1000, 7).unwrap();
+        m.write_u64(2, &vm, 0x1000, 8).unwrap();
+        let mut targets = CoreSet::EMPTY;
+        targets.insert(1);
+        targets.insert(2);
+        let ipis = m.shootdown(1, vm.asid(), 1, 1, targets);
+        assert_eq!(ipis, 1, "core 1 is local to the sender; only core 2 IPIs");
+        // Next accesses miss again.
+        let miss0 = m.stats().tlb_misses;
+        m.read_u64(1, &vm, 0x1000).unwrap();
+        m.read_u64(2, &vm, 0x1000).unwrap();
+        assert_eq!(m.stats().tlb_misses, miss0 + 2);
+    }
+
+    #[test]
+    fn suppressed_shootdown_leaves_stale_entry_detected() {
+        let mut cfg = MachineConfig::new(2);
+        cfg.shootdown_enabled = false;
+        let m = Machine::with_config(cfg);
+        let vm = ToyVm::new(&m, 100);
+        // Core 1 caches the translation.
+        m.write_u64(1, &vm, 0x1000, 7).unwrap();
+        let pfn = {
+            let frames = vm.frames.lock();
+            frames[&1]
+        };
+        // "Unmap" on core 0: clear VM state, attempt shootdown (suppressed),
+        // free the frame.
+        vm.frames.lock().remove(&1);
+        m.shootdown(0, vm.asid(), 1, 1, CoreSet::single(1));
+        m.pool().free(0, pfn);
+        // Core 1's stale TLB entry now points at a freed (reusable) frame:
+        // the generation check catches it.
+        assert_eq!(
+            m.read_u64(1, &vm, 0x1000),
+            Err(VmError::StaleTranslation)
+        );
+        assert_eq!(m.stats().stale_detected, 1);
+        assert_eq!(m.stats().shootdowns_suppressed, 1);
+    }
+
+    #[test]
+    fn local_shootdown_is_free() {
+        let m = Machine::new(4);
+        let vm = ToyVm::new(&m, 100);
+        m.write_u64(2, &vm, 0x1000, 1).unwrap();
+        let ipis = m.shootdown(2, vm.asid(), 1, 1, CoreSet::single(2));
+        assert_eq!(ipis, 0);
+        assert_eq!(m.stats().shootdown_rounds, 0);
+    }
+
+    #[test]
+    fn flush_asid_clears_everywhere() {
+        let m = Machine::new(2);
+        let vm = ToyVm::new(&m, 100);
+        m.write_u64(0, &vm, 0x1000, 1).unwrap();
+        m.write_u64(1, &vm, 0x2000, 2).unwrap();
+        m.flush_asid(vm.asid());
+        let miss0 = m.stats().tlb_misses;
+        m.read_u64(0, &vm, 0x1000).unwrap();
+        m.read_u64(1, &vm, 0x2000).unwrap();
+        assert_eq!(m.stats().tlb_misses, miss0 + 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! The MMU abstraction: per-core vs. shared page tables.
+//!
+//! RadixVM's targeted TLB shootdown (§3.3) relies on per-core page tables:
+//! a page is installed only in the tables of cores that actually faulted
+//! it, so unmap must shoot down exactly those cores — often none or only
+//! the local core. The alternative, a single shared table, must
+//! conservatively broadcast shootdowns to every core using the address
+//! space. The paper's implementation hides this choice behind an MMU
+//! abstraction (§4, Table 1); Figure 9 measures the difference.
+
+use rvm_sync::CoreSet;
+
+use crate::pagetable::{PageTable, Pte};
+use crate::Vpn;
+
+/// Which page-table organization an [`Mmu`] implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MmuKind {
+    /// One page table per core; targeted shootdown.
+    PerCore,
+    /// One shared page table; broadcast shootdown.
+    Shared,
+}
+
+/// Hardware page-table operations, independent of the metadata index.
+pub trait Mmu: Send + Sync {
+    /// The table organization.
+    fn kind(&self) -> MmuKind;
+
+    /// Installs a translation visible to `core`.
+    fn map(&self, core: usize, vpn: Vpn, pte: Pte);
+
+    /// Walks the table(s) as `core`'s MMU would.
+    fn walk(&self, core: usize, vpn: Vpn) -> Pte;
+
+    /// Clears `[start, start+n)` from the tables and returns the set of
+    /// cores whose TLBs must be shot down. `tracked` is the set of cores
+    /// the metadata observed faulting pages of the range; `attached` is
+    /// every core using the address space.
+    fn unmap_range(&self, start: Vpn, n: u64, tracked: CoreSet, attached: CoreSet) -> CoreSet;
+
+    /// Total bytes of page-table memory currently allocated.
+    fn table_bytes(&self) -> u64;
+}
+
+/// Per-core page tables: the RadixVM configuration.
+pub struct PerCoreMmu {
+    tables: Vec<PageTable>,
+}
+
+impl PerCoreMmu {
+    /// Creates per-core tables for `ncores` cores.
+    pub fn new(ncores: usize) -> Self {
+        PerCoreMmu {
+            tables: (0..ncores).map(|_| PageTable::new()).collect(),
+        }
+    }
+
+    /// Direct access to one core's table (tests and space accounting).
+    pub fn table(&self, core: usize) -> &PageTable {
+        &self.tables[core]
+    }
+}
+
+impl Mmu for PerCoreMmu {
+    fn kind(&self) -> MmuKind {
+        MmuKind::PerCore
+    }
+
+    fn map(&self, core: usize, vpn: Vpn, pte: Pte) {
+        self.tables[core].set(vpn, pte);
+    }
+
+    fn walk(&self, core: usize, vpn: Vpn) -> Pte {
+        self.tables[core].get(vpn)
+    }
+
+    fn unmap_range(&self, start: Vpn, n: u64, tracked: CoreSet, _attached: CoreSet) -> CoreSet {
+        for core in tracked.iter() {
+            self.tables[core].clear_range(start, n, |_, _| {});
+        }
+        tracked
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.bytes()).sum()
+    }
+}
+
+/// A single shared page table: the conventional configuration.
+pub struct SharedMmu {
+    table: PageTable,
+}
+
+impl SharedMmu {
+    /// Creates the shared table.
+    pub fn new() -> Self {
+        SharedMmu {
+            table: PageTable::new(),
+        }
+    }
+
+    /// Direct access to the table.
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+}
+
+impl Default for SharedMmu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mmu for SharedMmu {
+    fn kind(&self) -> MmuKind {
+        MmuKind::Shared
+    }
+
+    fn map(&self, _core: usize, vpn: Vpn, pte: Pte) {
+        self.table.set(vpn, pte);
+    }
+
+    fn walk(&self, _core: usize, vpn: Vpn) -> Pte {
+        self.table.get(vpn)
+    }
+
+    fn unmap_range(&self, start: Vpn, n: u64, _tracked: CoreSet, attached: CoreSet) -> CoreSet {
+        self.table.clear_range(start, n, |_, _| {});
+        // Without per-core tracking, the kernel must conservatively shoot
+        // down every core using the address space.
+        attached
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.table.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percore_maps_are_private() {
+        let mmu = PerCoreMmu::new(2);
+        mmu.map(0, 100, Pte::new(1, true));
+        assert!(mmu.walk(0, 100).present());
+        assert!(!mmu.walk(1, 100).present(), "core 1 must not see core 0's PTE");
+    }
+
+    #[test]
+    fn percore_unmap_targets_tracked_only() {
+        let mmu = PerCoreMmu::new(4);
+        mmu.map(0, 100, Pte::new(1, true));
+        mmu.map(2, 100, Pte::new(1, true));
+        let mut tracked = CoreSet::EMPTY;
+        tracked.insert(0);
+        tracked.insert(2);
+        let targets = mmu.unmap_range(100, 1, tracked, CoreSet::first_n(4));
+        assert_eq!(targets, tracked);
+        assert!(!mmu.walk(0, 100).present());
+        assert!(!mmu.walk(2, 100).present());
+    }
+
+    #[test]
+    fn shared_maps_are_global_and_unmap_broadcasts() {
+        let mmu = SharedMmu::new();
+        mmu.map(0, 100, Pte::new(1, true));
+        assert!(mmu.walk(3, 100).present(), "shared table is visible to all");
+        let targets = mmu.unmap_range(100, 1, CoreSet::single(0), CoreSet::first_n(8));
+        assert_eq!(targets.len(), 8, "broadcast to every attached core");
+        assert!(!mmu.walk(0, 100).present());
+    }
+
+    #[test]
+    fn table_bytes_grow() {
+        let mmu = PerCoreMmu::new(2);
+        let b0 = mmu.table_bytes();
+        mmu.map(0, 100, Pte::new(1, true));
+        assert!(mmu.table_bytes() > b0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Software x86-64-style page tables.
+//!
+//! A four-level radix table indexed by 9 bits of virtual page number per
+//! level, exactly like the hardware structure the paper's MMU abstraction
+//! manages (§4). Interior slots hold child-node pointers; leaf slots hold
+//! PTEs. All slots are instrumented atomics: on a *shared* page table,
+//! concurrent faults installing PTEs contend on real cache lines, which is
+//! part of what Figure 9 measures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rvm_mem::Pfn;
+use rvm_sync::Atomic64;
+
+use crate::{Vpn, VPN_BITS};
+
+/// Bits of VPN consumed per level.
+pub const LEVEL_BITS: usize = 9;
+/// Slots per node.
+pub const NODE_SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels (36-bit VPN / 9).
+pub const LEVELS: usize = VPN_BITS / LEVEL_BITS;
+
+/// A page table entry.
+///
+/// Encoding: `[pfn:32 | reserved | W | P]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// The non-present entry.
+    pub const EMPTY: Pte = Pte(0);
+    const PRESENT: u64 = 1 << 0;
+    const WRITABLE: u64 = 1 << 1;
+
+    /// Builds a present PTE.
+    pub fn new(pfn: Pfn, writable: bool) -> Pte {
+        Pte(((pfn as u64) << 32) | Self::PRESENT | if writable { Self::WRITABLE } else { 0 })
+    }
+
+    /// Returns true if the entry is present.
+    #[inline]
+    pub fn present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    /// Returns true if the entry permits writes.
+    #[inline]
+    pub fn writable(self) -> bool {
+        self.0 & Self::WRITABLE != 0
+    }
+
+    /// The mapped frame.
+    #[inline]
+    pub fn pfn(self) -> Pfn {
+        (self.0 >> 32) as Pfn
+    }
+}
+
+/// One 512-slot page-table node.
+struct PtNode {
+    slots: Box<[Atomic64]>,
+}
+
+impl PtNode {
+    fn new() -> Box<PtNode> {
+        Box::new(PtNode {
+            slots: (0..NODE_SLOTS).map(|_| Atomic64::new(0)).collect(),
+        })
+    }
+}
+
+/// A four-level software page table for one (address space, core) pair —
+/// or a single shared one, depending on the MMU mode.
+pub struct PageTable {
+    root: Box<PtNode>,
+    /// Number of nodes allocated (root included), for space accounting.
+    nodes: AtomicU64,
+}
+
+/// Interior slots store `Box<PtNode>` pointers tagged with bit 0.
+const CHILD_TAG: u64 = 1;
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> PageTable {
+        PageTable {
+            root: PtNode::new(),
+            nodes: AtomicU64::new(1),
+        }
+    }
+
+    /// Index of `vpn` at `level` (level 0 = root).
+    #[inline]
+    fn index(vpn: Vpn, level: usize) -> usize {
+        let shift = LEVEL_BITS * (LEVELS - 1 - level);
+        ((vpn >> shift) as usize) & (NODE_SLOTS - 1)
+    }
+
+    /// Walks to the leaf node containing `vpn`, optionally allocating
+    /// missing interior nodes.
+    fn walk(&self, vpn: Vpn, create: bool) -> Option<&PtNode> {
+        let mut node: &PtNode = &self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = Self::index(vpn, level);
+            let slot = &node.slots[idx];
+            let mut v = slot.load(Ordering::Acquire);
+            if v == 0 {
+                if !create {
+                    return None;
+                }
+                let fresh = PtNode::new();
+                let ptr = Box::into_raw(fresh) as u64 | CHILD_TAG;
+                match slot.compare_exchange(0, ptr, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        self.nodes.fetch_add(1, Ordering::Relaxed);
+                        v = ptr;
+                    }
+                    Err(cur) => {
+                        // Lost the install race; free ours, use theirs.
+                        // SAFETY: the pointer came from Box::into_raw just
+                        // above and was never published.
+                        unsafe { drop(Box::from_raw((ptr & !CHILD_TAG) as *mut PtNode)) };
+                        v = cur;
+                    }
+                }
+            }
+            debug_assert_ne!(v & CHILD_TAG, 0);
+            // SAFETY: non-zero interior slots always hold a child pointer
+            // published by the CAS above; children are only freed in
+            // `Drop`, which requires `&mut self`.
+            node = unsafe { &*((v & !CHILD_TAG) as *const PtNode) };
+        }
+        Some(node)
+    }
+
+    /// Installs `pte` for `vpn`, returning the previous entry.
+    pub fn set(&self, vpn: Vpn, pte: Pte) -> Pte {
+        let leaf = self.walk(vpn, true).expect("walk(create) cannot fail");
+        let idx = Self::index(vpn, LEVELS - 1);
+        Pte(leaf.slots[idx].swap(pte.0, Ordering::AcqRel))
+    }
+
+    /// Installs `pte` only if the slot currently holds `expect`.
+    pub fn set_if(&self, vpn: Vpn, expect: Pte, pte: Pte) -> Result<(), Pte> {
+        let leaf = self.walk(vpn, true).expect("walk(create) cannot fail");
+        let idx = Self::index(vpn, LEVELS - 1);
+        leaf.slots[idx]
+            .compare_exchange(expect.0, pte.0, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| ())
+            .map_err(Pte)
+    }
+
+    /// Reads the entry for `vpn` (non-allocating).
+    pub fn get(&self, vpn: Vpn) -> Pte {
+        match self.walk(vpn, false) {
+            None => Pte::EMPTY,
+            Some(leaf) => Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].load(Ordering::Acquire)),
+        }
+    }
+
+    /// Clears the entry for `vpn`, returning the previous entry.
+    pub fn clear(&self, vpn: Vpn) -> Pte {
+        match self.walk(vpn, false) {
+            None => Pte::EMPTY,
+            Some(leaf) => Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].swap(0, Ordering::AcqRel)),
+        }
+    }
+
+    /// Clears `[start, start + n)`, invoking `f` for each present entry.
+    pub fn clear_range(&self, start: Vpn, n: u64, mut f: impl FnMut(Vpn, Pte)) {
+        for vpn in start..start + n {
+            let old = self.clear(vpn);
+            if old.present() {
+                f(vpn, old);
+            }
+        }
+    }
+
+    /// Bytes of memory consumed by table nodes (4 KB-equivalent per node,
+    /// as on hardware).
+    pub fn bytes(&self) -> u64 {
+        self.nodes.load(Ordering::Relaxed) * 4096
+    }
+
+    /// Number of allocated nodes.
+    pub fn node_count(&self) -> u64 {
+        self.nodes.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for PageTable {
+    fn drop(&mut self) {
+        fn free_node(node: &PtNode, level: usize) {
+            if level >= LEVELS - 1 {
+                return;
+            }
+            for slot in node.slots.iter() {
+                let v = slot.load(Ordering::Acquire);
+                if v != 0 {
+                    // SAFETY: interior slots hold exclusively owned child
+                    // boxes; `&mut self` guarantees no concurrent walkers.
+                    let child = unsafe { Box::from_raw((v & !CHILD_TAG) as *mut PtNode) };
+                    free_node(&child, level + 1);
+                }
+            }
+        }
+        free_node(&self.root, 0);
+    }
+}
+
+// SAFETY: all mutation goes through atomics; child nodes are immutable
+// once published.
+unsafe impl Send for PageTable {}
+// SAFETY: as above.
+unsafe impl Sync for PageTable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_encoding() {
+        let p = Pte::new(42, true);
+        assert!(p.present());
+        assert!(p.writable());
+        assert_eq!(p.pfn(), 42);
+        let r = Pte::new(7, false);
+        assert!(!r.writable());
+        assert!(!Pte::EMPTY.present());
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let pt = PageTable::new();
+        assert!(!pt.get(123).present());
+        pt.set(123, Pte::new(5, true));
+        assert_eq!(pt.get(123).pfn(), 5);
+        let old = pt.clear(123);
+        assert_eq!(old.pfn(), 5);
+        assert!(!pt.get(123).present());
+    }
+
+    #[test]
+    fn distant_vpns_use_distinct_subtrees() {
+        let pt = PageTable::new();
+        let a: Vpn = 0;
+        let b: Vpn = (1 << 35) - 1; // far end of the VPN space
+        pt.set(a, Pte::new(1, false));
+        pt.set(b, Pte::new(2, false));
+        assert_eq!(pt.get(a).pfn(), 1);
+        assert_eq!(pt.get(b).pfn(), 2);
+        assert!(pt.node_count() >= 7, "two full paths plus root");
+    }
+
+    #[test]
+    fn clear_range_reports_present() {
+        let pt = PageTable::new();
+        for vpn in 10..20 {
+            pt.set(vpn, Pte::new(vpn as Pfn, true));
+        }
+        let mut seen = Vec::new();
+        pt.clear_range(5, 20, |vpn, pte| seen.push((vpn, pte.pfn())));
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0], (10, 10));
+        assert!(!pt.get(15).present());
+    }
+
+    #[test]
+    fn set_if_races() {
+        let pt = PageTable::new();
+        assert!(pt.set_if(9, Pte::EMPTY, Pte::new(1, false)).is_ok());
+        // Second conditional install must observe the first.
+        let err = pt.set_if(9, Pte::EMPTY, Pte::new(2, false)).unwrap_err();
+        assert_eq!(err.pfn(), 1);
+    }
+
+    #[test]
+    fn concurrent_installs() {
+        let pt = std::sync::Arc::new(PageTable::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pt = pt.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    let vpn = t * 1_000_000 + i * 7;
+                    pt.set(vpn, Pte::new((t * 10_000 + i) as Pfn, true));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in 0..1_000u64 {
+                let vpn = t * 1_000_000 + i * 7;
+                assert_eq!(pt.get(vpn).pfn(), (t * 10_000 + i) as Pfn);
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let pt = PageTable::new();
+        let base = pt.bytes();
+        pt.set(0, Pte::new(1, false));
+        assert!(pt.bytes() > base);
+    }
+}

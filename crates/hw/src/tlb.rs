@@ -1,0 +1,184 @@
+//! Per-core software TLBs.
+//!
+//! Each core owns a direct-mapped translation cache tagged by (ASID, VPN).
+//! Entries record the frame generation observed at fill time, so an access
+//! through an entry that survived a missing shootdown — the bug class TLB
+//! shootdown exists to prevent — is *detected* rather than silently
+//! corrupting reused memory (see `rvm_mem`'s generation tags).
+
+use rvm_mem::Pfn;
+
+use crate::{Asid, Vpn};
+
+/// One TLB entry.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbEntry {
+    /// Address-space identifier.
+    pub asid: Asid,
+    /// Virtual page number (full tag).
+    pub vpn: Vpn,
+    /// Cached translation target.
+    pub pfn: Pfn,
+    /// Frame generation at fill time.
+    pub gen: u64,
+    /// Write permission.
+    pub writable: bool,
+    /// Entry validity.
+    pub valid: bool,
+}
+
+const INVALID: TlbEntry = TlbEntry {
+    asid: 0,
+    vpn: 0,
+    pfn: 0,
+    gen: 0,
+    writable: false,
+    valid: false,
+};
+
+/// A direct-mapped software TLB.
+pub struct Tlb {
+    entries: Box<[TlbEntry]>,
+    mask: usize,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots (power of two).
+    pub fn new(entries: usize) -> Tlb {
+        assert!(entries.is_power_of_two());
+        Tlb {
+            entries: vec![INVALID; entries].into_boxed_slice(),
+            mask: entries - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, vpn: Vpn) -> usize {
+        (vpn as usize) & self.mask
+    }
+
+    /// Looks up a translation.
+    #[inline]
+    pub fn lookup(&self, asid: Asid, vpn: Vpn) -> Option<TlbEntry> {
+        let e = self.entries[self.slot(vpn)];
+        (e.valid && e.asid == asid && e.vpn == vpn).then_some(e)
+    }
+
+    /// Fills (or replaces) the entry for `vpn`.
+    #[inline]
+    pub fn insert(&mut self, entry: TlbEntry) {
+        let idx = self.slot(entry.vpn);
+        self.entries[idx] = TlbEntry {
+            valid: true,
+            ..entry
+        };
+    }
+
+    /// Invalidates a single page of an address space.
+    pub fn invalidate_page(&mut self, asid: Asid, vpn: Vpn) {
+        let idx = self.slot(vpn);
+        let e = &mut self.entries[idx];
+        if e.valid && e.asid == asid && e.vpn == vpn {
+            e.valid = false;
+        }
+    }
+
+    /// Invalidates `[start, start + n)` of an address space.
+    pub fn invalidate_range(&mut self, asid: Asid, start: Vpn, n: u64) {
+        if n as usize >= self.entries.len() {
+            // Cheaper to scan the whole TLB, like a full flush would be.
+            for e in self.entries.iter_mut() {
+                if e.valid && e.asid == asid && e.vpn >= start && e.vpn < start + n {
+                    e.valid = false;
+                }
+            }
+        } else {
+            for vpn in start..start + n {
+                self.invalidate_page(asid, vpn);
+            }
+        }
+    }
+
+    /// Invalidates every entry of an address space.
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        for e in self.entries.iter_mut() {
+            if e.valid && e.asid == asid {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        self.entries.fill(INVALID);
+    }
+
+    /// Number of currently valid entries (diagnostics).
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(asid: Asid, vpn: Vpn, pfn: Pfn) -> TlbEntry {
+        TlbEntry {
+            asid,
+            vpn,
+            pfn,
+            gen: 1,
+            writable: true,
+            valid: true,
+        }
+    }
+
+    #[test]
+    fn fill_and_lookup() {
+        let mut t = Tlb::new(64);
+        assert!(t.lookup(1, 100).is_none());
+        t.insert(entry(1, 100, 7));
+        let e = t.lookup(1, 100).unwrap();
+        assert_eq!(e.pfn, 7);
+        // Different ASID misses.
+        assert!(t.lookup(2, 100).is_none());
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut t = Tlb::new(64);
+        t.insert(entry(1, 5, 1));
+        t.insert(entry(1, 5 + 64, 2)); // same slot
+        assert!(t.lookup(1, 5).is_none());
+        assert_eq!(t.lookup(1, 5 + 64).unwrap().pfn, 2);
+    }
+
+    #[test]
+    fn invalidate_page_and_range() {
+        let mut t = Tlb::new(64);
+        for vpn in 0..10 {
+            t.insert(entry(1, vpn, vpn as Pfn));
+        }
+        t.invalidate_page(1, 3);
+        assert!(t.lookup(1, 3).is_none());
+        t.invalidate_range(1, 0, 5);
+        assert!(t.lookup(1, 4).is_none());
+        assert!(t.lookup(1, 7).is_some());
+        // Large ranges fall back to the scan path.
+        t.invalidate_range(1, 0, 1 << 20);
+        assert_eq!(t.valid_count(), 0);
+    }
+
+    #[test]
+    fn invalidate_asid_spares_others() {
+        let mut t = Tlb::new(64);
+        t.insert(entry(1, 1, 1));
+        t.insert(entry(2, 2, 2));
+        t.invalidate_asid(1);
+        assert!(t.lookup(1, 1).is_none());
+        assert!(t.lookup(2, 2).is_some());
+        t.flush();
+        assert!(t.lookup(2, 2).is_none());
+    }
+}

@@ -1,0 +1,462 @@
+//! Simulated physical memory: a frame pool with per-core free lists.
+//!
+//! Stands in for the kernel page allocator underneath the VM systems.
+//! Design points taken from the paper's evaluation environment:
+//!
+//! * **Per-core free lists**: frame allocation and free are core-local in
+//!   the common case, so the allocator itself never becomes the bottleneck
+//!   being measured.
+//! * **Home-node return**: a frame freed on a different core than the one
+//!   that first allocated it is pushed back to its *home* core's list.
+//!   The pipeline microbenchmark's cross-socket traffic includes exactly
+//!   this "synchronization to return freed pages to their home nodes"
+//!   (§5.3).
+//! * **Generation tags**: every frame carries a generation counter bumped
+//!   on each free. A translation caches the generation it observed; a
+//!   later access through a stale (not shot down) TLB entry detects the
+//!   mismatch. This makes the unmap/shootdown safety invariant *testable*
+//!   — disabling shootdown must produce detectable use-after-free.
+//! * Frames hold real 4 KB buffers, so workloads store and verify real
+//!   data through the VM systems.
+//!
+//! The frame-metadata table is a chunked array reachable through atomic
+//! pointers: lookups are lock-free and read-mostly (they scale perfectly);
+//! only growth takes a lock. A global lock here would serialize every VM
+//! system under test and invalidate the scalability experiments.
+
+use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, Ordering};
+
+use rvm_sync::{sim, CachePadded, SpinLock};
+
+/// Size of a physical frame / virtual page in bytes.
+pub const FRAME_SIZE: usize = 4096;
+
+/// Physical frame number.
+pub type Pfn = u32;
+
+/// Reserved invalid frame number.
+pub const NULL_PFN: Pfn = u32::MAX;
+
+/// Frames per table chunk (chunked growth keeps metadata addresses stable).
+const CHUNK_FRAMES: usize = 1024;
+
+/// Maximum number of chunks (bounds pool size at 32 M frames = 128 GB).
+const MAX_CHUNKS: usize = 32_768;
+
+/// Per-frame metadata and payload storage.
+struct FrameMeta {
+    /// Heap storage for the frame's 4096 bytes.
+    data: Box<[u8; FRAME_SIZE]>,
+    /// Core whose free list this frame returns to (first-touch NUMA
+    /// policy; plain bookkeeping, uninstrumented).
+    home: AtomicU16,
+    /// Bumped on every free; stale translations detect the change.
+    /// Plain (uninstrumented) atomic: generation checks model the MMU
+    /// hardware's view of memory, not kernel cache traffic.
+    gen: AtomicU64,
+    /// Map count for VM systems that use eager, immediate reference
+    /// counting (the Linux/Bonsai baselines). Instrumented: this is real
+    /// kernel-side shared state.
+    mapcount: rvm_sync::Atomic64,
+}
+
+/// Allocation statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PoolStats {
+    /// Fresh frames created.
+    pub fresh: u64,
+    /// Allocations served from a free list.
+    pub reused: u64,
+    /// Frees pushed to a remote (home) core's list.
+    pub remote_frees: u64,
+    /// Frees pushed to the local core's list.
+    pub local_frees: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    fresh: AtomicU64,
+    reused: AtomicU64,
+    remote_frees: AtomicU64,
+    local_frees: AtomicU64,
+}
+
+/// The machine-wide physical frame pool.
+pub struct FramePool {
+    ncores: usize,
+    free_lists: Vec<CachePadded<SpinLock<Vec<Pfn>>>>,
+    /// Chunk pointer table: `chunk_ptrs[i]` points at a leaked
+    /// `[FrameMeta; CHUNK_FRAMES]` slice, published with `Release` after
+    /// initialization and reclaimed in `Drop`.
+    chunk_ptrs: Box<[AtomicPtr<FrameMeta>]>,
+    /// Serializes growth only (short holds: batch bookkeeping).
+    grow_lock: SpinLock<()>,
+    /// Number of frames in the table. Pool-internal bookkeeping (not
+    /// modeled kernel state): a real kernel's frame table is statically
+    /// sized, so this counter is deliberately uninstrumented.
+    nframes: AtomicU64,
+    stats: StatCells,
+}
+
+impl FramePool {
+    /// Creates a pool serving `ncores` cores.
+    pub fn new(ncores: usize) -> Self {
+        assert!(ncores >= 1 && ncores <= rvm_sync::MAX_CORES);
+        let chunk_ptrs = (0..MAX_CHUNKS)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        FramePool {
+            ncores,
+            free_lists: (0..ncores)
+                .map(|_| CachePadded::new(SpinLock::new(Vec::new())))
+                .collect(),
+            chunk_ptrs,
+            grow_lock: SpinLock::new(()),
+            nframes: AtomicU64::new(0),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Number of cores this pool serves.
+    pub fn ncores(&self) -> usize {
+        self.ncores
+    }
+
+    /// Total frames ever created.
+    pub fn total_frames(&self) -> usize {
+        self.nframes.load(Ordering::Acquire) as usize
+    }
+
+    /// Snapshot of the pool's statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh: self.stats.fresh.load(Ordering::Relaxed),
+            reused: self.stats.reused.load(Ordering::Relaxed),
+            remote_frees: self.stats.remote_frees.load(Ordering::Relaxed),
+            local_frees: self.stats.local_frees.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Lock-free frame metadata lookup.
+    fn meta(&self, pfn: Pfn) -> &FrameMeta {
+        debug_assert!(pfn != NULL_PFN);
+        let idx = pfn as usize;
+        debug_assert!(idx < self.total_frames(), "pfn {pfn} out of range");
+        let chunk = self.chunk_ptrs[idx / CHUNK_FRAMES].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null());
+        // SAFETY: a non-null chunk pointer was published with `Release`
+        // after full initialization, is never replaced or freed before
+        // `Drop`, and `idx % CHUNK_FRAMES` is in bounds by construction.
+        unsafe { &*chunk.add(idx % CHUNK_FRAMES) }
+    }
+
+    /// Allocates a zeroed frame on `core`.
+    ///
+    /// Prefers the core's own free list (no cross-core communication).
+    /// When the list is empty, a whole *batch* of fresh frames is created
+    /// under the growth lock and homed on `core` — the per-CPU pageset
+    /// refill pattern of real kernels, which keeps the growth lock off
+    /// the steady-state fault path. Charges the simulator for zeroing.
+    pub fn alloc(&self, core: usize) -> Pfn {
+        sim::charge_page_work();
+        let reused = self.free_lists[core].lock().pop();
+        if let Some(pfn) = reused {
+            self.stats.reused.fetch_add(1, Ordering::Relaxed);
+            let meta = self.meta(pfn);
+            // SAFETY: the frame was free (no mapping references it), so we
+            // have exclusive access to its payload.
+            unsafe {
+                std::ptr::write_bytes(meta.data.as_ptr() as *mut u8, 0, FRAME_SIZE);
+            }
+            return pfn;
+        }
+        // Refill: create REFILL_BATCH fresh frames under the growth lock.
+        const REFILL_BATCH: usize = 64;
+        let first;
+        {
+            let _g = self.grow_lock.lock();
+            let n = self.nframes.load(Ordering::Acquire) as usize;
+            for i in 0..REFILL_BATCH {
+                let idx = n + i;
+                if idx % CHUNK_FRAMES == 0 {
+                    let chunk_idx = idx / CHUNK_FRAMES;
+                    assert!(chunk_idx < MAX_CHUNKS, "frame pool exhausted");
+                    let chunk: Vec<FrameMeta> = (0..CHUNK_FRAMES)
+                        .map(|_| FrameMeta {
+                            data: Box::new([0u8; FRAME_SIZE]),
+                            home: AtomicU16::new(core as u16),
+                            gen: AtomicU64::new(1),
+                            mapcount: rvm_sync::Atomic64::new(0),
+                        })
+                        .collect();
+                    let leaked = Box::leak(chunk.into_boxed_slice());
+                    self.chunk_ptrs[chunk_idx].store(leaked.as_mut_ptr(), Ordering::Release);
+                }
+            }
+            self.nframes
+                .store((n + REFILL_BATCH) as u64, Ordering::Release);
+            first = n as Pfn;
+        }
+        self.stats
+            .fresh
+            .fetch_add(REFILL_BATCH as u64, Ordering::Relaxed);
+        // Adopt the batch: home every frame here (first touch), keep the
+        // batch minus the returned frame on our own list.
+        for i in 0..REFILL_BATCH {
+            self.meta(first + i as Pfn)
+                .home
+                .store(core as u16, Ordering::Relaxed);
+        }
+        {
+            let mut list = self.free_lists[core].lock();
+            for i in (1..REFILL_BATCH).rev() {
+                list.push(first + i as Pfn);
+            }
+        }
+        first
+    }
+
+    /// Frees `pfn` from `core`, returning it to its home core's list and
+    /// bumping its generation so stale translations become detectable.
+    pub fn free(&self, core: usize, pfn: Pfn) {
+        let meta = self.meta(pfn);
+        meta.gen.fetch_add(1, Ordering::AcqRel);
+        let home = meta.home.load(Ordering::Relaxed) as usize % self.ncores;
+        if home == core {
+            self.stats.local_frees.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.remote_frees.fetch_add(1, Ordering::Relaxed);
+        }
+        self.free_lists[home].lock().push(pfn);
+    }
+
+    /// Current generation of `pfn`.
+    pub fn generation(&self, pfn: Pfn) -> u64 {
+        self.meta(pfn).gen.load(Ordering::Acquire)
+    }
+
+    /// Home core of `pfn`.
+    pub fn home(&self, pfn: Pfn) -> usize {
+        self.meta(pfn).home.load(Ordering::Relaxed) as usize % self.ncores
+    }
+
+    /// Increments the eager map count (baseline VM systems).
+    pub fn inc_map(&self, pfn: Pfn) {
+        self.meta(pfn).mapcount.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Decrements the eager map count; returns true when it reaches zero.
+    pub fn dec_map(&self, pfn: Pfn) -> bool {
+        self.meta(pfn).mapcount.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Current eager map count of `pfn`.
+    pub fn map_count(&self, pfn: Pfn) -> u64 {
+        self.meta(pfn).mapcount.load(Ordering::Acquire)
+    }
+
+    /// Writes `val` at byte offset `off` within the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the frame boundary.
+    pub fn write_u64(&self, pfn: Pfn, off: usize, val: u64) {
+        assert!(off + 8 <= FRAME_SIZE);
+        let meta = self.meta(pfn);
+        // SAFETY: in-bounds write to the frame payload. Concurrent access
+        // to the same offset is a workload-level race (the VM permits
+        // shared writable mappings); performed as a volatile word write,
+        // as real memory would behave.
+        unsafe {
+            let p = meta.data.as_ptr().add(off) as *mut u64;
+            std::ptr::write_volatile(p, val);
+        }
+    }
+
+    /// Reads a word at byte offset `off` within the frame.
+    pub fn read_u64(&self, pfn: Pfn, off: usize) -> u64 {
+        assert!(off + 8 <= FRAME_SIZE);
+        let meta = self.meta(pfn);
+        // SAFETY: in-bounds read of the frame payload.
+        unsafe {
+            let p = meta.data.as_ptr().add(off) as *const u64;
+            std::ptr::read_volatile(p)
+        }
+    }
+
+    /// Fills the whole frame with `byte` (workload page-touch helper);
+    /// charges the simulator for page work.
+    pub fn fill(&self, pfn: Pfn, byte: u8) {
+        sim::charge_page_work();
+        let meta = self.meta(pfn);
+        // SAFETY: in-bounds write to the frame payload (workload-level
+        // races permitted as in `write_u64`).
+        unsafe {
+            std::ptr::write_bytes(meta.data.as_ptr() as *mut u8, byte, FRAME_SIZE);
+        }
+    }
+
+    /// Returns a raw pointer to the frame payload for bulk access.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep accesses in-bounds and must not use the
+    /// pointer after the frame is freed.
+    pub unsafe fn frame_ptr(&self, pfn: Pfn) -> *mut u8 {
+        self.meta(pfn).data.as_ptr() as *mut u8
+    }
+}
+
+impl Drop for FramePool {
+    fn drop(&mut self) {
+        let n = self.total_frames();
+        let nchunks = n.div_ceil(CHUNK_FRAMES);
+        for i in 0..nchunks {
+            let p = self.chunk_ptrs[i].load(Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: `p` was leaked from a Box<[FrameMeta]> of length
+                // CHUNK_FRAMES in `alloc` and is reclaimed exactly once.
+                unsafe {
+                    drop(Box::from_raw(std::slice::from_raw_parts_mut(
+                        p,
+                        CHUNK_FRAMES,
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_zeroes_and_stores() {
+        let pool = FramePool::new(2);
+        let f = pool.alloc(0);
+        assert_eq!(pool.read_u64(f, 0), 0);
+        pool.write_u64(f, 8, 0xDEAD_BEEF);
+        assert_eq!(pool.read_u64(f, 8), 0xDEAD_BEEF);
+        pool.free(0, f);
+        let f2 = pool.alloc(0);
+        assert_eq!(f2, f, "free list reuse");
+        assert_eq!(pool.read_u64(f2, 8), 0, "reused frame re-zeroed");
+    }
+
+    #[test]
+    fn generation_bumps_on_free() {
+        let pool = FramePool::new(1);
+        let f = pool.alloc(0);
+        let g0 = pool.generation(f);
+        pool.free(0, f);
+        assert_eq!(pool.generation(f), g0 + 1);
+        let f2 = pool.alloc(0);
+        assert_eq!(f2, f);
+        assert_eq!(pool.generation(f2), g0 + 1, "gen stable across realloc");
+    }
+
+    #[test]
+    fn home_return() {
+        let pool = FramePool::new(2);
+        let f = pool.alloc(0);
+        // Freed on core 1 → returns to core 0's list.
+        pool.free(1, f);
+        assert_eq!(pool.stats().remote_frees, 1);
+        let g = pool.alloc(1);
+        assert_ne!(g, f, "core 1 must not see core 0's frame");
+        let h = pool.alloc(0);
+        assert_eq!(h, f, "home core reuses the frame");
+    }
+
+    #[test]
+    fn map_counts() {
+        let pool = FramePool::new(1);
+        let f = pool.alloc(0);
+        pool.inc_map(f);
+        pool.inc_map(f);
+        assert!(!pool.dec_map(f));
+        assert!(pool.dec_map(f));
+        assert_eq!(pool.map_count(f), 0);
+    }
+
+    #[test]
+    fn many_frames_cross_chunk() {
+        let pool = FramePool::new(1);
+        let mut frames = Vec::new();
+        for i in 0..(CHUNK_FRAMES + 10) as u64 {
+            let f = pool.alloc(0);
+            pool.write_u64(f, 0, i);
+            frames.push(f);
+        }
+        for (i, &f) in frames.iter().enumerate() {
+            assert_eq!(pool.read_u64(f, 0), i as u64);
+        }
+        // Batched refill rounds the table size up to whole batches.
+        assert!(pool.total_frames() >= CHUNK_FRAMES + 10);
+        assert!(pool.total_frames() < CHUNK_FRAMES + 10 + 64);
+    }
+
+    #[test]
+    fn concurrent_alloc_free() {
+        let pool = Arc::new(FramePool::new(4));
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..2_000u64 {
+                    let f = pool.alloc(core);
+                    pool.write_u64(f, 0, i);
+                    held.push(f);
+                    if held.len() > 16 {
+                        pool.free(core, held.remove(0));
+                    }
+                }
+                for f in held {
+                    pool.free(core, f);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = pool.stats();
+        assert!(st.fresh > 0);
+        assert!(st.reused > 0);
+    }
+
+    #[test]
+    fn local_alloc_free_is_core_local() {
+        // Steady-state alloc/free on one core causes no remote transfers.
+        let guard = rvm_sync::sim::install(4, rvm_sync::CostModel::default());
+        let pool = FramePool::new(4);
+        rvm_sync::sim::switch(1);
+        // Warm up (fresh allocation touches the growth path).
+        let f = pool.alloc(1);
+        pool.free(1, f);
+        let f = pool.alloc(1);
+        pool.free(1, f);
+        let before = rvm_sync::sim::stats();
+        for _ in 0..100 {
+            let f = pool.alloc(1);
+            pool.free(1, f);
+        }
+        let after = rvm_sync::sim::stats();
+        assert_eq!(
+            after.cores[1].remote_transfers,
+            before.cores[1].remote_transfers
+        );
+        drop(guard);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let pool = FramePool::new(1);
+        let f = pool.alloc(0);
+        pool.write_u64(f, FRAME_SIZE - 4, 1);
+    }
+}

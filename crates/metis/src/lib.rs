@@ -1,0 +1,118 @@
+//! Metis-style MapReduce over simulated virtual memory (Figure 4).
+//!
+//! Provides the paper's application benchmark: a word-position-index
+//! MapReduce job whose memory comes from a contention-free, never-freeing
+//! allocator backed by the VM system under test. See [`engine::Metis`]
+//! and [`alloc::VmArena`].
+
+pub mod alloc;
+pub mod engine;
+
+pub use alloc::VmArena;
+pub use engine::{Metis, MetisConfig, MetisStats, Step};
+
+/// Drives a job to completion on a single thread by round-robin stepping
+/// every worker (the real-thread path; the virtual-time harness
+/// interleaves `step` itself).
+pub fn run_to_completion(job: &Metis, workers: usize) -> MetisStats {
+    let mut spins = 0u64;
+    while !job.done() {
+        let mut any = false;
+        for core in 0..workers {
+            match job.step(core) {
+                Step::Worked => any = true,
+                Step::Idle | Step::Done => {}
+            }
+        }
+        if !any {
+            spins += 1;
+            assert!(spins < 1_000_000, "MapReduce job stalled");
+        }
+    }
+    job.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_baselines::LinuxVm;
+    use rvm_core::{RadixVm, RadixVmConfig};
+    use rvm_hw::{Machine, VmSystem};
+    use std::sync::Arc;
+
+    fn run_on(vm: Arc<dyn VmSystem>, machine: Arc<Machine>, workers: usize, block_pages: u64) -> MetisStats {
+        for c in 0..workers {
+            vm.attach_core(c);
+        }
+        let arena = Arc::new(VmArena::new(machine, vm, block_pages));
+        let job = Metis::new(arena, MetisConfig::small(workers));
+        run_to_completion(&job, workers)
+    }
+
+    #[test]
+    fn completes_and_indexes_every_word() {
+        let machine = Machine::new(4);
+        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let st = run_on(vm, machine, 4, 16);
+        assert_eq!(st.pairs, 64_000);
+        assert_eq!(st.outputs, st.distinct_words);
+        assert!(st.distinct_words > 1_000, "hot + cold vocabulary present");
+        assert!(st.mmaps > 4, "arena mapped blocks");
+    }
+
+    #[test]
+    fn block_size_controls_mmap_rate() {
+        // The paper's §5.2 knob: smaller allocation units → many more
+        // mmap invocations for the same job.
+        let m1 = Machine::new(2);
+        let vm1 = RadixVm::new(m1.clone(), RadixVmConfig::default());
+        let small = run_on(vm1, m1, 2, 16); // 64 KB blocks
+        let m2 = Machine::new(2);
+        let vm2 = RadixVm::new(m2.clone(), RadixVmConfig::default());
+        let large = run_on(vm2, m2, 2, 2048); // 8 MB blocks
+        assert!(
+            small.mmaps > 8 * large.mmaps,
+            "64 KB blocks must mmap far more often ({} vs {})",
+            small.mmaps,
+            large.mmaps
+        );
+        assert_eq!(small.pairs, large.pairs, "same job either way");
+    }
+
+    #[test]
+    fn same_result_on_linux_baseline() {
+        // The job is VM-agnostic: identical output on the Linux baseline.
+        let m1 = Machine::new(2);
+        let vm1 = RadixVm::new(m1.clone(), RadixVmConfig::default());
+        let a = run_on(vm1, m1, 2, 16);
+        let m2 = Machine::new(2);
+        let vm2 = LinuxVm::new(m2.clone());
+        let b = run_on(vm2, m2, 2, 16);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.distinct_words, b.distinct_words);
+    }
+
+    #[test]
+    fn single_worker_job() {
+        let machine = Machine::new(1);
+        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let st = run_on(vm, machine, 1, 16);
+        assert_eq!(st.pairs, 64_000);
+        assert!(st.distinct_words > 0);
+    }
+
+    #[test]
+    fn reduce_reads_cross_core_pages() {
+        // Pairwise sharing: reducers fault pages written by other map
+        // workers — with per-core tables those are fill faults.
+        let machine = Machine::new(4);
+        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let vm2 = vm.clone();
+        let _ = run_on(vm, machine, 4, 16);
+        let ops = vm2.op_stats();
+        assert!(
+            ops.faults_fill > 0,
+            "reduce must fill-fault pages mapped by other cores"
+        );
+    }
+}

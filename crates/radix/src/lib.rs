@@ -1,0 +1,479 @@
+//! The RadixVM radix tree (paper §3.2, §3.4).
+//!
+//! A fixed-depth radix tree over 36-bit virtual page numbers (9 bits per
+//! level, mirroring the hardware page-table structure) storing one value
+//! per page at the leaves, with:
+//!
+//! * **Per-slot lock bits** enabling precise left-to-right range locking,
+//!   so operations on non-overlapping ranges never contend — the heart of
+//!   RadixVM's concurrency plan.
+//! * **Folding**: a value covering a whole aligned 512^k-page block whose
+//!   child has not been allocated is stored once in the interior slot,
+//!   making vast mappings cheap and the unused address space free.
+//! * **Expansion**: a partial operation on a folded/empty slot allocates
+//!   the child with lock bits propagated to every entry and publishes it
+//!   with the store that unlocks the parent slot.
+//! * **Refcache-managed node lifetime**: a node's reference count is its
+//!   used-slot count plus in-flight traversal pins; empty nodes collapse
+//!   after two Refcache epochs, and weak references in the parent slots
+//!   let concurrent operations revive a dying node (the collapse feature
+//!   the paper's prototype omitted — configurable here).
+//!
+//! The tree is generic over the per-page value `V`; RadixVM instantiates
+//! it with mapping metadata (backing, protection, physical page, TLB core
+//! set), and Figure 7's microbenchmark instantiates it with a plain
+//! integer.
+
+pub mod node;
+pub mod tree;
+
+pub use node::{TreeStats, FANOUT, LEVELS};
+pub use tree::{LockMode, RadixConfig, RadixTree, RadixValue, RangeGuard, Removed, Vpn, VPN_LIMIT};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_refcache::Refcache;
+    use std::sync::Arc;
+
+    fn tree(ncores: usize) -> RadixTree<u64> {
+        RadixTree::new(Arc::new(Refcache::new(ncores)), RadixConfig::default())
+    }
+
+    #[test]
+    fn empty_tree_lookup() {
+        let t = tree(1);
+        assert_eq!(t.get(0, 0), None);
+        assert_eq!(t.get(0, VPN_LIMIT - 1), None);
+    }
+
+    #[test]
+    fn single_page_set_get_clear() {
+        let t = tree(1);
+        {
+            let mut g = t.lock_range(0, 1000, 1001, LockMode::ExpandAll);
+            let displaced = g.replace(&42);
+            assert!(displaced.is_empty());
+        }
+        assert_eq!(t.get(0, 1000), Some(42));
+        assert_eq!(t.get(0, 1001), None);
+        assert_eq!(t.get(0, 999), None);
+        {
+            let mut g = t.lock_range(0, 1000, 1001, LockMode::ExpandFolded);
+            let removed = g.clear();
+            assert_eq!(removed, vec![Removed::Page(1000, 42)]);
+        }
+        assert_eq!(t.get(0, 1000), None);
+    }
+
+    #[test]
+    fn range_set_and_iterate() {
+        let t = tree(1);
+        {
+            let mut g = t.lock_range(0, 100, 164, LockMode::ExpandAll);
+            g.replace(&7);
+        }
+        for vpn in 100..164 {
+            assert_eq!(t.get(0, vpn), Some(7), "vpn {vpn}");
+        }
+        assert_eq!(t.get(0, 164), None);
+        let all = t.collect_range(0, 90, 170);
+        assert_eq!(all.len(), 64);
+    }
+
+    #[test]
+    fn aligned_block_folds() {
+        let t = tree(1);
+        // A whole 512-page aligned block must fold into one interior slot:
+        // no leaf node is allocated.
+        let start = 512 * 7;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&9);
+        }
+        let st = t.stats();
+        assert_eq!(
+            st.leaf_nodes.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "folded mapping must not allocate leaves"
+        );
+        assert_eq!(
+            st.folded_values.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(t.get(0, start), Some(9));
+        assert_eq!(t.get(0, start + 511), Some(9));
+        assert_eq!(t.get(0, start + 512), None);
+    }
+
+    #[test]
+    fn huge_mapping_folds_high() {
+        let t = tree(1);
+        // 512 * 512 pages aligned: folds at level 1 (one slot).
+        let span = 512 * 512;
+        {
+            let mut g = t.lock_range(0, 0, span, LockMode::ExpandAll);
+            g.replace(&1);
+        }
+        let st = t.stats();
+        assert_eq!(
+            st.folded_values.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "giant aligned mapping folds into a single slot"
+        );
+        assert_eq!(t.get(0, span - 1), Some(1));
+    }
+
+    #[test]
+    fn partial_op_on_folded_expands() {
+        let t = tree(1);
+        let start = 512 * 3;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&5);
+        }
+        // Unmap one page in the middle: forces expansion to a leaf.
+        {
+            let mut g = t.lock_range(0, start + 10, start + 11, LockMode::ExpandFolded);
+            let removed = g.clear();
+            assert_eq!(removed, vec![Removed::Page(start + 10, 5)]);
+        }
+        assert_eq!(t.get(0, start + 9), Some(5));
+        assert_eq!(t.get(0, start + 10), None);
+        assert_eq!(t.get(0, start + 11), Some(5));
+        let st = t.stats();
+        assert_eq!(st.leaf_nodes.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert!(st.expansions.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn clear_folded_block_wholesale() {
+        let t = tree(1);
+        let start = 512 * 4;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&3);
+        }
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandFolded);
+            let removed = g.clear();
+            assert_eq!(
+                removed,
+                vec![Removed::Block {
+                    start,
+                    pages: 512,
+                    value: 3
+                }]
+            );
+        }
+        assert_eq!(t.get(0, start), None);
+    }
+
+    #[test]
+    fn replace_overwrites_existing() {
+        let t = tree(1);
+        {
+            let mut g = t.lock_range(0, 10, 20, LockMode::ExpandAll);
+            g.replace(&1);
+        }
+        {
+            let mut g = t.lock_range(0, 15, 25, LockMode::ExpandAll);
+            let displaced = g.replace(&2);
+            assert_eq!(displaced.len(), 5, "pages 15..20 displaced");
+        }
+        assert_eq!(t.get(0, 14), Some(1));
+        assert_eq!(t.get(0, 15), Some(2));
+        assert_eq!(t.get(0, 24), Some(2));
+    }
+
+    #[test]
+    fn for_each_value_mut_updates() {
+        let t = tree(1);
+        {
+            let mut g = t.lock_range(0, 0, 8, LockMode::ExpandAll);
+            g.replace(&10);
+        }
+        {
+            let mut g = t.lock_range(0, 0, 4, LockMode::ExpandFolded);
+            g.for_each_value_mut(|v| *v += 1);
+        }
+        assert_eq!(t.get(0, 0), Some(11));
+        assert_eq!(t.get(0, 3), Some(11));
+        assert_eq!(t.get(0, 4), Some(10));
+    }
+
+    #[test]
+    fn for_each_value_mut_on_folded_block() {
+        let t = tree(1);
+        let start = 512 * 9;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&100);
+        }
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandFolded);
+            g.for_each_value_mut(|v| *v = 200);
+        }
+        assert_eq!(t.get(0, start + 100), Some(200));
+    }
+
+    #[test]
+    fn page_value_mut_fault_path() {
+        let t = tree(1);
+        {
+            let mut g = t.lock_range(0, 512, 1024, LockMode::ExpandAll);
+            g.replace(&50);
+        }
+        // Single-page fault-style access forces expansion of the folded
+        // block and grants mutable access.
+        {
+            let mut g = t.lock_range(0, 700, 701, LockMode::ExpandFolded);
+            let v = g.page_value_mut().expect("mapped");
+            *v = 51;
+        }
+        assert_eq!(t.get(0, 700), Some(51));
+        assert_eq!(t.get(0, 701), Some(50));
+        // Unmapped page: no value, and no expansion of empty space.
+        {
+            let mut g = t.lock_range(0, 9000, 9001, LockMode::ExpandFolded);
+            assert!(g.page_value_mut().is_none());
+        }
+        assert_eq!(t.get(0, 9000), None);
+    }
+
+    #[test]
+    fn nodes_collapse_after_clear() {
+        let t = tree(1);
+        {
+            let mut g = t.lock_range(0, 100, 110, LockMode::ExpandAll);
+            g.replace(&1);
+        }
+        let live_before = t.cache().live_objects();
+        assert!(live_before > 1, "expansion allocated nodes");
+        {
+            let mut g = t.lock_range(0, 100, 110, LockMode::ExpandFolded);
+            g.clear();
+        }
+        t.cache().quiesce();
+        // Only the root should remain.
+        assert_eq!(t.cache().live_objects(), 1, "empty nodes collapsed");
+        assert!(
+            t.stats()
+                .nodes_collapsed
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 3
+        );
+        // The tree still works after collapse.
+        {
+            let mut g = t.lock_range(0, 100, 110, LockMode::ExpandAll);
+            g.replace(&2);
+        }
+        assert_eq!(t.get(0, 105), Some(2));
+    }
+
+    #[test]
+    fn no_collapse_when_disabled() {
+        let t = RadixTree::new(
+            Arc::new(Refcache::new(1)),
+            RadixConfig { collapse: false },
+        );
+        {
+            let mut g = t.lock_range(0, 100, 110, LockMode::ExpandAll);
+            g.replace(&1);
+        }
+        let live = t.cache().live_objects();
+        {
+            let mut g = t.lock_range(0, 100, 110, LockMode::ExpandFolded);
+            g.clear();
+        }
+        t.cache().quiesce();
+        assert_eq!(t.cache().live_objects(), live, "no nodes freed");
+    }
+
+    #[test]
+    fn revival_of_emptying_node() {
+        // Empty a leaf, then reuse it before Refcache collapses it: the
+        // weak reference revives the node.
+        let t = tree(1);
+        {
+            let mut g = t.lock_range(0, 100, 101, LockMode::ExpandAll);
+            g.replace(&1);
+        }
+        {
+            let mut g = t.lock_range(0, 100, 101, LockMode::ExpandFolded);
+            g.clear();
+        }
+        // One flush marks the leaf dying (count reached zero)...
+        t.cache().maintain(0);
+        // ...but a new mmap revives it instead of re-allocating.
+        let nodes_before = t
+            .stats()
+            .leaf_nodes
+            .load(std::sync::atomic::Ordering::Relaxed);
+        {
+            let mut g = t.lock_range(0, 101, 102, LockMode::ExpandAll);
+            g.replace(&2);
+        }
+        let nodes_after = t
+            .stats()
+            .leaf_nodes
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(nodes_before, nodes_after, "node revived, not reallocated");
+        t.cache().quiesce();
+        assert_eq!(t.get(0, 101), Some(2));
+    }
+
+    #[test]
+    fn space_accounting_tracks_structure() {
+        let t = tree(1);
+        let empty = t.space_bytes();
+        {
+            let mut g = t.lock_range(0, 0, 64, LockMode::ExpandAll);
+            g.replace(&1);
+        }
+        assert!(t.space_bytes() > empty);
+    }
+
+    #[test]
+    fn disjoint_ranges_lock_disjoint_slots() {
+        // Two guards on disjoint ranges can be held simultaneously —
+        // the non-overlap concurrency contract.
+        let t = tree(2);
+        {
+            let mut g1 = t.lock_range(0, 0, 512 * 513, LockMode::ExpandAll);
+            // Range 2 is in a different level-0 subtree.
+            let far = 1 << 30;
+            let mut g2 = t.lock_range(1, far, far + 10, LockMode::ExpandAll);
+            g1.replace(&1);
+            g2.replace(&2);
+        }
+        assert_eq!(t.get(0, 512), Some(1));
+        assert_eq!(t.get(0, (1 << 30) + 5), Some(2));
+    }
+
+    #[test]
+    fn overlapping_ops_serialize_real_threads() {
+        // Hammer the same small range from 4 threads; locking must keep
+        // every page's value consistent (all-or-nothing per op) and the
+        // tree must survive.
+        let t = Arc::new(tree(4));
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let val = core as u64 * 10_000 + i;
+                    {
+                        let mut g = t.lock_range(core, 50, 60, LockMode::ExpandAll);
+                        g.replace(&val);
+                    }
+                    {
+                        let mut g = t.lock_range(core, 50, 60, LockMode::ExpandFolded);
+                        let mut seen = None;
+                        g.for_each_value_mut(|v| {
+                            if let Some(s) = seen {
+                                assert_eq!(s, *v, "torn range write observed");
+                            }
+                            seen = Some(*v);
+                        });
+                    }
+                    if i % 100 == 0 {
+                        t.cache().maintain(core);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn disjoint_churn_real_threads() {
+        // Each thread owns a disjoint region; constant map/unmap churn
+        // must never interfere across threads and must collapse cleanly.
+        let t = Arc::new(tree(4));
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                let base = 1_000_000 * core as u64;
+                for i in 0..400u64 {
+                    {
+                        let mut g = t.lock_range(core, base, base + 16, LockMode::ExpandAll);
+                        g.replace(&(core as u64));
+                    }
+                    assert_eq!(t.get(core, base + 7), Some(core as u64));
+                    {
+                        let mut g =
+                            t.lock_range(core, base, base + 16, LockMode::ExpandFolded);
+                        let removed = g.clear();
+                        assert_eq!(removed.len(), 16);
+                    }
+                    if i % 64 == 0 {
+                        t.cache().maintain(core);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = Arc::try_unwrap(t).ok().expect("sole owner");
+        t.cache().quiesce();
+        assert_eq!(t.cache().live_objects(), 1, "everything collapsed");
+    }
+
+    #[test]
+    fn teardown_frees_everything() {
+        let cache = Arc::new(Refcache::new(1));
+        {
+            let t = RadixTree::new(cache.clone(), RadixConfig::default());
+            let mut g = t.lock_range(0, 0, 2000, LockMode::ExpandAll);
+            g.replace(&1);
+            drop(g);
+            // Leave values mapped; Drop must reclaim regardless.
+        }
+        assert_eq!(cache.live_objects(), 0, "tree teardown leaked nodes");
+    }
+
+    #[test]
+    fn lookups_do_not_contend_with_disjoint_writes_sim() {
+        // Figure 7's property: steady-state lookups cause no remote
+        // transfers even while another core inserts/deletes disjoint keys.
+        let guard = rvm_sync::sim::install(2, rvm_sync::CostModel::default());
+        let t = tree(2);
+        // Prepopulate two disjoint regions.
+        rvm_sync::sim::switch(0);
+        {
+            let mut g = t.lock_range(0, 1000, 1010, LockMode::ExpandAll);
+            g.replace(&1);
+        }
+        rvm_sync::sim::switch(1);
+        let far = 1 << 30;
+        {
+            let mut g = t.lock_range(1, far, far + 10, LockMode::ExpandAll);
+            g.replace(&2);
+        }
+        // Warm both cores' paths.
+        rvm_sync::sim::switch(0);
+        assert_eq!(t.get(0, 1005), Some(1));
+        assert_eq!(t.get(0, 1005), Some(1));
+        let before = rvm_sync::sim::stats();
+        for _ in 0..200 {
+            // Core 0 looks up its region...
+            rvm_sync::sim::switch(0);
+            assert_eq!(t.get(0, 1005), Some(1));
+            // ...while core 1 churns a disjoint region.
+            rvm_sync::sim::switch(1);
+            let mut g = t.lock_range(1, far, far + 10, LockMode::ExpandAll);
+            g.replace(&3);
+        }
+        let after = rvm_sync::sim::stats();
+        assert_eq!(
+            after.cores[0].remote_transfers, before.cores[0].remote_transfers,
+            "disjoint writers must not disturb readers"
+        );
+        drop(guard);
+    }
+}

@@ -1,0 +1,374 @@
+//! Radix-tree nodes and slot encodings.
+//!
+//! The tree has [`LEVELS`] levels of 512 slots each (9 bits of virtual
+//! page number per level, §3.2). Two node layouts exist:
+//!
+//! * **Interior nodes** hold one packed [`Atomic64`] per slot:
+//!
+//!   - `EMPTY` — all pointer/tag bits zero (the lock bit may be set),
+//!   - `CHILD` — a weak reference (Refcache-managed) to a child node,
+//!   - `FOLDED` — an owned pointer to a boxed value standing for the
+//!     whole block of pages the slot covers (the paper's compression of
+//!     repeated entries).
+//!
+//!   The low bits are shared with Refcache's weak-word protocol: bit 0 is
+//!   the *slot lock* used for precise range locking (§3.4), bit 1 the
+//!   `DYING` bit, bits 2–3 the tag.
+//!
+//! * **Leaf nodes** hold, per slot, a status word (lock + present bits)
+//!   and an inline value — the paper's per-page mapping metadata.
+//!
+//! Node lifetime is governed by Refcache: a node's reference count is the
+//! number of used slots plus the number of in-flight traversals pinning
+//! it. The parent's slot *is* the node's weak reference, so Refcache's
+//! freeing CAS atomically empties the parent slot.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use rvm_refcache::weak::{DYING_BIT, LOCK_BIT, PTR_MASK, TAG_SHIFT};
+use rvm_refcache::{Managed, RcPtr, ReleaseCtx};
+use rvm_sync::atomic::Ordering;
+use rvm_sync::Atomic64;
+
+/// Bits of VPN consumed per level.
+pub const LEVEL_BITS: usize = 9;
+/// Slots per node.
+pub const FANOUT: usize = 1 << LEVEL_BITS;
+/// Levels in the tree (level `LEVELS - 1` holds leaves).
+pub const LEVELS: usize = 36 / LEVEL_BITS;
+
+/// Interior slot tag: empty.
+pub const TAG_EMPTY: u8 = 0;
+/// Interior slot tag: child node pointer (weak reference).
+pub const TAG_CHILD: u8 = 1;
+/// Interior slot tag: folded value pointer.
+pub const TAG_FOLDED: u8 = 2;
+
+/// Leaf status: value present.
+pub const LEAF_PRESENT: u64 = 1 << 2;
+
+/// Extracts the tag of an interior slot word.
+#[inline]
+pub fn slot_tag(word: u64) -> u8 {
+    rvm_refcache::weak::tag_bits(word)
+}
+
+/// Extracts the pointer of an interior slot word.
+#[inline]
+pub fn slot_ptr(word: u64) -> usize {
+    rvm_refcache::weak::ptr_bits(word)
+}
+
+/// Returns true when the word's pointer/tag payload is empty (ignoring
+/// lock/dying bits).
+#[inline]
+pub fn slot_is_empty(word: u64) -> bool {
+    word & (PTR_MASK | (0b11 << TAG_SHIFT)) == 0
+}
+
+/// Packs a pointer and tag (lock/dying clear).
+#[inline]
+pub fn pack_slot(ptr: usize, tag: u8) -> u64 {
+    rvm_refcache::weak::pack(ptr, tag)
+}
+
+/// Pages covered by one slot at `level` (level 0 = root).
+#[inline]
+pub fn span_at_level(level: usize) -> u64 {
+    1u64 << (LEVEL_BITS * (LEVELS - 1 - level))
+}
+
+/// Slot index of `vpn` at `level`.
+#[inline]
+pub fn index_at_level(vpn: u64, level: usize) -> usize {
+    let shift = LEVEL_BITS * (LEVELS - 1 - level);
+    ((vpn >> shift) as usize) & (FANOUT - 1)
+}
+
+/// Live-object statistics shared by a tree and its nodes.
+#[derive(Default)]
+pub struct TreeStats {
+    /// Live interior nodes (root included).
+    pub interior_nodes: AtomicU64,
+    /// Live leaf nodes.
+    pub leaf_nodes: AtomicU64,
+    /// Live folded values.
+    pub folded_values: AtomicU64,
+    /// Expansions performed (folded or empty slot → child node).
+    pub expansions: AtomicU64,
+    /// Values currently stored in leaf slots.
+    pub leaf_values: AtomicU64,
+    /// Nodes freed by Refcache collapse.
+    pub nodes_collapsed: AtomicU64,
+}
+
+/// One leaf slot: a status word (lock, present) plus inline storage.
+pub struct LeafSlot<V> {
+    /// `LOCK_BIT` | `LEAF_PRESENT`.
+    pub status: Atomic64,
+    /// Value storage; valid iff `LEAF_PRESENT` is set. Accessed only while
+    /// the slot lock is held (or during exclusive teardown).
+    pub value: UnsafeCell<Option<V>>,
+}
+
+/// Slot storage of a node.
+pub enum Slots<V> {
+    /// Interior: packed child / folded words.
+    Interior(Box<[Atomic64]>),
+    /// Leaf: per-page value slots.
+    Leaf(Box<[LeafSlot<V>]>),
+}
+
+/// A radix-tree node (interior or leaf), Refcache-managed.
+pub struct Node<V: Send + Sync + 'static> {
+    /// Level in the tree (0 = root, `LEVELS - 1` = leaf).
+    pub level: u8,
+    /// First VPN covered by this node.
+    pub base_vpn: u64,
+    /// Parent node and our slot index within it (`None` for the root).
+    pub parent: Option<(RcPtr<Node<V>>, u16)>,
+    /// Shared statistics for space accounting.
+    pub stats: Arc<TreeStats>,
+    /// The slots.
+    pub slots: Slots<V>,
+}
+
+// SAFETY: leaf values are only accessed under the slot lock (or exclusive
+// teardown); everything else is atomics.
+unsafe impl<V: Send + Sync + 'static> Send for Node<V> {}
+// SAFETY: as above.
+unsafe impl<V: Send + Sync + 'static> Sync for Node<V> {}
+
+impl<V: Send + Sync + 'static> Node<V> {
+    /// Creates an interior node with all slots set to `init_word`.
+    pub fn new_interior(
+        level: u8,
+        base_vpn: u64,
+        parent: Option<(RcPtr<Node<V>>, u16)>,
+        stats: Arc<TreeStats>,
+        init_word: impl Fn(usize) -> u64,
+    ) -> Node<V> {
+        stats.interior_nodes.fetch_add(1, StdOrdering::Relaxed);
+        Node {
+            level,
+            base_vpn,
+            parent,
+            stats,
+            slots: Slots::Interior((0..FANOUT).map(|i| Atomic64::new(init_word(i))).collect()),
+        }
+    }
+
+    /// Creates a leaf node whose slots are produced by `init` (status
+    /// word, value).
+    pub fn new_leaf(
+        base_vpn: u64,
+        parent: Option<(RcPtr<Node<V>>, u16)>,
+        stats: Arc<TreeStats>,
+        mut init: impl FnMut(usize) -> (u64, Option<V>),
+    ) -> Node<V> {
+        stats.leaf_nodes.fetch_add(1, StdOrdering::Relaxed);
+        let slots: Box<[LeafSlot<V>]> = (0..FANOUT)
+            .map(|i| {
+                let (status, value) = init(i);
+                if value.is_some() {
+                    stats.leaf_values.fetch_add(1, StdOrdering::Relaxed);
+                }
+                LeafSlot {
+                    status: Atomic64::new(status),
+                    value: UnsafeCell::new(value),
+                }
+            })
+            .collect();
+        Node {
+            level: (LEVELS - 1) as u8,
+            base_vpn,
+            parent,
+            stats,
+            slots: Slots::Leaf(slots),
+        }
+    }
+
+    /// Returns true if this is a leaf node.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level as usize == LEVELS - 1
+    }
+
+    /// Interior slot array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on leaf nodes.
+    #[inline]
+    pub fn interior(&self) -> &[Atomic64] {
+        match &self.slots {
+            Slots::Interior(s) => s,
+            Slots::Leaf(_) => panic!("interior() on leaf node"),
+        }
+    }
+
+    /// Leaf slot array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on interior nodes.
+    #[inline]
+    pub fn leaf(&self) -> &[LeafSlot<V>] {
+        match &self.slots {
+            Slots::Leaf(s) => s,
+            Slots::Interior(_) => panic!("leaf() on interior node"),
+        }
+    }
+
+    /// Pages covered by one slot of this node.
+    #[inline]
+    pub fn slot_span(&self) -> u64 {
+        span_at_level(self.level as usize)
+    }
+}
+
+impl<V: Send + Sync + 'static> Managed for Node<V> {
+    fn on_release(&mut self, ctx: &ReleaseCtx<'_>) {
+        // Freed by Refcache: all slots are empty and no traversals pin us.
+        // The freeing CAS already emptied our parent's slot; surrender the
+        // used-slot reference it represented.
+        self.stats.nodes_collapsed.fetch_add(1, StdOrdering::Relaxed);
+        if let Some((parent, _idx)) = self.parent {
+            ctx.cache.dec(ctx.core, parent);
+        }
+    }
+}
+
+impl<V: Send + Sync + 'static> Drop for Node<V> {
+    fn drop(&mut self) {
+        match &mut self.slots {
+            Slots::Interior(slots) => {
+                self.stats.interior_nodes.fetch_sub(1, StdOrdering::Relaxed);
+                for s in slots.iter() {
+                    let w = s.load(Ordering::Acquire);
+                    if slot_tag(w) == TAG_FOLDED {
+                        self.stats.folded_values.fetch_sub(1, StdOrdering::Relaxed);
+                        // SAFETY: FOLDED slots own their boxed value; we
+                        // have exclusive access in Drop.
+                        unsafe { drop(Box::from_raw(slot_ptr(w) as *mut V)) };
+                    }
+                    // CHILD slots must have been torn down by the tree
+                    // (Refcache collapse or explicit teardown) before the
+                    // node is dropped.
+                    debug_assert_ne!(
+                        slot_tag(w),
+                        TAG_CHILD,
+                        "node dropped while a child is still linked"
+                    );
+                }
+            }
+            Slots::Leaf(slots) => {
+                self.stats.leaf_nodes.fetch_sub(1, StdOrdering::Relaxed);
+                let mut live = 0;
+                for s in slots.iter_mut() {
+                    if s.value.get_mut().take().is_some() {
+                        live += 1;
+                    }
+                }
+                self.stats.leaf_values.fetch_sub(live, StdOrdering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Acquires an interior slot's lock bit by spinning; returns the observed
+/// word (lock bit set in the slot, clear in the returned value).
+#[inline]
+pub fn lock_interior_slot(slot: &Atomic64) -> u64 {
+    loop {
+        let v = slot.load(Ordering::Acquire);
+        if v & LOCK_BIT == 0 {
+            if slot
+                .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return v;
+            }
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Releases an interior slot's lock bit.
+#[inline]
+pub fn unlock_interior_slot(slot: &Atomic64) {
+    slot.fetch_and(!LOCK_BIT, Ordering::AcqRel);
+}
+
+/// Acquires a leaf slot's lock bit; returns the observed status (without
+/// the lock bit).
+#[inline]
+pub fn lock_leaf_slot(status: &Atomic64) -> u64 {
+    loop {
+        let v = status.load(Ordering::Acquire);
+        if v & LOCK_BIT == 0 {
+            if status
+                .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return v;
+            }
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Releases a leaf slot's lock bit.
+#[inline]
+pub fn unlock_leaf_slot(status: &Atomic64) {
+    status.fetch_and(!LOCK_BIT, Ordering::AcqRel);
+}
+
+/// Suppress the unused warning for `DYING_BIT` re-export convenience.
+const _: u64 = DYING_BIT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(LEVELS, 4);
+        assert_eq!(span_at_level(0), 1 << 27);
+        assert_eq!(span_at_level(3), 1);
+        assert_eq!(index_at_level(0x123456789, 3), 0x189);
+        // VPN bits [35:27] at level 0.
+        assert_eq!(index_at_level(1 << 27, 0), 1);
+    }
+
+    #[test]
+    fn slot_packing() {
+        let w = pack_slot(0x7f00_1234_5670, TAG_FOLDED);
+        assert_eq!(slot_tag(w), TAG_FOLDED);
+        assert_eq!(slot_ptr(w), 0x7f00_1234_5670);
+        assert!(!slot_is_empty(w));
+        assert!(slot_is_empty(LOCK_BIT));
+        assert!(slot_is_empty(0));
+    }
+
+    #[test]
+    fn interior_slot_locking() {
+        let slot = Atomic64::new(0);
+        let v = lock_interior_slot(&slot);
+        assert_eq!(v, 0);
+        assert_eq!(slot.load(Ordering::Acquire), LOCK_BIT);
+        unlock_interior_slot(&slot);
+        assert_eq!(slot.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn leaf_slot_locking_preserves_present() {
+        let status = Atomic64::new(LEAF_PRESENT);
+        let v = lock_leaf_slot(&status);
+        assert_eq!(v, LEAF_PRESENT);
+        unlock_leaf_slot(&status);
+        assert_eq!(status.load(Ordering::Acquire), LEAF_PRESENT);
+    }
+}

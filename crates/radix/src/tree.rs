@@ -1,0 +1,750 @@
+//! The radix tree: precise range locking, folding, and expansion.
+//!
+//! Concurrency plan (paper §3.4):
+//!
+//! * Every operation locks the radix-tree slots covering its range
+//!   **left-to-right** — leaf slots where leaves exist, otherwise the
+//!   covering interior slot. Two operations on overlapping ranges
+//!   serialize on the leftmost overlapping slot; operations on disjoint
+//!   ranges never touch the same slot.
+//! * Expansion (allocating a child under a locked interior slot) creates
+//!   the child with the lock bit propagated to **every** entry, then
+//!   publishes it with a store that simultaneously unlocks the parent
+//!   slot. Releasing the range lock clears the lock bits in newly
+//!   allocated children.
+//! * Traversal takes no locks: it pins nodes by incrementing their
+//!   Refcache count through the parent slot's weak reference (`tryget`),
+//!   which also revives nodes that emptied but have not yet been
+//!   collapsed.
+//!
+//! Deadlock freedom: lock *waiting* only ever happens at slot
+//! acquisitions performed in ascending VPN order; whole-node locks are
+//! born held (created atomically with the node, before it is published),
+//! so they add no waiting edges.
+
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::Arc;
+
+use rvm_refcache::weak::LOCK_BIT;
+use rvm_refcache::{RcPtr, Refcache};
+use rvm_sync::atomic::Ordering;
+
+use crate::node::{
+    index_at_level, lock_interior_slot, lock_leaf_slot, pack_slot, slot_ptr, slot_tag,
+    unlock_interior_slot, unlock_leaf_slot, Node, Slots, TreeStats, FANOUT, LEAF_PRESENT, LEVELS,
+    TAG_CHILD, TAG_EMPTY, TAG_FOLDED,
+};
+
+/// Virtual page number (36 bits used).
+pub type Vpn = u64;
+
+/// Exclusive upper bound of VPNs the tree covers.
+pub const VPN_LIMIT: Vpn = 1 << 36;
+
+/// Values storable in the tree.
+///
+/// A value set over a range is *identical for every page* (the paper
+/// designs mapping metadata this way so large mappings fold), hence
+/// `Clone` per page on expansion.
+pub trait RadixValue: Clone + Send + Sync + 'static {}
+
+impl<T: Clone + Send + Sync + 'static> RadixValue for T {}
+
+/// Tree configuration.
+#[derive(Clone, Debug)]
+pub struct RadixConfig {
+    /// Collapse empty nodes through Refcache (the full design, §3.2).
+    /// The paper's prototype shipped without collapsing; disable to
+    /// reproduce that configuration.
+    pub collapse: bool,
+}
+
+impl Default for RadixConfig {
+    fn default() -> Self {
+        RadixConfig { collapse: true }
+    }
+}
+
+/// How a range lock treats slots that are not expanded to leaves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    /// Expand empty and folded slots so every page in range has a leaf
+    /// slot unless the range covers the whole block (mmap).
+    ExpandAll,
+    /// Expand folded slots only; lock partially covered empty interior
+    /// slots as blocks (munmap, pagefault).
+    ExpandFolded,
+}
+
+/// A value (or block value) displaced by [`RangeGuard::clear`] /
+/// [`RangeGuard::replace`].
+#[derive(Debug, PartialEq)]
+pub enum Removed<V> {
+    /// A single page's value.
+    Page(Vpn, V),
+    /// A folded block's value covering `pages` pages starting at `start`.
+    Block {
+        /// First VPN of the block.
+        start: Vpn,
+        /// Pages covered.
+        pages: u64,
+        /// The folded value.
+        value: V,
+    },
+}
+
+/// One locked region recorded by a range lock.
+enum Unit<V: Send + Sync + 'static> {
+    /// Leaf slots `[first, end)` of `node`, individually locked (`born`
+    /// means the locks were born held via whole-node creation).
+    LeafRange {
+        node: RcPtr<Node<V>>,
+        first: usize,
+        end: usize,
+        born: bool,
+    },
+    /// One locked interior slot (EMPTY or FOLDED block).
+    Block {
+        node: RcPtr<Node<V>>,
+        idx: usize,
+        born: bool,
+    },
+    /// A node created by this operation with every slot lock born held;
+    /// dropping the guard clears all its lock bits.
+    WholeNode { node: RcPtr<Node<V>> },
+}
+
+/// Dereferences a tree node pointer.
+///
+/// SAFETY-CONTRACT: every `RcPtr<Node<V>>` the tree manipulates is kept
+/// alive by (a) the permanent root reference, (b) a traversal pin obtained
+/// through `tryget` and released at guard drop, or (c) a used-slot
+/// reference in a parent that is itself pinned. See module docs.
+fn nref<'a, V: Send + Sync + 'static>(p: RcPtr<Node<V>>) -> &'a Node<V> {
+    // SAFETY: see the contract above; all call sites hold one of the
+    // listed references across the borrow.
+    unsafe { p.as_ref() }
+}
+
+/// The RadixVM radix tree.
+pub struct RadixTree<V: RadixValue> {
+    cache: Arc<Refcache>,
+    root: RcPtr<Node<V>>,
+    cfg: RadixConfig,
+    stats: Arc<TreeStats>,
+}
+
+// SAFETY: nodes are Sync; RcPtr is a pointer; all mutation is internally
+// synchronized (slot locks + Refcache).
+unsafe impl<V: RadixValue> Send for RadixTree<V> {}
+// SAFETY: as above.
+unsafe impl<V: RadixValue> Sync for RadixTree<V> {}
+
+impl<V: RadixValue> RadixTree<V> {
+    /// Creates an empty tree whose node lifetimes are managed by `cache`.
+    pub fn new(cache: Arc<Refcache>, cfg: RadixConfig) -> Self {
+        let stats = Arc::new(TreeStats::default());
+        // The root is pinned forever with its initial count of 1.
+        let root = cache.alloc(1, Node::new_interior(0, 0, None, stats.clone(), |_| 0));
+        RadixTree {
+            cache,
+            root,
+            cfg,
+            stats,
+        }
+    }
+
+    /// The tree's statistics block.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// The Refcache managing this tree's nodes.
+    pub fn cache(&self) -> &Arc<Refcache> {
+        &self.cache
+    }
+
+    /// Approximate bytes of memory used by the tree's nodes and values
+    /// (Table 2 accounting).
+    pub fn space_bytes(&self) -> u64 {
+        let hdr = 96u64; // node header + Refcache header, rounded
+        let interior = self.stats.interior_nodes.load(StdOrdering::Relaxed);
+        let leaf = self.stats.leaf_nodes.load(StdOrdering::Relaxed);
+        let folded = self.stats.folded_values.load(StdOrdering::Relaxed);
+        let leaf_slot = 8 + std::mem::size_of::<Option<V>>() as u64;
+        interior * (FANOUT as u64 * 8 + hdr)
+            + leaf * (FANOUT as u64 * leaf_slot + hdr)
+            + folded * std::mem::size_of::<V>() as u64
+    }
+
+    /// Locks `[lo, hi)` left-to-right and returns the guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds [`VPN_LIMIT`].
+    pub fn lock_range(&self, core: usize, lo: Vpn, hi: Vpn, mode: LockMode) -> RangeGuard<'_, V> {
+        assert!(lo < hi && hi <= VPN_LIMIT, "bad range {lo}..{hi}");
+        let mut guard = RangeGuard {
+            tree: self,
+            core,
+            units: Vec::new(),
+            pins: Vec::new(),
+        };
+        self.descend(core, self.root, lo, hi, mode, false, &mut guard);
+        guard
+    }
+
+    /// Recursive locking descent (see module docs for the protocol).
+    fn descend(
+        &self,
+        core: usize,
+        node_ptr: RcPtr<Node<V>>,
+        lo: Vpn,
+        hi: Vpn,
+        mode: LockMode,
+        born_locked: bool,
+        g: &mut RangeGuard<'_, V>,
+    ) {
+        let node = nref(node_ptr);
+        if node.is_leaf() {
+            let first = (lo - node.base_vpn) as usize;
+            let end = (hi - node.base_vpn) as usize;
+            debug_assert!(end <= FANOUT);
+            if !born_locked {
+                for slot in &node.leaf()[first..end] {
+                    lock_leaf_slot(&slot.status);
+                }
+            }
+            g.units.push(Unit::LeafRange {
+                node: node_ptr,
+                first,
+                end,
+                born: born_locked,
+            });
+            return;
+        }
+        let span = node.slot_span();
+        let level = node.level as usize;
+        let first_idx = index_at_level(lo, level);
+        let last_idx = index_at_level(hi - 1, level);
+        for idx in first_idx..=last_idx {
+            let block_lo = node.base_vpn + idx as u64 * span;
+            let block_hi = block_lo + span;
+            let sub_lo = lo.max(block_lo);
+            let sub_hi = hi.min(block_hi);
+            let full = sub_lo == block_lo && sub_hi == block_hi;
+            let slot = &node.interior()[idx];
+            loop {
+                let peek = slot.load(Ordering::Acquire);
+                if slot_tag(peek) == TAG_CHILD {
+                    // Traversal: pin the child through its weak reference
+                    // (no lock required).
+                    // SAFETY: TAG_CHILD slots of this tree always hold
+                    // `Node<V>` pointers registered with this cache.
+                    match unsafe { self.cache.tryget::<Node<V>>(core, slot, TAG_CHILD) } {
+                        Some(child) => {
+                            g.pins.push(child);
+                            self.descend(core, child, sub_lo, sub_hi, mode, false, g);
+                            break;
+                        }
+                        None => continue, // freed under us; re-read
+                    }
+                }
+                // EMPTY or FOLDED: acquire the slot lock (unless born).
+                let v = if born_locked {
+                    peek
+                } else {
+                    let observed = lock_interior_slot(slot);
+                    if slot_tag(observed) == TAG_CHILD {
+                        // Became a child while we were acquiring; the CAS
+                        // re-set the lock bit on a child word — undo and
+                        // take the traversal path.
+                        unlock_interior_slot(slot);
+                        continue;
+                    }
+                    observed
+                };
+                let tag = slot_tag(v);
+                debug_assert_ne!(tag, TAG_CHILD);
+                let expand = match tag {
+                    TAG_FOLDED => !full,
+                    TAG_EMPTY => !full && mode == LockMode::ExpandAll,
+                    _ => unreachable!("invalid slot tag"),
+                };
+                if !expand {
+                    g.units.push(Unit::Block {
+                        node: node_ptr,
+                        idx,
+                        born: born_locked,
+                    });
+                    break;
+                }
+                // Expand under the held slot lock.
+                let child = self.expand_slot(core, node_ptr, idx, v, block_lo);
+                g.pins.push(child);
+                g.units.push(Unit::WholeNode { node: child });
+                self.descend(core, child, sub_lo, sub_hi, mode, true, g);
+                break;
+            }
+        }
+    }
+
+    /// Replaces a locked EMPTY/FOLDED interior slot with a freshly
+    /// allocated child whose every slot lock is born held, publishing the
+    /// child with a store that simultaneously unlocks the parent slot
+    /// (paper §3.4). Returns the child, pinned for the caller.
+    fn expand_slot(
+        &self,
+        core: usize,
+        parent: RcPtr<Node<V>>,
+        idx: usize,
+        locked_word: u64,
+        block_lo: Vpn,
+    ) -> RcPtr<Node<V>> {
+        let parent_node = nref(parent);
+        let slot = &parent_node.interior()[idx];
+        let child_level = parent_node.level as usize + 1;
+        let was_folded = slot_tag(locked_word) == TAG_FOLDED;
+        // Take ownership of the folded template, if any.
+        let template: Option<Box<V>> = if was_folded {
+            self.stats.folded_values.fetch_sub(1, StdOrdering::Relaxed);
+            // SAFETY: FOLDED slots own their boxed value; the slot lock is
+            // held, so no one else can free or replace it.
+            Some(unsafe { Box::from_raw(slot_ptr(locked_word) as *mut V) })
+        } else {
+            None
+        };
+        self.stats.expansions.fetch_add(1, StdOrdering::Relaxed);
+        let permanent = if self.cfg.collapse { 0 } else { 1 };
+        let child = if child_level == LEVELS - 1 {
+            let node = Node::new_leaf(
+                block_lo,
+                Some((parent, idx as u16)),
+                self.stats.clone(),
+                |_| match &template {
+                    Some(t) => (LOCK_BIT | LEAF_PRESENT, Some((**t).clone())),
+                    None => (LOCK_BIT, None),
+                },
+            );
+            let used = if template.is_some() { FANOUT as i64 } else { 0 };
+            self.cache.alloc(used + 1 + permanent, node)
+        } else {
+            let node = Node::new_interior(
+                child_level as u8,
+                block_lo,
+                Some((parent, idx as u16)),
+                self.stats.clone(),
+                |_| match &template {
+                    Some(t) => {
+                        let boxed = Box::new((**t).clone());
+                        pack_slot(Box::into_raw(boxed) as usize, TAG_FOLDED) | LOCK_BIT
+                    }
+                    None => LOCK_BIT,
+                },
+            );
+            if template.is_some() {
+                self.stats
+                    .folded_values
+                    .fetch_add(FANOUT as u64, StdOrdering::Relaxed);
+            }
+            let used = if template.is_some() { FANOUT as i64 } else { 0 };
+            self.cache.alloc(used + 1 + permanent, node)
+        };
+        if !was_folded {
+            // EMPTY → CHILD: the parent gains a used slot.
+            self.cache.inc(core, parent);
+        }
+        self.cache.register_weak(child, slot);
+        // Publish the child and release the parent slot lock in one store.
+        slot.store(pack_slot(child.addr(), TAG_CHILD), Ordering::Release);
+        child
+    }
+
+    /// Reads (clones) the value governing `vpn`, if any.
+    pub fn get(&self, core: usize, vpn: Vpn) -> Option<V> {
+        let mut pins: Vec<RcPtr<Node<V>>> = Vec::new();
+        let mut node_ptr = self.root;
+        let result = loop {
+            let node = nref(node_ptr);
+            if node.is_leaf() {
+                let idx = (vpn - node.base_vpn) as usize;
+                let slot = &node.leaf()[idx];
+                lock_leaf_slot(&slot.status);
+                // SAFETY: the slot lock is held.
+                let out = unsafe { (*slot.value.get()).clone() };
+                unlock_leaf_slot(&slot.status);
+                break out;
+            }
+            let idx = index_at_level(vpn, node.level as usize);
+            let slot = &node.interior()[idx];
+            let peek = slot.load(Ordering::Acquire);
+            match slot_tag(peek) {
+                TAG_CHILD => {
+                    // SAFETY: TAG_CHILD slots hold `Node<V>` pointers.
+                    match unsafe { self.cache.tryget::<Node<V>>(core, slot, TAG_CHILD) } {
+                        Some(child) => {
+                            pins.push(child);
+                            node_ptr = child;
+                            continue;
+                        }
+                        None => continue,
+                    }
+                }
+                TAG_FOLDED => {
+                    // Clone the folded value under a brief slot lock.
+                    let v = lock_interior_slot(slot);
+                    let out = if slot_tag(v) == TAG_FOLDED {
+                        // SAFETY: lock held; FOLDED slot owns the box.
+                        Some(unsafe { (*(slot_ptr(v) as *const V)).clone() })
+                    } else {
+                        None
+                    };
+                    unlock_interior_slot(slot);
+                    match out {
+                        Some(val) => break Some(val),
+                        None => continue, // changed under us; retry
+                    }
+                }
+                _ => break None, // EMPTY
+            }
+        };
+        for p in pins {
+            self.cache.dec(core, p);
+        }
+        result
+    }
+
+    /// Read-only presence check: returns true if `vpn` has a value,
+    /// without taking any slot lock (pure traversal over atomic slot
+    /// words — the Figure 7 lookup operation). May race with concurrent
+    /// mutations; the answer is a linearizable snapshot of the slot word.
+    pub fn lookup_present(&self, core: usize, vpn: Vpn) -> bool {
+        let mut pins: Vec<RcPtr<Node<V>>> = Vec::new();
+        let mut node_ptr = self.root;
+        let result = loop {
+            let node = nref(node_ptr);
+            if node.is_leaf() {
+                let idx = (vpn - node.base_vpn) as usize;
+                let st = node.leaf()[idx].status.load(Ordering::Acquire);
+                break st & crate::node::LEAF_PRESENT != 0;
+            }
+            let idx = index_at_level(vpn, node.level as usize);
+            let slot = &node.interior()[idx];
+            let peek = slot.load(Ordering::Acquire);
+            match slot_tag(peek) {
+                TAG_CHILD => {
+                    // SAFETY: TAG_CHILD slots hold `Node<V>` pointers.
+                    match unsafe { self.cache.tryget::<Node<V>>(core, slot, TAG_CHILD) } {
+                        Some(child) => {
+                            pins.push(child);
+                            node_ptr = child;
+                        }
+                        None => continue,
+                    }
+                }
+                TAG_FOLDED => break true,
+                _ => break false,
+            }
+        };
+        for p in pins {
+            self.cache.dec(core, p);
+        }
+        result
+    }
+
+    /// Collects all `(vpn, value)` pairs in `[lo, hi)` (test oracle aid;
+    /// clones each page's governing value).
+    pub fn collect_range(&self, core: usize, lo: Vpn, hi: Vpn) -> Vec<(Vpn, V)> {
+        (lo..hi)
+            .filter_map(|vpn| self.get(core, vpn).map(|v| (vpn, v)))
+            .collect()
+    }
+
+    /// Tears down a subtree, freeing nodes directly (exclusive access).
+    fn teardown(&mut self, node_ptr: RcPtr<Node<V>>) {
+        let node = nref(node_ptr);
+        if let Slots::Interior(slots) = &node.slots {
+            for slot in slots.iter() {
+                let w = slot.load(Ordering::Acquire);
+                if slot_tag(w) == TAG_CHILD {
+                    // SAFETY: TAG_CHILD slots hold `Node<V>` pointers; we
+                    // have exclusive access during drop.
+                    let child =
+                        unsafe { RcPtr::<Node<V>>::from_raw_addr(slot_ptr(w)) };
+                    self.teardown(child);
+                    slot.store(0, Ordering::Release);
+                }
+            }
+        }
+        // SAFETY: after quiesce no cached deltas or review entries refer
+        // to this node, and children were freed above; `free_untracked`
+        // skips `on_release` (the parent is being torn down too).
+        unsafe { self.cache.free_untracked(node_ptr) };
+    }
+}
+
+impl<V: RadixValue> Drop for RadixTree<V> {
+    fn drop(&mut self) {
+        // Settle Refcache so no core caches deltas for our nodes and no
+        // review-queue entry survives, then free the remaining structure.
+        self.cache.quiesce();
+        self.teardown(self.root);
+    }
+}
+
+/// A held range lock over `[lo, hi)`.
+///
+/// Dropping the guard unlocks every slot (clearing born-held lock bits of
+/// newly created nodes, per §3.4) and releases all traversal pins.
+pub struct RangeGuard<'t, V: RadixValue> {
+    tree: &'t RadixTree<V>,
+    core: usize,
+    units: Vec<Unit<V>>,
+    pins: Vec<RcPtr<Node<V>>>,
+}
+
+impl<V: RadixValue> RangeGuard<'_, V> {
+    /// Removes every value in the locked range, returning the displaced
+    /// pages and blocks.
+    pub fn clear(&mut self) -> Vec<Removed<V>> {
+        let mut out = Vec::new();
+        let core = self.core;
+        let cache = &self.tree.cache;
+        let stats = &self.tree.stats;
+        for unit in &self.units {
+            match unit {
+                Unit::LeafRange {
+                    node, first, end, ..
+                } => {
+                    let n = nref(*node);
+                    for idx in *first..*end {
+                        let slot = &n.leaf()[idx];
+                        let st = slot.status.load(Ordering::Acquire);
+                        debug_assert!(st & LOCK_BIT != 0, "leaf slot not locked");
+                        if st & LEAF_PRESENT != 0 {
+                            // SAFETY: we hold the slot lock.
+                            let val = unsafe { (*slot.value.get()).take() };
+                            slot.status.fetch_and(!LEAF_PRESENT, Ordering::AcqRel);
+                            stats.leaf_values.fetch_sub(1, StdOrdering::Relaxed);
+                            cache.dec(core, *node);
+                            if let Some(v) = val {
+                                out.push(Removed::Page(n.base_vpn + idx as u64, v));
+                            }
+                        }
+                    }
+                }
+                Unit::Block { node, idx, .. } => {
+                    let n = nref(*node);
+                    let slot = &n.interior()[*idx];
+                    let w = slot.load(Ordering::Acquire);
+                    debug_assert!(w & LOCK_BIT != 0, "interior slot not locked");
+                    if slot_tag(w) == TAG_FOLDED {
+                        // SAFETY: lock held; FOLDED slot owns the box.
+                        let boxed = unsafe { Box::from_raw(slot_ptr(w) as *mut V) };
+                        slot.store(LOCK_BIT, Ordering::Release);
+                        stats.folded_values.fetch_sub(1, StdOrdering::Relaxed);
+                        cache.dec(core, *node);
+                        out.push(Removed::Block {
+                            start: n.base_vpn + *idx as u64 * n.slot_span(),
+                            pages: n.slot_span(),
+                            value: *boxed,
+                        });
+                    }
+                }
+                Unit::WholeNode { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Sets every page (or whole block) in the locked range to a clone of
+    /// `value`, returning displaced values. Empty full blocks receive a
+    /// folded value; partially covered blocks were expanded at lock time.
+    pub fn replace(&mut self, value: &V) -> Vec<Removed<V>> {
+        let out = self.clear();
+        let core = self.core;
+        let cache = &self.tree.cache;
+        let stats = &self.tree.stats;
+        for unit in &self.units {
+            match unit {
+                Unit::LeafRange {
+                    node, first, end, ..
+                } => {
+                    let n = nref(*node);
+                    for idx in *first..*end {
+                        let slot = &n.leaf()[idx];
+                        // SAFETY: we hold the slot lock; `clear` above
+                        // emptied it.
+                        unsafe { *slot.value.get() = Some(value.clone()) };
+                        slot.status.fetch_or(LEAF_PRESENT, Ordering::AcqRel);
+                        stats.leaf_values.fetch_add(1, StdOrdering::Relaxed);
+                        cache.inc(core, *node);
+                    }
+                }
+                Unit::Block { node, idx, .. } => {
+                    let n = nref(*node);
+                    let slot = &n.interior()[*idx];
+                    let boxed = Box::new(value.clone());
+                    slot.store(
+                        pack_slot(Box::into_raw(boxed) as usize, TAG_FOLDED) | LOCK_BIT,
+                        Ordering::Release,
+                    );
+                    stats.folded_values.fetch_add(1, StdOrdering::Relaxed);
+                    cache.inc(core, *node);
+                }
+                Unit::WholeNode { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every present entry in the locked range with its
+    /// location: `f(start_vpn, pages, value)` where `pages` is 1 for leaf
+    /// pages and the block span for folded blocks. Used by fork-style
+    /// duplication and mprotect.
+    pub fn for_each_entry_mut(&mut self, mut f: impl FnMut(Vpn, u64, &mut V)) {
+        for unit in &self.units {
+            match unit {
+                Unit::LeafRange {
+                    node, first, end, ..
+                } => {
+                    let n = nref(*node);
+                    for idx in *first..*end {
+                        let slot = &n.leaf()[idx];
+                        if slot.status.load(Ordering::Acquire) & LEAF_PRESENT != 0 {
+                            // SAFETY: we hold the slot lock.
+                            if let Some(v) = unsafe { (*slot.value.get()).as_mut() } {
+                                f(n.base_vpn + idx as u64, 1, v);
+                            }
+                        }
+                    }
+                }
+                Unit::Block { node, idx, .. } => {
+                    let n = nref(*node);
+                    let slot = &n.interior()[*idx];
+                    let w = slot.load(Ordering::Acquire);
+                    if slot_tag(w) == TAG_FOLDED {
+                        let start = n.base_vpn + *idx as u64 * n.slot_span();
+                        // SAFETY: lock held; FOLDED slot owns the box.
+                        f(start, n.slot_span(), unsafe {
+                            &mut *(slot_ptr(w) as *mut V)
+                        });
+                    }
+                }
+                Unit::WholeNode { .. } => {}
+            }
+        }
+    }
+
+    /// Applies `f` to every present value in the locked range (pages and
+    /// folded blocks) — the mprotect path.
+    pub fn for_each_value_mut(&mut self, mut f: impl FnMut(&mut V)) {
+        for unit in &self.units {
+            match unit {
+                Unit::LeafRange {
+                    node, first, end, ..
+                } => {
+                    let n = nref(*node);
+                    for idx in *first..*end {
+                        let slot = &n.leaf()[idx];
+                        if slot.status.load(Ordering::Acquire) & LEAF_PRESENT != 0 {
+                            // SAFETY: we hold the slot lock.
+                            if let Some(v) = unsafe { (*slot.value.get()).as_mut() } {
+                                f(v);
+                            }
+                        }
+                    }
+                }
+                Unit::Block { node, idx, .. } => {
+                    let n = nref(*node);
+                    let slot = &n.interior()[*idx];
+                    let w = slot.load(Ordering::Acquire);
+                    if slot_tag(w) == TAG_FOLDED {
+                        // SAFETY: lock held; FOLDED slot owns the box.
+                        f(unsafe { &mut *(slot_ptr(w) as *mut V) });
+                    }
+                }
+                Unit::WholeNode { .. } => {}
+            }
+        }
+    }
+
+    /// For a single-page guard at leaf granularity, returns mutable access
+    /// to the page's value (the pagefault path). Returns `None` if the
+    /// page is unmapped or only covered by an empty block.
+    ///
+    /// The value's *presence* must not change through this reference; use
+    /// [`RangeGuard::clear`]/[`RangeGuard::replace`] for that.
+    pub fn page_value_mut(&mut self) -> Option<&mut V> {
+        for unit in &self.units {
+            match unit {
+                Unit::LeafRange {
+                    node, first, end, ..
+                } => {
+                    debug_assert_eq!(*end - *first, 1, "page_value_mut on multi-page guard");
+                    let n = nref(*node);
+                    let slot = &n.leaf()[*first];
+                    if slot.status.load(Ordering::Acquire) & LEAF_PRESENT != 0 {
+                        // SAFETY: we hold the slot lock for the guard's
+                        // lifetime and hand out a borrow tied to it.
+                        return unsafe { (*slot.value.get()).as_mut() };
+                    }
+                    return None;
+                }
+                Unit::Block { .. } => return None,
+                Unit::WholeNode { .. } => {}
+            }
+        }
+        None
+    }
+
+    /// Number of distinct locked units (diagnostics).
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+}
+
+impl<V: RadixValue> Drop for RangeGuard<'_, V> {
+    fn drop(&mut self) {
+        for unit in &self.units {
+            match unit {
+                Unit::LeafRange {
+                    node,
+                    first,
+                    end,
+                    born,
+                } => {
+                    if !born {
+                        let n = nref(*node);
+                        for idx in *first..*end {
+                            unlock_leaf_slot(&n.leaf()[idx].status);
+                        }
+                    }
+                }
+                Unit::Block { node, idx, born } => {
+                    if !born {
+                        unlock_interior_slot(&nref(*node).interior()[*idx]);
+                    }
+                }
+                Unit::WholeNode { node } => {
+                    let n = nref(*node);
+                    match &n.slots {
+                        Slots::Interior(slots) => {
+                            for s in slots.iter() {
+                                s.fetch_and(!LOCK_BIT, Ordering::AcqRel);
+                            }
+                        }
+                        Slots::Leaf(slots) => {
+                            for s in slots.iter() {
+                                s.status.fetch_and(!LOCK_BIT, Ordering::AcqRel);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for pin in &self.pins {
+            self.tree.cache.dec(self.core, *pin);
+        }
+    }
+}

@@ -1,0 +1,796 @@
+//! Refcache: space-efficient, lazy, scalable reference counting.
+//!
+//! Implements the reference-counting scheme of RadixVM ([Clements et al.,
+//! EuroSys 2013], §3.1). Each object has a *global* reference count, and
+//! each core keeps a small fixed-size cache of per-object count *deltas*.
+//! `inc`/`dec` touch only the local delta cache, so objects manipulated
+//! from one core cause no cache-line movement at all. Deltas are flushed
+//! to the global counts once per *epoch*; an object whose global count
+//! drops to zero is placed on the detecting core's review queue and freed
+//! only after its count has provably remained zero for an entire epoch
+//! (re-checked two epoch boundaries later, with *dirty zeros* re-queued).
+//!
+//! Space is proportional to objects **plus** cores, not objects **times**
+//! cores — the property that makes per-physical-page reference counting
+//! affordable (§3.1).
+//!
+//! Weak references ([`weak`]) let a data structure (the radix tree) revive
+//! an object whose count has reached zero, with a single atomic word per
+//! object and a `DYING` bit arbitration between revival and reclamation.
+//!
+//! # Freeing-safety argument
+//!
+//! A delta cached on some core refers to its object by raw pointer, so the
+//! object must never be freed while *any* core caches a delta for it:
+//!
+//! * At the moment an object is queued for review (global count reached
+//!   zero at epoch `E`), every then-cached delta will be flushed before
+//!   the global epoch reaches `E + 2`, because the epoch only advances
+//!   when every core has flushed.
+//! * Any such flush that changes the count marks the object **dirty** (or
+//!   makes the count non-zero), so review re-queues instead of freeing.
+//! * New deltas after the queueing instant require a live reference
+//!   (which implies a positive cached-sum, hence a dirty flush before any
+//!   free decision) or a weak-reference `tryget` (which clears `DYING`,
+//!   making the freeing CAS fail).
+//!
+//! Hence when review finally frees, no cached delta for the object exists
+//! anywhere. Unit and stress tests exercise these races; see also the
+//! proptest model comparing against an exact counter.
+//!
+//! [Clements et al., EuroSys 2013]: https://pdos.csail.mit.edu/papers/radixvm:eurosys13.pdf
+
+use std::collections::VecDeque;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use rvm_sync::{Atomic64, CachePadded, Mutex, SpinLock};
+
+pub mod counters;
+pub mod obj;
+pub mod weak;
+
+pub use obj::{Managed, RcPtr, ReleaseCtx};
+
+use obj::{drop_impl, Header, ObjPtr, ObjState, RcBox};
+
+/// Configuration for a [`Refcache`] instance.
+#[derive(Clone, Debug)]
+pub struct RefcacheConfig {
+    /// Number of delta-cache slots per core (power of two). Larger caches
+    /// lower the conflict/eviction rate at the cost of space — the paper's
+    /// space/scalability knob (§3.1).
+    pub cache_slots: usize,
+    /// Epochs an object must wait on the review queue before being
+    /// examined (the paper uses 2: guarantees one full epoch elapsed).
+    pub review_delay: u64,
+}
+
+impl Default for RefcacheConfig {
+    fn default() -> Self {
+        RefcacheConfig {
+            cache_slots: 4096,
+            review_delay: 2,
+        }
+    }
+}
+
+/// One delta-cache way: an object pointer and its locally cached delta.
+#[derive(Clone, Copy)]
+struct Slot {
+    obj: usize,
+    delta: i64,
+}
+
+const EMPTY_SLOT: Slot = Slot { obj: 0, delta: 0 };
+
+/// Per-core Refcache state: the delta cache and the review queue.
+struct CoreCache {
+    slots: Box<[Slot]>,
+    review: VecDeque<(usize, u64)>,
+    local_epoch: u64,
+}
+
+/// Global counters exposed by [`Refcache::stats`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RefcacheStats {
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Objects freed (true-zero confirmed).
+    pub frees: u64,
+    /// Delta-cache conflict evictions (hash collisions).
+    pub conflicts: u64,
+    /// Cache flushes performed.
+    pub flushes: u64,
+    /// Objects re-queued because of a dirty zero.
+    pub dirty_zeros: u64,
+    /// Objects revived through a weak reference after reaching zero.
+    pub revivals: u64,
+    /// Current global epoch.
+    pub epoch: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    conflicts: AtomicU64,
+    flushes: AtomicU64,
+    dirty_zeros: AtomicU64,
+    revivals: AtomicU64,
+}
+
+/// The scalable reference-count cache (one per simulated machine).
+pub struct Refcache {
+    cfg: RefcacheConfig,
+    ncores: usize,
+    cores: Vec<CachePadded<Mutex<CoreCache>>>,
+    /// Global epoch counter; advances when all cores have flushed.
+    global_epoch: Atomic64,
+    /// Number of cores that have flushed in the current epoch.
+    flushed_cores: Atomic64,
+    stats: StatCells,
+}
+
+impl Refcache {
+    /// Creates a cache for `ncores` cores with default configuration.
+    pub fn new(ncores: usize) -> Self {
+        Self::with_config(ncores, RefcacheConfig::default())
+    }
+
+    /// Creates a cache for `ncores` cores.
+    pub fn with_config(ncores: usize, cfg: RefcacheConfig) -> Self {
+        assert!(ncores >= 1 && ncores <= rvm_sync::MAX_CORES);
+        assert!(cfg.cache_slots.is_power_of_two());
+        let cores = (0..ncores)
+            .map(|_| {
+                CachePadded::new(Mutex::new(CoreCache {
+                    slots: vec![EMPTY_SLOT; cfg.cache_slots].into_boxed_slice(),
+                    review: VecDeque::new(),
+                    local_epoch: 0,
+                }))
+            })
+            .collect();
+        Refcache {
+            cfg,
+            ncores,
+            cores,
+            global_epoch: Atomic64::new(1),
+            flushed_cores: Atomic64::new(0),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Number of cores this cache serves.
+    pub fn ncores(&self) -> usize {
+        self.ncores
+    }
+
+    /// Current global epoch.
+    pub fn epoch(&self) -> u64 {
+        self.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the cache's counters.
+    pub fn stats(&self) -> RefcacheStats {
+        RefcacheStats {
+            allocs: self.stats.allocs.load(Ordering::Relaxed),
+            frees: self.stats.frees.load(Ordering::Relaxed),
+            conflicts: self.stats.conflicts.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            dirty_zeros: self.stats.dirty_zeros.load(Ordering::Relaxed),
+            revivals: self.stats.revivals.load(Ordering::Relaxed),
+            epoch: self.epoch(),
+        }
+    }
+
+    /// Number of live managed objects (allocated minus freed).
+    pub fn live_objects(&self) -> u64 {
+        self.stats.allocs.load(Ordering::Relaxed) - self.stats.frees.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a managed object with an initial reference count.
+    ///
+    /// The initial count covers the creator's references (for example, a
+    /// radix node created by expansion starts with one reference per
+    /// pre-filled slot plus one for the installing traversal).
+    pub fn alloc<T: Managed>(&self, init_count: i64, obj: T) -> RcPtr<T> {
+        let boxed = Box::new(RcBox {
+            hdr: Header {
+                state: SpinLock::new(ObjState {
+                    refcnt: init_count,
+                    dirty: false,
+                    on_review: false,
+                }),
+                weak: AtomicUsize::new(0),
+                drop_fn: drop_impl::<T>,
+            },
+            obj,
+        });
+        self.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        let raw = Box::into_raw(boxed);
+        // SAFETY: `Box::into_raw` never returns null.
+        RcPtr {
+            raw: unsafe { NonNull::new_unchecked(raw) },
+        }
+    }
+
+    #[inline]
+    fn hash_obj(&self, obj: usize) -> usize {
+        // Multiplicative hash of the (16-aligned) object address.
+        let h = (obj as u64 >> 4).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.cfg.cache_slots - 1)
+    }
+
+    /// Applies `delta` to `core`'s cached entry for `obj` (the paper's
+    /// `inc`/`dec`). Conflicting entries are evicted to the global count.
+    fn adjust(&self, core: usize, obj: ObjPtr, delta: i64) {
+        let mut cc = self.cores[core].lock();
+        let epoch = self.epoch();
+        let key = obj.as_ptr() as usize;
+        let idx = self.hash_obj(key);
+        let slot = cc.slots[idx];
+        if slot.obj == key {
+            cc.slots[idx].delta += delta;
+            return;
+        }
+        if slot.obj != 0 {
+            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+            if slot.delta != 0 {
+                // SAFETY: a cached delta implies the object has not been
+                // freed (see the module-level freeing-safety argument).
+                unsafe { self.evict(&mut cc, slot.obj, slot.delta, epoch) };
+            }
+        }
+        cc.slots[idx] = Slot { obj: key, delta };
+    }
+
+    /// Increments the reference count of `obj` on `core`.
+    ///
+    /// The caller must hold a logical reference to `obj` (or have just
+    /// obtained the pointer via [`Refcache::tryget`]).
+    #[inline]
+    pub fn inc<T>(&self, core: usize, obj: RcPtr<T>) {
+        self.adjust(core, obj.header(), 1);
+    }
+
+    /// Decrements the reference count of `obj` on `core`, surrendering one
+    /// logical reference. The object is freed (lazily) when its true count
+    /// reaches zero.
+    #[inline]
+    pub fn dec<T>(&self, core: usize, obj: RcPtr<T>) {
+        self.adjust(core, obj.header(), -1);
+    }
+
+    /// Applies a cached delta to the object's global count (the paper's
+    /// `evict`). Queues the object for review when the count reaches zero.
+    ///
+    /// Called with the core lock held; takes the object lock (lock order:
+    /// core → object).
+    ///
+    /// # Safety
+    ///
+    /// `obj_addr` must point to a live managed object's header.
+    unsafe fn evict(&self, cc: &mut CoreCache, obj_addr: usize, delta: i64, epoch: u64) {
+        let hdr = &*(obj_addr as *const Header);
+        let mut st = hdr.state.lock();
+        st.refcnt += delta;
+        if st.refcnt == 0 {
+            if !st.on_review {
+                st.dirty = false;
+                st.on_review = true;
+                // Mark the weak reference dying so tryget must revive.
+                let weak = hdr.weak.load(Ordering::Acquire);
+                if weak != 0 {
+                    // SAFETY: the weak word outlives the object (it is a
+                    // slot in a parent structure kept alive by this child;
+                    // see `register_weak`).
+                    weak::set_dying(&*(weak as *const Atomic64));
+                }
+                drop(st);
+                cc.review.push_back((obj_addr, epoch));
+            }
+            // Already under review: leave `dirty` as is — an earlier
+            // non-zero excursion was recorded there.
+        } else {
+            // The count changed while (possibly) under review; a zero seen
+            // by review is then a dirty zero.
+            st.dirty = true;
+        }
+    }
+
+    /// Flushes `core`'s delta cache and advances the epoch barrier (the
+    /// paper's `flush`).
+    pub fn flush(&self, core: usize) {
+        let mut cc = self.cores[core].lock();
+        let epoch = self.epoch();
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        for i in 0..cc.slots.len() {
+            let slot = cc.slots[i];
+            if slot.obj != 0 {
+                cc.slots[i] = EMPTY_SLOT;
+                if slot.delta != 0 {
+                    // SAFETY: cached deltas imply liveness (module docs).
+                    unsafe { self.evict(&mut cc, slot.obj, slot.delta, epoch) };
+                }
+            }
+        }
+        // Epoch barrier: the last core to flush in an epoch advances it.
+        if cc.local_epoch < epoch {
+            cc.local_epoch = epoch;
+            let f = self.flushed_cores.fetch_add(1, Ordering::SeqCst) + 1;
+            if f as usize == self.ncores {
+                self.flushed_cores.store(0, Ordering::SeqCst);
+                self.global_epoch.store(epoch + 1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Processes `core`'s review queue (the paper's `review`): frees
+    /// objects whose count has provably been zero for a full epoch,
+    /// re-queues dirty zeros, and un-marks objects that came back.
+    pub fn review(&self, core: usize) {
+        let mut to_free: Vec<ObjPtr> = Vec::new();
+        {
+            let mut cc = self.cores[core].lock();
+            let epoch = self.epoch();
+            let mut remaining = cc.review.len();
+            while remaining > 0 {
+                remaining -= 1;
+                let (obj_addr, objepoch) = match cc.review.front() {
+                    Some(&e) => e,
+                    None => break,
+                };
+                if epoch < objepoch + self.cfg.review_delay {
+                    break;
+                }
+                cc.review.pop_front();
+                // SAFETY: objects on a review queue are kept alive until
+                // this pass decides their fate (only review frees).
+                let hdr = unsafe { &*(obj_addr as *const Header) };
+                let mut st = hdr.state.lock();
+                if st.refcnt != 0 {
+                    // Came back to life; clear review state and dying.
+                    st.on_review = false;
+                    st.dirty = false;
+                    let weak = hdr.weak.load(Ordering::Acquire);
+                    if weak != 0 {
+                        // SAFETY: weak word outlives the object.
+                        weak::clear_dying(unsafe { &*(weak as *const Atomic64) });
+                    }
+                    continue;
+                }
+                let weak = hdr.weak.load(Ordering::Acquire);
+                let clean = !st.dirty && {
+                    if weak == 0 {
+                        true
+                    } else {
+                        // SAFETY: weak word outlives the object.
+                        let word = unsafe { &*(weak as *const Atomic64) };
+                        let cur = word.load(Ordering::Acquire);
+                        weak::try_clear_for_free(word, weak::ptr_bits(cur), weak::tag_bits(cur))
+                    }
+                };
+                if clean {
+                    // The freeing CAS succeeded (or no weak exists): no
+                    // new reference can appear. Defer the actual free
+                    // until locks are dropped.
+                    drop(st);
+                    // SAFETY: `obj_addr` is a live header (see above).
+                    to_free.push(unsafe { NonNull::new_unchecked(obj_addr as *mut Header) });
+                } else {
+                    // Dirty zero or lost the race with a revive/lock:
+                    // examine again two epochs from now.
+                    self.stats.dirty_zeros.fetch_add(1, Ordering::Relaxed);
+                    st.dirty = false;
+                    if weak != 0 {
+                        // SAFETY: weak word outlives the object.
+                        weak::set_dying(unsafe { &*(weak as *const Atomic64) });
+                    }
+                    drop(st);
+                    cc.review.push_back((obj_addr, epoch));
+                }
+            }
+        }
+        // Perform frees outside the per-core lock: `on_release` may
+        // re-enter the cache (e.g. dec of a parent node).
+        let ctx = ReleaseCtx { cache: self, core };
+        for obj in to_free {
+            self.stats.frees.fetch_add(1, Ordering::Relaxed);
+            let hdr = obj.as_ptr();
+            // SAFETY: review confirmed a clean true zero and cleared the
+            // weak reference, so this is the sole owner; `drop_fn` matches
+            // the allocation's payload type by construction.
+            unsafe { ((*hdr).drop_fn)(hdr, &ctx) };
+        }
+    }
+
+    /// Periodic per-core maintenance: flush then review. Call this
+    /// regularly from each core (the kernel uses a 10 ms timer tick; the
+    /// benchmarks call it every few hundred operations).
+    pub fn maintain(&self, core: usize) {
+        self.flush(core);
+        self.review(core);
+    }
+
+    /// Runs enough maintenance rounds on all cores to flush every delta
+    /// and free every unreferenced object. Intended for tests and orderly
+    /// shutdown.
+    pub fn quiesce(&self) {
+        // Each full sweep over all cores advances the epoch at least once;
+        // run enough sweeps for queue→review→(dirty requeue)→review.
+        let rounds = 4 * self.cfg.review_delay as usize + 4;
+        for _ in 0..rounds {
+            for c in 0..self.ncores {
+                self.maintain(c);
+            }
+        }
+    }
+
+    /// Registers `slot` as the weak reference for `obj`.
+    ///
+    /// The caller must have stored `pack(obj.addr(), tag)` (possibly with
+    /// the lock bit) into `slot` and must guarantee that `slot` outlives
+    /// the object — in the radix tree, a parent node cannot be freed while
+    /// a child holds a used slot in it.
+    ///
+    /// Each object supports at most one weak reference over its lifetime.
+    pub fn register_weak<T>(&self, obj: RcPtr<T>, slot: &Atomic64) {
+        let hdr = obj.header();
+        // SAFETY: caller holds a reference, so the header is live.
+        let prev = unsafe {
+            (*hdr.as_ptr())
+                .weak
+                .swap(slot as *const Atomic64 as usize, Ordering::AcqRel)
+        };
+        debug_assert_eq!(prev, 0, "object already had a weak reference");
+    }
+
+    /// Attempts to obtain a reference to the object behind a weak word.
+    ///
+    /// On success the object's count has been incremented on `core` and a
+    /// typed pointer is returned; `None` means the object was deleted (or
+    /// the slot does not currently hold tag `tag`).
+    ///
+    /// # Safety
+    ///
+    /// If `slot` currently holds a pointer under tag `tag`, it must point
+    /// to an `RcBox<T>` registered with [`Refcache::register_weak`].
+    pub unsafe fn tryget<T>(&self, core: usize, slot: &Atomic64, tag: u8) -> Option<RcPtr<T>> {
+        match weak::tryget_raw(slot, tag) {
+            weak::TrygetOutcome::Absent => None,
+            weak::TrygetOutcome::Got(addr) => {
+                let ptr = RcPtr::<T>::from_header(NonNull::new_unchecked(addr as *mut Header));
+                self.inc(core, ptr);
+                Some(ptr)
+            }
+        }
+    }
+
+    /// Immediately frees a managed object, bypassing the lazy protocol
+    /// and skipping [`Managed::on_release`]. Intended for exclusive
+    /// teardown of whole structures (e.g. dropping a radix tree).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the object: no logical
+    /// references, no cached deltas on any core (call
+    /// [`Refcache::quiesce`] first), no review-queue entries, and no weak
+    /// reference uses can occur afterwards.
+    pub unsafe fn free_untracked<T>(&self, obj: RcPtr<T>) {
+        self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        drop(Box::from_raw(obj.raw.as_ptr()));
+    }
+
+    /// Reads an object's current *global* count (test/debug aid; the true
+    /// count additionally includes cached deltas).
+    pub fn global_count<T>(&self, obj: RcPtr<T>) -> i64 {
+        let hdr = obj.header();
+        // SAFETY: caller holds a reference.
+        unsafe { (*hdr.as_ptr()).state.lock().refcnt }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::Arc;
+
+    /// Test payload that counts drops and release callbacks.
+    struct Tracked {
+        drops: Arc<StdAtomicU64>,
+        releases: Arc<StdAtomicU64>,
+    }
+
+    impl Managed for Tracked {
+        fn on_release(&mut self, _ctx: &ReleaseCtx<'_>) {
+            self.releases.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn tracked(
+        rc: &Refcache,
+        init: i64,
+    ) -> (RcPtr<Tracked>, Arc<StdAtomicU64>, Arc<StdAtomicU64>) {
+        let drops = Arc::new(StdAtomicU64::new(0));
+        let releases = Arc::new(StdAtomicU64::new(0));
+        let p = rc.alloc(
+            init,
+            Tracked {
+                drops: drops.clone(),
+                releases: releases.clone(),
+            },
+        );
+        (p, drops, releases)
+    }
+
+    #[test]
+    fn alloc_and_free_single_core() {
+        let rc = Refcache::new(1);
+        let (p, drops, releases) = tracked(&rc, 1);
+        rc.dec(0, p);
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "free must be lazy");
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(releases.load(Ordering::SeqCst), 1);
+        assert_eq!(rc.live_objects(), 0);
+    }
+
+    #[test]
+    fn free_waits_full_epoch() {
+        let rc = Refcache::new(1);
+        let (p, drops, _) = tracked(&rc, 1);
+        rc.dec(0, p);
+        // One maintain flushes the dec (global hits zero, queued at epoch
+        // E); review at the same epoch must not free.
+        rc.maintain(0);
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        // Two more epoch advances reach E+2 and free.
+        rc.maintain(0);
+        rc.maintain(0);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn inc_dec_balanced_never_frees() {
+        let rc = Refcache::new(2);
+        let (p, drops, _) = tracked(&rc, 1);
+        for _ in 0..100 {
+            rc.inc(0, p);
+            rc.dec(1, p);
+        }
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        assert_eq!(rc.global_count(p), 1);
+        rc.dec(0, p);
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reorder_between_cores_is_tolerated() {
+        // Reproduce the paper's Figure 1 scenario: a dec flushes before the
+        // matching inc, producing a transient (false) global zero.
+        let rc = Refcache::new(2);
+        let (p, drops, _) = tracked(&rc, 1);
+        rc.inc(0, p); // +1 cached on core 0
+        rc.dec(1, p); // -1 cached on core 1
+        rc.flush(1); // global: 1 - 1 = 0 → queued (false zero)
+        rc.review(1);
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        rc.flush(0); // global back to 1, marks dirty
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "false zero must not free");
+        rc.dec(0, p);
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dirty_zero_defers_but_eventually_frees() {
+        let rc = Refcache::new(2);
+        let (p, drops, _) = tracked(&rc, 1);
+        rc.dec(0, p);
+        rc.flush(0); // global 0, queued on core 0
+                     // Bounce the count 0 → 1 → 0 while under review: dirty zero.
+        rc.inc(1, p);
+        rc.flush(1); // global 1, dirty
+        rc.dec(1, p);
+        rc.flush(1); // global 0 again
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert!(rc.stats().dirty_zeros >= 1);
+    }
+
+    #[test]
+    fn conflict_eviction_applies_delta() {
+        // A 1-slot cache forces every distinct object to evict the last.
+        let rc = Refcache::with_config(
+            1,
+            RefcacheConfig {
+                cache_slots: 1,
+                review_delay: 2,
+            },
+        );
+        let (p1, d1, _) = tracked(&rc, 1);
+        let (p2, d2, _) = tracked(&rc, 1);
+        rc.dec(0, p1);
+        rc.dec(0, p2); // evicts p1's delta immediately
+        assert!(rc.stats().conflicts >= 1);
+        rc.quiesce();
+        assert_eq!(d1.load(Ordering::SeqCst), 1);
+        assert_eq!(d2.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn weak_tryget_revives() {
+        let rc = Refcache::new(1);
+        let (p, drops, _) = tracked(&rc, 1);
+        let slot = Atomic64::new(weak::pack(p.addr(), 1));
+        rc.register_weak(p, &slot);
+        rc.dec(0, p);
+        rc.flush(0); // global zero; dying set on the slot
+        assert!(weak::is_dying(slot.load(Ordering::Acquire)));
+        // Revive through the weak reference before review frees it.
+        // SAFETY: slot holds `p` under tag 1.
+        let got = unsafe { rc.tryget::<Tracked>(0, &slot, 1) };
+        assert!(got.is_some());
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "revived object freed");
+        // Drop the revived reference; now it really dies.
+        rc.dec(0, got.unwrap());
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(slot.load(Ordering::Acquire), 0, "free clears the slot");
+        // tryget after free reports deletion.
+        // SAFETY: slot is empty; tryget handles that case.
+        assert!(unsafe { rc.tryget::<Tracked>(0, &slot, 1) }.is_none());
+    }
+
+    #[test]
+    fn locked_weak_slot_defeats_free() {
+        let rc = Refcache::new(1);
+        let (p, drops, _) = tracked(&rc, 1);
+        let slot = Atomic64::new(weak::pack(p.addr(), 1) | weak::LOCK_BIT);
+        rc.register_weak(p, &slot);
+        rc.dec(0, p);
+        rc.quiesce();
+        // The slot lock bit blocks the freeing CAS.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        // Unlock; the object is still queued (re-queued each review pass)
+        // and now gets freed.
+        slot.fetch_and(!weak::LOCK_BIT, Ordering::AcqRel);
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn init_count_covers_multiple_slots() {
+        let rc = Refcache::new(1);
+        let (p, drops, _) = tracked(&rc, 512);
+        for _ in 0..511 {
+            rc.dec(0, p);
+        }
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        rc.dec(0, p);
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn epoch_advances_only_when_all_cores_flush() {
+        let rc = Refcache::new(3);
+        let e0 = rc.epoch();
+        rc.flush(0);
+        rc.flush(1);
+        assert_eq!(rc.epoch(), e0);
+        rc.flush(0); // same core again: no double count
+        assert_eq!(rc.epoch(), e0);
+        rc.flush(2);
+        assert_eq!(rc.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn single_core_object_no_remote_traffic() {
+        // The paper's headline property: an object manipulated from one
+        // core causes no per-object cache-line movement. In sim mode the
+        // counters prove it.
+        let model = rvm_sync::CostModel::default();
+        let guard = rvm_sync::sim::install(4, model);
+        let rc = Refcache::new(4);
+        let (p, _, _) = tracked(&rc, 1);
+        // Warm up core 2's structures.
+        rvm_sync::sim::switch(2);
+        rc.inc(2, p);
+        rc.dec(2, p);
+        rc.maintain(2);
+        let before = rvm_sync::sim::stats();
+        for _ in 0..1000 {
+            rc.inc(2, p);
+            rc.dec(2, p);
+        }
+        let after = rvm_sync::sim::stats();
+        assert_eq!(
+            after.cores[2].remote_transfers, before.cores[2].remote_transfers,
+            "single-core inc/dec must stay core-local"
+        );
+        drop(guard);
+        rc.dec(0, p);
+        rc.quiesce();
+    }
+
+    #[test]
+    fn stress_real_threads() {
+        // 4 real threads hammer inc/dec on a churn of objects.
+        let rc = Arc::new(Refcache::new(4));
+        let drops = Arc::new(StdAtomicU64::new(0));
+        let releases = Arc::new(StdAtomicU64::new(0));
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let rc = rc.clone();
+            let drops = drops.clone();
+            let releases = releases.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let p = rc.alloc(
+                        1,
+                        Tracked {
+                            drops: drops.clone(),
+                            releases: releases.clone(),
+                        },
+                    );
+                    rc.inc(core, p);
+                    rc.dec(core, p);
+                    rc.dec(core, p);
+                    if i % 64 == 0 {
+                        rc.maintain(core);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 8_000);
+        assert_eq!(releases.load(Ordering::SeqCst), 8_000);
+        assert_eq!(rc.live_objects(), 0);
+    }
+
+    #[test]
+    fn stress_shared_object_real_threads() {
+        // Threads share one object and race inc/dec against maintenance;
+        // the object must be freed exactly once, only at the end.
+        let rc = Arc::new(Refcache::new(4));
+        let (p, drops, _) = tracked(&rc, 1);
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let rc = rc.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    rc.inc(core, p);
+                    rc.dec(core, p);
+                    if i % 97 == 0 {
+                        rc.maintain(core);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        rc.dec(0, p);
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+}

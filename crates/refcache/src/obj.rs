@@ -1,0 +1,209 @@
+//! Refcache-managed objects.
+//!
+//! Objects whose lifetime is governed by Refcache are allocated as an
+//! [`RcBox`]: a [`Header`] followed by the payload. The header carries the
+//! object's *global* reference count (protected by a fine-grained lock, as
+//! in the paper's Figure 2), review-queue bookkeeping, the address of the
+//! object's (single, optional) weak-reference word, and a type-erased drop
+//! function so the cache can free objects of any payload type.
+
+use std::ptr::NonNull;
+use std::sync::atomic::AtomicUsize;
+
+use rvm_sync::SpinLock;
+
+use crate::Refcache;
+
+/// A payload type whose lifetime is managed by [`Refcache`].
+pub trait Managed: Send + Sync + 'static {
+    /// Called exactly once, when the object's true reference count has been
+    /// confirmed zero, immediately before deallocation.
+    ///
+    /// Implementations may perform further Refcache operations through
+    /// `ctx` (for example, a radix-tree node decrements its parent here).
+    fn on_release(&mut self, ctx: &ReleaseCtx<'_>);
+}
+
+/// Context passed to [`Managed::on_release`].
+pub struct ReleaseCtx<'a> {
+    /// The cache that is freeing the object.
+    pub cache: &'a Refcache,
+    /// The core on which the release is executing.
+    pub core: usize,
+}
+
+/// Mutable reference-count state, protected by the per-object lock.
+pub(crate) struct ObjState {
+    /// The global reference count (sum of all flushed deltas). May be
+    /// transiently negative because deltas flush in no particular order.
+    pub(crate) refcnt: i64,
+    /// Set when the global count changed while the object sat on a review
+    /// queue; a dirty zero must be re-reviewed (paper §3.1).
+    pub(crate) dirty: bool,
+    /// True while the object is on some core's review queue.
+    pub(crate) on_review: bool,
+}
+
+/// Header shared by all Refcache-managed allocations.
+#[repr(C)]
+pub struct Header {
+    pub(crate) state: SpinLock<ObjState>,
+    /// Address of the external weak-reference word, or 0 if the object has
+    /// no weak reference. Written once at registration.
+    pub(crate) weak: AtomicUsize,
+    /// Type-erased destructor; reconstructs the concrete `Box<RcBox<T>>`.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called once, with a pointer produced by
+    /// [`Refcache::alloc`], after the true count is confirmed zero.
+    pub(crate) drop_fn: unsafe fn(*mut Header, &ReleaseCtx<'_>),
+}
+
+/// A Refcache-managed allocation: header followed by payload.
+///
+/// The 16-byte alignment guarantees the low four pointer bits are free for
+/// the packed weak-word encoding (lock, dying, tag bits; see
+/// [`crate::weak`]).
+#[repr(C, align(16))]
+pub struct RcBox<T> {
+    pub(crate) hdr: Header,
+    pub(crate) obj: T,
+}
+
+/// An untyped handle to a managed object (pointer to its header).
+pub(crate) type ObjPtr = NonNull<Header>;
+
+/// A typed handle to a Refcache-managed object.
+///
+/// `RcPtr` is a plain copyable pointer: it does **not** own a reference by
+/// itself. The holder is responsible for the logical reference discipline:
+/// each `RcPtr` dereference must be covered by an outstanding reference
+/// (an un-decremented `inc`, the initial allocation count, or a successful
+/// `tryget`).
+pub struct RcPtr<T> {
+    pub(crate) raw: NonNull<RcBox<T>>,
+}
+
+impl<T> Clone for RcPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for RcPtr<T> {}
+
+impl<T> PartialEq for RcPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+
+impl<T> Eq for RcPtr<T> {}
+
+impl<T> std::fmt::Debug for RcPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RcPtr({:p})", self.raw)
+    }
+}
+
+// SAFETY: `RcPtr` is a pointer to a heap allocation whose payload is
+// `Send + Sync` (required by `Managed`); the pointer itself may freely move
+// between threads.
+unsafe impl<T: Send + Sync> Send for RcPtr<T> {}
+// SAFETY: as above; all mutation of the header goes through its lock or
+// atomics.
+unsafe impl<T: Send + Sync> Sync for RcPtr<T> {}
+
+impl<T> RcPtr<T> {
+    /// Returns the untyped header pointer.
+    #[inline]
+    pub(crate) fn header(self) -> ObjPtr {
+        // SAFETY: `RcBox` is `repr(C)` with the header first, so the casts
+        // preserve the address and the pointer remains non-null.
+        unsafe { NonNull::new_unchecked(self.raw.as_ptr() as *mut Header) }
+    }
+
+    /// Reconstructs a typed handle from a header pointer.
+    ///
+    /// # Safety
+    ///
+    /// `h` must point to the header of an `RcBox<T>` with payload type `T`.
+    #[inline]
+    pub(crate) unsafe fn from_header(h: ObjPtr) -> Self {
+        RcPtr {
+            raw: NonNull::new_unchecked(h.as_ptr() as *mut RcBox<T>),
+        }
+    }
+
+    /// Dereferences the payload.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a logical reference to the object (see the type
+    /// documentation); otherwise the object may already have been freed.
+    #[inline]
+    pub unsafe fn as_ref<'a>(self) -> &'a T {
+        &(*self.raw.as_ptr()).obj
+    }
+
+    /// Returns the raw address of the object (stable for its lifetime).
+    #[inline]
+    pub fn addr(self) -> usize {
+        self.raw.as_ptr() as usize
+    }
+
+    /// Reconstructs a handle from an address previously produced by
+    /// [`RcPtr::addr`] (e.g. one stored in a packed slot word).
+    ///
+    /// # Safety
+    ///
+    /// `addr` must be the address of a live `RcBox<T>` allocated by
+    /// [`Refcache::alloc`] with payload type `T`.
+    #[inline]
+    pub unsafe fn from_raw_addr(addr: usize) -> Self {
+        RcPtr {
+            raw: NonNull::new_unchecked(addr as *mut RcBox<T>),
+        }
+    }
+}
+
+/// Type-erased drop glue for `RcBox<T>`.
+///
+/// # Safety
+///
+/// `h` must be the sole remaining pointer to a live `RcBox<T>` allocated by
+/// [`Refcache::alloc`]; the allocation is freed.
+pub(crate) unsafe fn drop_impl<T: Managed>(h: *mut Header, ctx: &ReleaseCtx<'_>) {
+    let mut boxed = Box::from_raw(h as *mut RcBox<T>);
+    boxed.obj.on_release(ctx);
+    drop(boxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcbox_layout() {
+        // Header must be at offset 0 and the box 16-byte aligned so that
+        // packed weak words have four tag bits available.
+        assert_eq!(std::mem::align_of::<RcBox<u64>>(), 16);
+        let b = RcBox {
+            hdr: Header {
+                state: SpinLock::new(ObjState {
+                    refcnt: 0,
+                    dirty: false,
+                    on_review: false,
+                }),
+                weak: AtomicUsize::new(0),
+                drop_fn: |_, _| (),
+            },
+            obj: 42u64,
+        };
+        let base = &b as *const _ as usize;
+        let hdr = &b.hdr as *const _ as usize;
+        assert_eq!(base, hdr);
+        assert_eq!(base % 16, 0);
+    }
+}

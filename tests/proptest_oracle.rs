@@ -1,0 +1,210 @@
+//! Property-based tests: each core data structure against a pure oracle.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use radixvm::baselines::{SkipList, Vma, VmaMap};
+use radixvm::hw::{Backing, Prot};
+use radixvm::radix::{LockMode, RadixConfig, RadixTree, Removed};
+use radixvm::refcache::{Managed, Refcache, ReleaseCtx};
+
+/// Operations over a small VPN window.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Set { lo: u64, len: u64, val: u64 },
+    Clear { lo: u64, len: u64 },
+    Get { at: u64 },
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0u64..2048, 1u64..600, any::<u64>())
+            .prop_map(|(lo, len, val)| TreeOp::Set { lo, len, val }),
+        (0u64..2048, 1u64..600).prop_map(|(lo, len)| TreeOp::Clear { lo, len }),
+        (0u64..2700).prop_map(|at| TreeOp::Get { at }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The radix tree behaves exactly like a BTreeMap of per-page values,
+    /// including across folding, expansion, and collapse.
+    #[test]
+    fn radix_tree_matches_btreemap(ops in proptest::collection::vec(tree_op(), 1..60)) {
+        let cache = Arc::new(Refcache::new(1));
+        let tree = RadixTree::<u64>::new(cache.clone(), RadixConfig::default());
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        // Offset the window so it straddles a 512-alignment boundary.
+        let base = 512 * 7 + 13;
+        for op in &ops {
+            match *op {
+                TreeOp::Set { lo, len, val } => {
+                    let (lo, hi) = (base + lo, base + lo + len);
+                    let mut g = tree.lock_range(0, lo, hi, LockMode::ExpandAll);
+                    let displaced = g.replace(&val);
+                    // Displaced values must match the oracle's prior state.
+                    let mut displaced_pages = 0;
+                    for d in &displaced {
+                        match d {
+                            Removed::Page(vpn, v) => {
+                                prop_assert_eq!(oracle.get(vpn), Some(v));
+                                displaced_pages += 1;
+                            }
+                            Removed::Block { start, pages, value } => {
+                                for p in *start..*start + *pages {
+                                    prop_assert_eq!(oracle.get(&p), Some(value));
+                                }
+                                displaced_pages += pages;
+                            }
+                        }
+                    }
+                    let expected: u64 =
+                        (lo..hi).filter(|p| oracle.contains_key(p)).count() as u64;
+                    prop_assert_eq!(displaced_pages, expected);
+                    for p in lo..hi {
+                        oracle.insert(p, val);
+                    }
+                }
+                TreeOp::Clear { lo, len } => {
+                    let (lo, hi) = (base + lo, base + lo + len);
+                    let mut g = tree.lock_range(0, lo, hi, LockMode::ExpandFolded);
+                    let removed = g.clear();
+                    let mut removed_pages = 0;
+                    for d in &removed {
+                        match d {
+                            Removed::Page(vpn, v) => {
+                                prop_assert_eq!(oracle.get(vpn), Some(v));
+                                removed_pages += 1;
+                            }
+                            Removed::Block { start, pages, value } => {
+                                for p in *start..*start + *pages {
+                                    prop_assert_eq!(oracle.get(&p), Some(value));
+                                }
+                                removed_pages += pages;
+                            }
+                        }
+                    }
+                    let expected: u64 =
+                        (lo..hi).filter(|p| oracle.contains_key(p)).count() as u64;
+                    prop_assert_eq!(removed_pages, expected);
+                    for p in lo..hi {
+                        oracle.remove(&p);
+                    }
+                }
+                TreeOp::Get { at } => {
+                    let at = base + at;
+                    prop_assert_eq!(tree.get(0, at), oracle.get(&at).copied());
+                    prop_assert_eq!(tree.lookup_present(0, at), oracle.contains_key(&at));
+                }
+            }
+        }
+        // Collapse everything and verify the tree still agrees.
+        cache.quiesce();
+        for (&p, &v) in &oracle {
+            prop_assert_eq!(tree.get(0, p), Some(v));
+        }
+    }
+
+    /// Refcache frees an object exactly when a matched inc/dec history
+    /// ends at zero, never earlier, regardless of which cores the
+    /// operations and flushes land on.
+    #[test]
+    fn refcache_matches_exact_counter(
+        ops in proptest::collection::vec((0usize..4, prop_oneof![Just(1i64), Just(-1i64)], 0usize..5), 0..80)
+    ) {
+        struct Flag(Arc<std::sync::atomic::AtomicU64>);
+        impl Managed for Flag {
+            fn on_release(&mut self, _: &ReleaseCtx<'_>) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let rc = Refcache::new(4);
+        let freed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let obj = rc.alloc(1, Flag(freed.clone()));
+        let mut count = 1i64;
+        for (core, delta, flushes) in ops {
+            // Keep the true count positive: only apply a dec if it will
+            // not take the count to zero mid-run.
+            if delta < 0 && count <= 1 {
+                continue;
+            }
+            if delta > 0 {
+                rc.inc(core, obj);
+            } else {
+                rc.dec(core, obj);
+            }
+            count += delta;
+            for f in 0..flushes {
+                rc.maintain(f % 4);
+            }
+            prop_assert_eq!(freed.load(std::sync::atomic::Ordering::SeqCst), 0);
+        }
+        // Drain the remaining references; the object must free exactly once.
+        for _ in 0..count {
+            rc.dec(0, obj);
+        }
+        rc.quiesce();
+        prop_assert_eq!(freed.load(std::sync::atomic::Ordering::SeqCst), 1);
+        prop_assert_eq!(rc.live_objects(), 0);
+    }
+
+    /// The VMA map's carve/insert/merge agrees with a per-page oracle.
+    #[test]
+    fn vma_map_matches_page_oracle(
+        ops in proptest::collection::vec((0u64..400, 1u64..80, any::<bool>()), 1..60)
+    ) {
+        let mut m = VmaMap::new();
+        let mut oracle: BTreeSet<u64> = BTreeSet::new();
+        for (lo, len, is_map) in ops {
+            let hi = lo + len;
+            if is_map {
+                m.carve(lo, hi);
+                m.insert(Vma { start: lo, end: hi, prot: Prot::RW, backing: Backing::Anon });
+                for p in lo..hi {
+                    oracle.insert(p);
+                }
+            } else {
+                m.carve(lo, hi);
+                for p in lo..hi {
+                    oracle.remove(&p);
+                }
+            }
+            // Spot-check membership.
+            for probe in [lo, lo + len / 2, hi.saturating_sub(1), hi, lo.saturating_sub(1)] {
+                prop_assert_eq!(
+                    m.lookup(probe).is_some(),
+                    oracle.contains(&probe),
+                    "probe {}", probe
+                );
+            }
+        }
+        // VMA count is bounded by the number of maximal runs in the oracle.
+        let mut runs = 0;
+        let mut prev = None;
+        for &p in &oracle {
+            if prev != Some(p.wrapping_sub(1)) {
+                runs += 1;
+            }
+            prev = Some(p);
+        }
+        prop_assert_eq!(m.iter().count(), runs, "VMAs must merge into maximal runs");
+    }
+
+    /// The lock-free skip list agrees with a BTreeSet.
+    #[test]
+    fn skiplist_matches_btreeset(
+        ops in proptest::collection::vec((0u64..300, 0u8..3), 1..300)
+    ) {
+        let s = SkipList::new();
+        let mut oracle = BTreeSet::new();
+        for (k, op) in ops {
+            match op {
+                0 => prop_assert_eq!(s.insert(k), oracle.insert(k)),
+                1 => prop_assert_eq!(s.remove(k), oracle.remove(&k)),
+                _ => prop_assert_eq!(s.contains(k), oracle.contains(&k)),
+            }
+        }
+    }
+}

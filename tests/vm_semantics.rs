@@ -1,0 +1,188 @@
+//! Cross-system semantic equivalence: RadixVM, the Linux baseline, and
+//! the Bonsai baseline must implement the same POSIX-ish VM contract.
+//! A deterministic random workload of mmap/munmap/write/read operations
+//! is run against all three systems plus a pure model; every observable
+//! result must agree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use radixvm::baselines::{BonsaiVm, LinuxVm};
+use radixvm::core_vm::{RadixVm, RadixVmConfig};
+use radixvm::hw::{Backing, Machine, MmuKind, Prot, VmError, VmSystem, PAGE_SIZE};
+
+const BASE: u64 = 0x40_0000_0000;
+const PAGES: u64 = 96;
+
+fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A pure model of the VM contract over one small window of pages.
+#[derive(Default)]
+struct Model {
+    /// Mapped pages → last written value (None = untouched, reads zero).
+    mapped: HashMap<u64, Option<u64>>,
+}
+
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Ok(Option<u64>),
+    NoMapping,
+}
+
+fn run_sequence(vm: Arc<dyn VmSystem>, machine: Arc<Machine>, seed: u64) -> Vec<Outcome> {
+    vm.attach_core(0);
+    let mut model = Model::default();
+    let mut rng = seed;
+    let mut log = Vec::new();
+    for step in 0..600u64 {
+        let r = splitmix(&mut rng);
+        let page = r % PAGES;
+        let len_pages = 1 + (r >> 8) % 8;
+        let lo = page.min(PAGES - len_pages);
+        let addr = BASE + lo * PAGE_SIZE;
+        match (r >> 16) % 4 {
+            0 => {
+                // mmap: model marks pages mapped and zeroed.
+                vm.mmap(0, addr, len_pages * PAGE_SIZE, Prot::RW, Backing::Anon)
+                    .unwrap();
+                for p in lo..lo + len_pages {
+                    model.mapped.insert(p, None);
+                }
+            }
+            1 => {
+                vm.munmap(0, addr, len_pages * PAGE_SIZE).unwrap();
+                for p in lo..lo + len_pages {
+                    model.mapped.remove(&p);
+                }
+            }
+            2 => {
+                // Write a word.
+                let val = step + 1;
+                let res = machine.write_u64(0, &*vm, addr, val);
+                match (res, model.mapped.contains_key(&lo)) {
+                    (Ok(()), true) => {
+                        model.mapped.insert(lo, Some(val));
+                        log.push(Outcome::Ok(Some(val)));
+                    }
+                    (Err(VmError::NoMapping), false) => log.push(Outcome::NoMapping),
+                    (got, expected_mapped) => {
+                        panic!("write mismatch at step {step}: {got:?}, mapped={expected_mapped}")
+                    }
+                }
+            }
+            _ => {
+                // Read a word.
+                let res = machine.read_u64(0, &*vm, addr);
+                match (res, model.mapped.get(&lo)) {
+                    (Ok(v), Some(val)) => {
+                        assert_eq!(v, val.unwrap_or(0), "read value at step {step}");
+                        log.push(Outcome::Ok(Some(v)));
+                    }
+                    (Err(VmError::NoMapping), None) => log.push(Outcome::NoMapping),
+                    (got, expected) => {
+                        panic!("read mismatch at step {step}: {got:?} vs {expected:?}")
+                    }
+                }
+            }
+        }
+    }
+    log
+}
+
+#[test]
+fn all_systems_agree_on_random_workloads() {
+    for seed in [1u64, 42, 1234, 98765] {
+        let m1 = Machine::new(2);
+        let radix = run_sequence(
+            RadixVm::new(m1.clone(), RadixVmConfig::default()),
+            m1,
+            seed,
+        );
+        let m2 = Machine::new(2);
+        let linux = run_sequence(LinuxVm::new(m2.clone()), m2, seed);
+        let m3 = Machine::new(2);
+        let bonsai = run_sequence(BonsaiVm::new(m3.clone()), m3, seed);
+        let m4 = Machine::new(2);
+        let radix_shared = run_sequence(
+            RadixVm::new(
+                m4.clone(),
+                RadixVmConfig {
+                    mmu: MmuKind::Shared,
+                    collapse: true,
+                },
+            ),
+            m4,
+            seed,
+        );
+        assert_eq!(radix, linux, "seed {seed}: RadixVM vs Linux");
+        assert_eq!(radix, bonsai, "seed {seed}: RadixVM vs Bonsai");
+        assert_eq!(radix, radix_shared, "seed {seed}: per-core vs shared PT");
+    }
+}
+
+#[test]
+fn no_leaks_after_random_workload() {
+    let machine = Machine::new(2);
+    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let cache = vm.cache().clone();
+    run_sequence(vm, machine.clone(), 7);
+    // All spaces dropped: every frame must be back in the pool and every
+    // radix node collapsed.
+    cache.quiesce();
+    assert_eq!(cache.live_objects(), 0, "radix nodes / pages leaked");
+}
+
+#[test]
+fn mprotect_agrees_between_radix_and_linux() {
+    for (name, mk) in [
+        ("radix", 0u8),
+        ("linux", 1u8),
+    ] {
+        let machine = Machine::new(1);
+        let vm: Arc<dyn VmSystem> = if mk == 0 {
+            RadixVm::new(machine.clone(), RadixVmConfig::default())
+        } else {
+            LinuxVm::new(machine.clone())
+        };
+        vm.attach_core(0);
+        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        machine.write_u64(0, &*vm, BASE + PAGE_SIZE, 5).unwrap();
+        vm.mprotect(0, BASE, 4 * PAGE_SIZE, Prot::READ).unwrap();
+        assert_eq!(
+            machine.write_u64(0, &*vm, BASE, 1),
+            Err(VmError::ProtViolation),
+            "{name}"
+        );
+        vm.mprotect(0, BASE, 4 * PAGE_SIZE, Prot::RW).unwrap();
+        machine.write_u64(0, &*vm, BASE, 1).unwrap();
+    }
+}
+
+#[test]
+fn metis_identical_across_all_systems() {
+    use radixvm::metis::{run_to_completion, Metis, MetisConfig, VmArena};
+    let mut digests = Vec::new();
+    for which in 0..3 {
+        let machine = Machine::new(3);
+        let vm: Arc<dyn VmSystem> = match which {
+            0 => RadixVm::new(machine.clone(), RadixVmConfig::default()),
+            1 => LinuxVm::new(machine.clone()),
+            _ => BonsaiVm::new(machine.clone()),
+        };
+        for c in 0..3 {
+            vm.attach_core(c);
+        }
+        let arena = Arc::new(VmArena::new(machine.clone(), vm, 16));
+        let job = Metis::new(arena, MetisConfig::small(3));
+        let st = run_to_completion(&job, 3);
+        digests.push((st.pairs, st.distinct_words, st.outputs));
+    }
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[2]);
+}
