@@ -1,0 +1,247 @@
+//! The backend layer: every VM system in the workspace behind one enum,
+//! one factory, and one metadata table.
+//!
+//! The paper's evaluation compares RadixVM (and two ablations of it)
+//! against Linux-style and Bonsai-style baselines. Before this crate,
+//! the only place that enumeration existed was a `VmKind` enum buried in
+//! the bench harness, and every binary, test, and example constructed
+//! concrete VM types by hand. This crate makes the set of backends a
+//! first-class concept:
+//!
+//! * [`BackendKind`] — the closed set of VM systems,
+//! * [`BackendMeta`] — static per-backend metadata (display name, MMU
+//!   organization, collapse flag, concurrency contract),
+//! * [`build`] — the one factory producing an `Arc<dyn VmSystem>`,
+//! * [`ToyVm`] — the simplest possible correct backend, kept as the
+//!   reference implementation of the [`VmSystem`] contract and as the
+//!   conformance suite's baseline.
+//!
+//! Everything outside this crate — bench binaries, workloads,
+//! integration tests, examples — goes through [`BackendKind`] and
+//! [`build`]; no other code constructs a concrete VM type. New backends
+//! (sharded, async, alternative range locks) plug in here.
+
+pub mod toy;
+
+use std::sync::Arc;
+
+use rvm_baselines::{BonsaiVm, LinuxVm};
+use rvm_core::{RadixVm, RadixVmConfig};
+use rvm_hw::{Machine, MmuKind, VmSystem};
+
+pub use toy::ToyVm;
+
+/// The VM systems under test.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BackendKind {
+    /// RadixVM, full design (per-core tables, collapse on).
+    Radix,
+    /// RadixVM with a shared page table (Figure 9 ablation).
+    RadixSharedPt,
+    /// RadixVM without radix-node collapsing (paper's prototype config).
+    RadixNoCollapse,
+    /// The Linux baseline (address-space lock, shared table, broadcast).
+    Linux,
+    /// The Bonsai baseline (lock-free faults, serialized mutations).
+    Bonsai,
+    /// The reference backend: one big lock, per-page map ([`ToyVm`]).
+    Toy,
+}
+
+/// How a backend's munmap path decides which TLBs to shoot down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShootdownPolicy {
+    /// Per-page fault-core tracking: only cores that faulted the page.
+    Targeted,
+    /// Every core attached to the address space.
+    Broadcast,
+}
+
+/// Static metadata describing one backend.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendMeta {
+    /// Display name (matches the paper's figure legends).
+    pub name: &'static str,
+    /// Page-table organization.
+    pub mmu: MmuKind,
+    /// Whether empty radix nodes are collapsed (meaningful for the Radix
+    /// family; `true` for non-radix backends, which keep no spine).
+    pub collapse: bool,
+    /// Which TLBs munmap contacts.
+    pub shootdown: ShootdownPolicy,
+    /// Whether concurrent page faults run without a shared lock.
+    pub concurrent_faults: bool,
+    /// Whether fork + copy-on-write is implemented.
+    pub supports_fork: bool,
+    /// One-line description for tables and `--help` text.
+    pub description: &'static str,
+}
+
+impl BackendKind {
+    /// Every backend, in the order tables and sweeps present them.
+    pub const ALL: [BackendKind; 6] = [
+        BackendKind::Radix,
+        BackendKind::RadixSharedPt,
+        BackendKind::RadixNoCollapse,
+        BackendKind::Linux,
+        BackendKind::Bonsai,
+        BackendKind::Toy,
+    ];
+
+    /// This backend's static metadata.
+    pub fn meta(self) -> &'static BackendMeta {
+        match self {
+            BackendKind::Radix => &BackendMeta {
+                name: "RadixVM",
+                mmu: MmuKind::PerCore,
+                collapse: true,
+                shootdown: ShootdownPolicy::Targeted,
+                concurrent_faults: true,
+                supports_fork: true,
+                description: "full RadixVM: range-locked radix tree, Refcache, \
+                              per-core tables, targeted shootdown",
+            },
+            BackendKind::RadixSharedPt => &BackendMeta {
+                name: "RadixVM/shared-pt",
+                mmu: MmuKind::Shared,
+                collapse: true,
+                shootdown: ShootdownPolicy::Broadcast,
+                concurrent_faults: true,
+                supports_fork: true,
+                description: "RadixVM over one shared page table (Figure 9 ablation)",
+            },
+            BackendKind::RadixNoCollapse => &BackendMeta {
+                name: "RadixVM/no-collapse",
+                mmu: MmuKind::PerCore,
+                collapse: false,
+                shootdown: ShootdownPolicy::Targeted,
+                concurrent_faults: true,
+                supports_fork: true,
+                description: "RadixVM without radix-node collapsing (the paper's \
+                              prototype configuration)",
+            },
+            BackendKind::Linux => &BackendMeta {
+                name: "Linux",
+                mmu: MmuKind::Shared,
+                collapse: true,
+                shootdown: ShootdownPolicy::Broadcast,
+                concurrent_faults: false,
+                supports_fork: false,
+                description: "conventional design: address-space rwlock over a VMA \
+                              map, shared table, broadcast shootdown",
+            },
+            BackendKind::Bonsai => &BackendMeta {
+                name: "Bonsai",
+                mmu: MmuKind::Shared,
+                collapse: true,
+                shootdown: ShootdownPolicy::Broadcast,
+                concurrent_faults: true,
+                supports_fork: false,
+                description: "Bonsai-style: lock-free RCU region lookups, \
+                              serialized mmap/munmap",
+            },
+            BackendKind::Toy => &BackendMeta {
+                name: "Toy",
+                mmu: MmuKind::Shared,
+                collapse: true,
+                shootdown: ShootdownPolicy::Broadcast,
+                concurrent_faults: false,
+                supports_fork: false,
+                description: "reference backend: one mutex around a per-page map",
+            },
+        }
+    }
+
+    /// Display name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        self.meta().name
+    }
+
+    /// Parses a backend name as used on bench CLIs (case-insensitive,
+    /// accepting both the display name and the enum-ish short form).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        let k = s.to_ascii_lowercase();
+        BackendKind::ALL.into_iter().find(|b| {
+            b.name().to_ascii_lowercase() == k || format!("{b:?}").to_ascii_lowercase() == k
+        })
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Instantiates a VM system of the given kind on `machine`.
+///
+/// This is the only constructor of concrete VM types outside their own
+/// crates; everything else in the workspace goes through it.
+pub fn build(machine: &Arc<Machine>, kind: BackendKind) -> Arc<dyn VmSystem> {
+    let meta = kind.meta();
+    match kind {
+        BackendKind::Radix | BackendKind::RadixSharedPt | BackendKind::RadixNoCollapse => {
+            RadixVm::new(
+                machine.clone(),
+                RadixVmConfig {
+                    mmu: meta.mmu,
+                    collapse: meta.collapse,
+                },
+            )
+        }
+        BackendKind::Linux => LinuxVm::new(machine.clone()),
+        BackendKind::Bonsai => BonsaiVm::new(machine.clone()),
+        BackendKind::Toy => ToyVm::new(machine.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_hw::{Backing, Prot, PAGE_SIZE};
+
+    #[test]
+    fn names_are_unique_and_parseable() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                BackendKind::parse(&format!("{kind:?}").to_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(BackendKind::parse("no-such-vm"), None);
+        let mut names: Vec<_> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BackendKind::ALL.len());
+    }
+
+    #[test]
+    fn build_produces_working_backends() {
+        for kind in BackendKind::ALL {
+            let machine = Machine::new(2);
+            let vm = build(&machine, kind);
+            assert_eq!(vm.name(), kind.name());
+            vm.attach_core(0);
+            let addr = 0x9_0000_0000u64;
+            vm.mmap(0, addr, 2 * PAGE_SIZE, Prot::RW, Backing::Anon)
+                .unwrap();
+            machine.write_u64(0, &*vm, addr, 11).unwrap();
+            assert_eq!(machine.read_u64(0, &*vm, addr).unwrap(), 11);
+            vm.munmap(0, addr, 2 * PAGE_SIZE).unwrap();
+            assert!(machine.read_u64(0, &*vm, addr).is_err(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn metadata_matches_construction() {
+        // The collapse flag and MMU kind in the metadata are what the
+        // factory actually passes to RadixVm.
+        let meta = BackendKind::RadixNoCollapse.meta();
+        assert_eq!(meta.mmu, MmuKind::PerCore);
+        assert!(!meta.collapse);
+        let meta = BackendKind::RadixSharedPt.meta();
+        assert_eq!(meta.mmu, MmuKind::Shared);
+        assert!(meta.collapse);
+    }
+}

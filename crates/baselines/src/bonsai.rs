@@ -23,7 +23,7 @@ use std::sync::Arc;
 use crossbeam::epoch::{self, Atomic, Owned};
 use rvm_hw::{
     vpn_of, AccessKind, Asid, Backing, Machine, Prot, Pte, SharedMmu, SpaceUsage, TlbEntry,
-    Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, PAGE_SIZE, VA_LIMIT,
+    Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
 };
 use rvm_sync::atomic::AtomicCoreSet;
 use rvm_sync::{sim, CachePadded, Mutex, SpinLock};
@@ -51,6 +51,9 @@ struct RNode {
 }
 
 type Link = Option<Arc<RNode>>;
+
+/// One mapped region as `(start, end, prot, backing)`.
+type Span = (Vpn, Vpn, Prot, Backing);
 
 /// Reports a node visit to the simulator (readers share these lines;
 /// writers' fresh copies force transfers — Bonsai's real cache behaviour).
@@ -114,7 +117,7 @@ fn insert(t: &Link, node: Arc<RNode>) -> Link {
 }
 
 /// Finds the region containing `vpn`.
-fn lookup(t: &Link, vpn: Vpn) -> Option<(Vpn, Vpn, Prot, Backing)> {
+fn lookup(t: &Link, vpn: Vpn) -> Option<Span> {
     let mut cur = t;
     while let Some(n) = cur {
         visit(n);
@@ -130,7 +133,7 @@ fn lookup(t: &Link, vpn: Vpn) -> Option<(Vpn, Vpn, Prot, Backing)> {
 }
 
 /// Collects the regions of `t` in order.
-fn collect(t: &Link, out: &mut Vec<(Vpn, Vpn, Prot, Backing)>) {
+fn collect(t: &Link, out: &mut Vec<Span>) {
     if let Some(n) = t {
         collect(&n.left, out);
         out.push((n.start, n.end, n.prot, n.backing));
@@ -168,7 +171,7 @@ fn split_region_at(t: Link, key: Vpn) -> (Link, bool) {
 
 /// Removes coverage of `[lo, hi)`; returns the new tree, the removed
 /// regions clipped to the range, and the net region-count delta.
-fn carve(t: &Link, lo: Vpn, hi: Vpn) -> (Link, Vec<(Vpn, Vpn, Prot, Backing)>, i64) {
+fn carve(t: &Link, lo: Vpn, hi: Vpn) -> (Link, Vec<Span>, i64) {
     let (t, s1) = split_region_at(t.clone(), lo);
     let (t, s2) = split_region_at(t, hi);
     let (l, rest) = split(&t, lo);
@@ -216,24 +219,12 @@ impl BonsaiVm {
         })
     }
 
-    fn check_range(addr: Vaddr, len: u64) -> VmResult<(Vpn, u64)> {
-        if len == 0
-            || addr % PAGE_SIZE != 0
-            || len % PAGE_SIZE != 0
-            || addr.checked_add(len).is_none()
-            || addr + len > VA_LIMIT
-        {
-            return Err(VmError::BadRange);
-        }
-        Ok((vpn_of(addr), len / PAGE_SIZE))
-    }
-
     fn ptl_for(&self, vpn: Vpn) -> &SpinLock<()> {
         &self.ptl[((vpn >> 9) as usize) & (PTL_SHARDS - 1)]
     }
 
     /// Lock-free region lookup under an epoch guard.
-    fn lookup_region(&self, vpn: Vpn) -> Option<(Vpn, Vpn, Prot, Backing)> {
+    fn lookup_region(&self, vpn: Vpn) -> Option<Span> {
         let g = epoch::pin();
         let shared = self.root.load(std::sync::atomic::Ordering::Acquire, &g);
         sim::on_read(&self.root as *const _ as usize);
@@ -259,7 +250,7 @@ impl BonsaiVm {
 
     /// Clears PTEs for removed regions, broadcasts shootdowns, frees
     /// frames. Called after the new tree is published.
-    fn cleanup_removed(&self, core: usize, lo: Vpn, n: u64, removed: &[(Vpn, Vpn, Prot, Backing)]) {
+    fn cleanup_removed(&self, core: usize, lo: Vpn, n: u64, removed: &[Span]) {
         if removed.is_empty() {
             return;
         }
@@ -309,7 +300,7 @@ impl VmSystem for BonsaiVm {
         backing: Backing,
     ) -> VmResult<Vaddr> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         let backing = match backing {
             Backing::File { file, offset_pages } => Backing::File {
                 file,
@@ -335,7 +326,7 @@ impl VmSystem for BonsaiVm {
 
     fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         let _m = self.mutate.lock();
         let g = epoch::pin();
         let shared = self.root.load(std::sync::atomic::Ordering::Acquire, &g);
@@ -406,7 +397,7 @@ impl VmSystem for BonsaiVm {
 
     fn mprotect(&self, core: usize, addr: Vaddr, len: u64, prot: Prot) -> VmResult<()> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         let _m = self.mutate.lock();
         let g = epoch::pin();
         let shared = self.root.load(std::sync::atomic::Ordering::Acquire, &g);
@@ -417,8 +408,8 @@ impl VmSystem for BonsaiVm {
             return Err(VmError::NoMapping);
         }
         self.regions.store(
-            (self.regions.load(StdOrdering::Relaxed) as i64 + delta + removed.len() as i64)
-                .max(0) as u64,
+            (self.regions.load(StdOrdering::Relaxed) as i64 + delta + removed.len() as i64).max(0)
+                as u64,
             StdOrdering::Relaxed,
         );
         for (start, end, _, backing) in &removed {
@@ -427,6 +418,10 @@ impl VmSystem for BonsaiVm {
         self.publish(tree, &g);
         self.cleanup_removed(core, lo, n, &removed);
         Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn space_usage(&self) -> SpaceUsage {
@@ -451,9 +446,11 @@ impl Drop for BonsaiVm {
         }
         self.machine.flush_asid(self.asid);
         // Reclaim the final root box directly (no readers remain).
-        let old = self
-            .root
-            .swap(epoch::Shared::null(), std::sync::atomic::Ordering::AcqRel, &g);
+        let old = self.root.swap(
+            epoch::Shared::null(),
+            std::sync::atomic::Ordering::AcqRel,
+            &g,
+        );
         if !old.is_null() {
             // SAFETY: exclusive access; no other thread can observe `old`.
             drop(unsafe { old.into_owned() });
@@ -464,6 +461,7 @@ impl Drop for BonsaiVm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rvm_hw::PAGE_SIZE;
 
     const BASE: u64 = 0x30_0000_0000;
 
@@ -508,7 +506,8 @@ mod tests {
     #[test]
     fn map_access_unmap() {
         let (m, vm) = setup(2);
-        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 5).unwrap();
         assert_eq!(m.read_u64(1, &*vm, BASE).unwrap(), 5);
         vm.munmap(0, BASE, 4 * PAGE_SIZE).unwrap();
@@ -518,7 +517,8 @@ mod tests {
     #[test]
     fn broadcast_shootdown_on_unmap() {
         let (m, vm) = setup(4);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.touch_page(0, &*vm, BASE, 1).unwrap();
         vm.munmap(0, BASE, PAGE_SIZE).unwrap();
         assert_eq!(m.stats().shootdown_ipis, 3);
@@ -529,7 +529,8 @@ mod tests {
         // Readers fault on a stable region while a writer churns another:
         // the RCU contract (fault never blocks on the mutation lock).
         let (m, vm) = setup(4);
-        vm.mmap(0, BASE, 64 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 64 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mut handles = Vec::new();
         for core in 1..4usize {
@@ -587,8 +588,10 @@ mod tests {
     #[test]
     fn space_usage_counts_regions() {
         let (_m, vm) = setup(1);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
-        vm.mmap(0, BASE + (1 << 20), PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
+        vm.mmap(0, BASE + (1 << 20), PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         assert!(vm.space_usage().index_bytes > 0);
     }
 }

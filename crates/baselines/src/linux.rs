@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use rvm_hw::{
     vpn_of, AccessKind, Asid, Backing, Machine, Prot, Pte, SharedMmu, SpaceUsage, TlbEntry,
-    Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, PAGE_SIZE, VA_LIMIT,
+    Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
 };
 use rvm_sync::atomic::AtomicCoreSet;
 use rvm_sync::{sim, RwLock};
@@ -46,18 +46,6 @@ impl LinuxVm {
             state: RwLock::new(VmaMap::new()),
             mmu: SharedMmu::new(),
         })
-    }
-
-    fn check_range(addr: Vaddr, len: u64) -> VmResult<(Vpn, u64)> {
-        if len == 0
-            || addr % PAGE_SIZE != 0
-            || len % PAGE_SIZE != 0
-            || addr.checked_add(len).is_none()
-            || addr + len > VA_LIMIT
-        {
-            return Err(VmError::BadRange);
-        }
-        Ok((vpn_of(addr), len / PAGE_SIZE))
     }
 
     /// Clears `[lo, lo+n)` from the page table, broadcasts the shootdown,
@@ -105,7 +93,7 @@ impl VmSystem for LinuxVm {
         backing: Backing,
     ) -> VmResult<Vaddr> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         let backing = match backing {
             Backing::File { file, offset_pages } => Backing::File {
                 file,
@@ -129,7 +117,7 @@ impl VmSystem for LinuxVm {
 
     fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         let mut vmas = self.state.write();
         let removed = vmas.carve(lo, lo + n);
         for old in &removed {
@@ -196,7 +184,7 @@ impl VmSystem for LinuxVm {
 
     fn mprotect(&self, core: usize, addr: Vaddr, len: u64, prot: Prot) -> VmResult<()> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         let mut vmas = self.state.write();
         let removed = vmas.carve(lo, lo + n);
         if removed.is_empty() {
@@ -212,6 +200,10 @@ impl VmSystem for LinuxVm {
             });
         }
         Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn space_usage(&self) -> SpaceUsage {
@@ -240,6 +232,7 @@ impl Drop for LinuxVm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rvm_hw::PAGE_SIZE;
 
     const BASE: u64 = 0x20_0000_0000;
 
@@ -255,7 +248,8 @@ mod tests {
     #[test]
     fn map_access_unmap() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 5).unwrap();
         assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 5);
         vm.munmap(0, BASE, 4 * PAGE_SIZE).unwrap();
@@ -267,7 +261,8 @@ mod tests {
     #[test]
     fn munmap_broadcasts_to_attached() {
         let (m, vm) = setup(4);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.touch_page(0, &*vm, BASE, 1).unwrap();
         vm.munmap(0, BASE, PAGE_SIZE).unwrap();
         // All 4 attached cores minus the sender.
@@ -277,7 +272,8 @@ mod tests {
     #[test]
     fn fault_race_single_frame() {
         let (m, vm) = setup(4);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         let mut handles = Vec::new();
         for core in 0..4usize {
             let m = m.clone();
@@ -301,7 +297,8 @@ mod tests {
     #[test]
     fn mprotect_works() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 3).unwrap();
         vm.mprotect(0, BASE, 2 * PAGE_SIZE, Prot::READ).unwrap();
         assert_eq!(m.write_u64(0, &*vm, BASE, 4), Err(VmError::ProtViolation));
@@ -324,7 +321,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let base = BASE + core as u64 * (1 << 30);
                 for i in 0..200u64 {
-                    vm.mmap(core, base, 2 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+                    vm.mmap(core, base, 2 * PAGE_SIZE, Prot::RW, Backing::Anon)
+                        .unwrap();
                     m.write_u64(core, &*vm, base, i).unwrap();
                     assert_eq!(m.read_u64(core, &*vm, base).unwrap(), i);
                     vm.munmap(core, base, 2 * PAGE_SIZE).unwrap();
@@ -340,8 +338,10 @@ mod tests {
     #[test]
     fn space_usage_counts_vmas_and_tables() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
-        vm.mmap(0, BASE + (1 << 24), PAGE_SIZE, Prot::READ, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
+        vm.mmap(0, BASE + (1 << 24), PAGE_SIZE, Prot::READ, Backing::Anon)
+            .unwrap();
         m.touch_page(0, &*vm, BASE, 1).unwrap();
         let u = vm.space_usage();
         assert_eq!(u.index_bytes, 2 * crate::vma::VMA_MODEL_BYTES);
@@ -354,7 +354,8 @@ mod tests {
         {
             let vm = LinuxVm::new(m.clone());
             vm.attach_core(0);
-            vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+            vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+                .unwrap();
             m.touch_page(0, &*vm, BASE, 1).unwrap();
             m.touch_page(0, &*vm, BASE + PAGE_SIZE, 1).unwrap();
         }

@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rvm_core::{RadixVm, RadixVmConfig};
-use rvm_hw::{Backing, Machine, MmuKind, Prot, VmSystem, PAGE_SIZE};
+use rvm_bench::{build, BackendKind};
+use rvm_hw::{Backing, Machine, Prot, PAGE_SIZE};
 use rvm_radix::{LockMode, RadixConfig, RadixTree};
 use rvm_refcache::{Managed, Refcache, RefcacheConfig, ReleaseCtx};
 
@@ -18,15 +18,12 @@ const BASE: u64 = 0x80_0000_0000;
 fn collapse_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("map_unmap_churn");
     g.sample_size(15);
-    for (name, collapse) in [("collapse_on", true), ("collapse_off", false)] {
+    for (name, kind) in [
+        ("collapse_on", BackendKind::Radix),
+        ("collapse_off", BackendKind::RadixNoCollapse),
+    ] {
         let machine = Machine::new(1);
-        let vm = RadixVm::new(
-            machine.clone(),
-            RadixVmConfig {
-                mmu: MmuKind::PerCore,
-                collapse,
-            },
-        );
+        let vm = build(&machine, kind);
         vm.attach_core(0);
         let mut i = 0u64;
         g.bench_function(name, |b| {
@@ -35,10 +32,11 @@ fn collapse_ablation(c: &mut Criterion) {
                 // to reap (and no-collapse accumulates them).
                 let addr = BASE + (i % 512) * 8 * PAGE_SIZE;
                 i += 1;
-                vm.mmap(0, addr, 8 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+                vm.mmap(0, addr, 8 * PAGE_SIZE, Prot::RW, Backing::Anon)
+                    .unwrap();
                 machine.touch_page(0, &*vm, addr, 1).unwrap();
                 vm.munmap(0, addr, 8 * PAGE_SIZE).unwrap();
-                if i % 128 == 0 {
+                if i.is_multiple_of(128) {
                     vm.maintain(0);
                 }
             })
@@ -74,7 +72,7 @@ fn delta_cache_size(c: &mut Criterion) {
                 i += 1;
                 rc.inc(0, o);
                 rc.dec(0, o);
-                if i % 512 == 0 {
+                if i.is_multiple_of(512) {
                     rc.maintain(0);
                 }
             })
@@ -99,9 +97,11 @@ fn folding_ablation(c: &mut Criterion) {
         b.iter(|| {
             let lo = (i % 64) * 512 + (1 << 20);
             i += 1;
-            tree.lock_range(0, lo, lo + 512, LockMode::ExpandAll).replace(&i);
-            tree.lock_range(0, lo, lo + 512, LockMode::ExpandFolded).clear();
-            if i % 128 == 0 {
+            tree.lock_range(0, lo, lo + 512, LockMode::ExpandAll)
+                .replace(&i);
+            tree.lock_range(0, lo, lo + 512, LockMode::ExpandFolded)
+                .clear();
+            if i.is_multiple_of(128) {
                 tree.cache().maintain(0);
             }
         })
@@ -111,9 +111,11 @@ fn folding_ablation(c: &mut Criterion) {
         b.iter(|| {
             let lo = (i % 64) * 512 + (1 << 21) + 1;
             i += 1;
-            tree.lock_range(0, lo, lo + 512, LockMode::ExpandAll).replace(&i);
-            tree.lock_range(0, lo, lo + 512, LockMode::ExpandFolded).clear();
-            if i % 128 == 0 {
+            tree.lock_range(0, lo, lo + 512, LockMode::ExpandAll)
+                .replace(&i);
+            tree.lock_range(0, lo, lo + 512, LockMode::ExpandFolded)
+                .clear();
+            if i.is_multiple_of(128) {
                 tree.cache().maintain(0);
             }
         })
@@ -121,5 +123,10 @@ fn folding_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, collapse_ablation, delta_cache_size, folding_ablation);
+criterion_group!(
+    benches,
+    collapse_ablation,
+    delta_cache_size,
+    folding_ablation
+);
 criterion_main!(benches);

@@ -7,10 +7,9 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rvm_baselines::{BonsaiVm, LinuxVm, SkipList};
-use rvm_bench::{make_vm, VmKind};
-use rvm_core::{RadixVm, RadixVmConfig};
-use rvm_hw::{Backing, Machine, Prot, VmSystem, PAGE_SIZE};
+use rvm_baselines::SkipList;
+use rvm_bench::{build, BackendKind};
+use rvm_hw::{Backing, Machine, Prot, PAGE_SIZE};
 use rvm_radix::{LockMode, RadixConfig, RadixTree};
 use rvm_refcache::counters::{RefCounter, SharedCounter, Snzi};
 use rvm_refcache::{Managed, Refcache, ReleaseCtx};
@@ -20,39 +19,41 @@ const BASE: u64 = 0x70_0000_0000;
 fn vm_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("vm_map_touch_unmap");
     g.sample_size(20);
-    for kind in [VmKind::Radix, VmKind::Bonsai, VmKind::Linux] {
+    for kind in [BackendKind::Radix, BackendKind::Bonsai, BackendKind::Linux] {
         let machine = Machine::new(1);
-        let vm = make_vm(kind, &machine);
+        let vm = build(&machine, kind);
         vm.attach_core(0);
         let mut i = 0u64;
         g.bench_function(kind.name(), |b| {
             b.iter(|| {
                 let addr = BASE + (i % 64) * PAGE_SIZE;
                 i += 1;
-                vm.mmap(0, addr, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+                vm.mmap(0, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+                    .unwrap();
                 machine.touch_page(0, &*vm, addr, 1).unwrap();
                 vm.munmap(0, addr, PAGE_SIZE).unwrap();
-                if i % 256 == 0 {
+                if i.is_multiple_of(256) {
                     vm.maintain(0);
                 }
             })
         });
     }
     g.finish();
-    // Keep baseline types referenced for documentation purposes.
-    let _ = (LinuxVm::new as fn(_) -> _, BonsaiVm::new as fn(_) -> _);
 }
 
 fn fault_only(c: &mut Criterion) {
     let mut g = c.benchmark_group("pagefault_fill");
     g.sample_size(20);
-    for kind in [VmKind::Radix, VmKind::Bonsai, VmKind::Linux] {
+    for kind in [BackendKind::Radix, BackendKind::Bonsai, BackendKind::Linux] {
         let machine = Machine::new(1);
-        let vm = make_vm(kind, &machine);
+        let vm = build(&machine, kind);
         vm.attach_core(0);
-        vm.mmap(0, BASE, 256 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 256 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         for p in 0..256u64 {
-            machine.touch_page(0, &*vm, BASE + p * PAGE_SIZE, 1).unwrap();
+            machine
+                .touch_page(0, &*vm, BASE + p * PAGE_SIZE, 1)
+                .unwrap();
         }
         let mut p = 0u64;
         g.bench_function(kind.name(), |b| {
@@ -60,7 +61,9 @@ fn fault_only(c: &mut Criterion) {
                 // Invalidate the TLB entry so every access walks the
                 // fault path but hits an existing page (fill fault).
                 machine.invalidate_local(0, vm.asid(), p % 256, 1);
-                machine.read_u64(0, &*vm, BASE + (p % 256) * PAGE_SIZE).unwrap();
+                machine
+                    .read_u64(0, &*vm, BASE + (p % 256) * PAGE_SIZE)
+                    .unwrap();
                 p += 1;
             })
         });
@@ -86,7 +89,7 @@ fn refcount_ops(c: &mut Criterion) {
                 rc.inc(0, obj);
                 rc.dec(0, obj);
                 i += 1;
-                if i % 512 == 0 {
+                if i.is_multiple_of(512) {
                     rc.maintain(0);
                 }
             })
@@ -123,7 +126,8 @@ fn index_lookup(c: &mut Criterion) {
         let cache = Arc::new(Refcache::new(1));
         let tree = RadixTree::<u64>::new(cache, RadixConfig::default());
         for i in 0..1000u64 {
-            tree.lock_range(0, i * 2, i * 2 + 1, LockMode::ExpandAll).replace(&i);
+            tree.lock_range(0, i * 2, i * 2 + 1, LockMode::ExpandAll)
+                .replace(&i);
         }
         let mut k = 0u64;
         g.bench_function("radix_tree", |b| {
@@ -153,15 +157,16 @@ fn fork_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("fork");
     g.sample_size(10);
     let machine = Machine::new(2);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let vm = build(&machine, BackendKind::Radix);
     vm.attach_core(0);
-    vm.mmap(0, BASE, 64 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+    vm.mmap(0, BASE, 64 * PAGE_SIZE, Prot::RW, Backing::Anon)
+        .unwrap();
     for p in 0..64u64 {
         machine.write_u64(0, &*vm, BASE + p * PAGE_SIZE, p).unwrap();
     }
     g.bench_function("fork_64_pages", |b| {
         b.iter(|| {
-            let child = vm.fork(0);
+            let child = vm.fork(0).expect("RadixVM supports fork");
             drop(child);
             vm.maintain(0);
         })
@@ -169,5 +174,12 @@ fn fork_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, vm_ops, fault_only, refcount_ops, index_lookup, fork_cost);
+criterion_group!(
+    benches,
+    vm_ops,
+    fault_only,
+    refcount_ops,
+    index_lookup,
+    fork_cost
+);
 criterion_main!(benches);

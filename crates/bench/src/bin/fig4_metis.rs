@@ -14,16 +14,21 @@
 
 use std::sync::Arc;
 
-use rvm_bench::{core_counts, make_vm, print_table, quick, VmKind};
+use rvm_bench::{build, core_counts, print_table, quick, BackendKind};
 use rvm_hw::Machine;
 use rvm_metis::{Metis, MetisConfig, Step, VmArena};
 use rvm_sync::{sim, CostModel};
 
 /// Runs one Metis job to completion on `n` virtual cores; returns
 /// (virtual ns, stats).
-fn run_job(kind: VmKind, n: usize, block_pages: u64, words: u64) -> (u64, rvm_metis::MetisStats) {
+fn run_job(
+    kind: BackendKind,
+    n: usize,
+    block_pages: u64,
+    words: u64,
+) -> (u64, rvm_metis::MetisStats) {
     let machine = Machine::new(n);
-    let vm = make_vm(kind, &machine);
+    let vm = build(&machine, kind);
     for c in 0..n {
         vm.attach_core(c);
     }
@@ -65,7 +70,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick() { 100_000 } else { 400_000 });
     let cores_list = core_counts();
-    let systems = [VmKind::Radix, VmKind::Bonsai, VmKind::Linux];
+    let systems = [BackendKind::Radix, BackendKind::Bonsai, BackendKind::Linux];
     for (unit_name, block_pages) in [("8 MB", 2048u64), ("64 KB", 16u64)] {
         let series: Vec<(&str, Vec<(usize, f64)>)> = systems
             .iter()
@@ -96,7 +101,7 @@ fn main() {
     // The paper's §5.2 operation counts, for the record.
     let n = *cores_list.last().unwrap();
     for (unit_name, block_pages) in [("8 MB", 2048u64), ("64 KB", 16u64)] {
-        let (_t, st) = run_job(VmKind::Radix, n, block_pages, words);
+        let (_t, st) = run_job(BackendKind::Radix, n, block_pages, words);
         println!(
             "# §5.2 counts at {n} cores, {unit_name} unit: {} mmaps, {} pairs, {} distinct words",
             st.mmaps, st.pairs, st.distinct_words

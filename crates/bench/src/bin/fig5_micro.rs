@@ -12,28 +12,30 @@
 //! Usage: `fig5_micro [--quick]`; env `RVM_CORES`, `RVM_DUR_MS`.
 
 use rvm_bench::workloads::{global, local, pipeline, PipelineQueues};
-use rvm_bench::{core_counts, duration_ns, make_vm, point_duration, print_table, run_sim, VmKind};
+use rvm_bench::{
+    build, core_counts, duration_ns, point_duration, print_table, run_sim, BackendKind,
+};
 use rvm_hw::Machine;
 use rvm_sync::CostModel;
 
-fn sweep(
-    bench: &str,
-    kind: VmKind,
-    cores_list: &[usize],
-    dur: u64,
-) -> Vec<(usize, f64)> {
+fn sweep(bench: &str, kind: BackendKind, cores_list: &[usize], dur: u64) -> Vec<(usize, f64)> {
     cores_list
         .iter()
         .map(|&n| {
             let machine = Machine::new(n);
-            let vm = make_vm(kind, &machine);
+            let vm = build(&machine, kind);
             let queues = PipelineQueues::new(n);
-            let point = run_sim(n, point_duration(dur, n), CostModel::default(), |c| match bench {
-                "local" => local(machine.clone(), vm.clone(), c),
-                "pipeline" => pipeline(machine.clone(), vm.clone(), queues.clone(), c, n),
-                "global" => global(machine.clone(), vm.clone(), c, n),
-                _ => unreachable!(),
-            });
+            let point = run_sim(
+                n,
+                point_duration(dur, n),
+                CostModel::default(),
+                |c| match bench {
+                    "local" => local(machine.clone(), vm.clone(), c),
+                    "pipeline" => pipeline(machine.clone(), vm.clone(), queues.clone(), c, n),
+                    "global" => global(machine.clone(), vm.clone(), c, n),
+                    _ => unreachable!(),
+                },
+            );
             eprintln!(
                 "  {bench:>8} {:>18} {n:>3} cores: {:>12.0} pages/s  (ipis {}, remote xfers {})",
                 kind.name(),
@@ -49,7 +51,7 @@ fn sweep(
 fn main() {
     let cores_list = core_counts();
     let dur = duration_ns();
-    let systems = [VmKind::Radix, VmKind::Bonsai, VmKind::Linux];
+    let systems = [BackendKind::Radix, BackendKind::Bonsai, BackendKind::Linux];
     for bench in ["local", "pipeline", "global"] {
         let series: Vec<(&str, Vec<(usize, f64)>)> = systems
             .iter()

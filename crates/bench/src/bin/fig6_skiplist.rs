@@ -34,61 +34,64 @@ fn run(readers: usize, writers: usize, dur: u64) -> f64 {
     for k in 0..REGIONS {
         list.insert(k * 2);
     }
-    let point = run_sim(total, point_duration(dur, total), CostModel::default(), |c| {
-        let list = list.clone();
-        let mut rng = splitmix(c as u64 + 1);
-        if c < readers {
-            Box::new(move || {
-                rng = splitmix(rng);
-                let key = (rng % REGIONS) * 2;
-                sim::charge(60); // fault-handler overhead around the lookup
-                assert!(list.contains(key));
-                1
-            })
-        } else {
-            let mut holding: Option<u64> = None;
-            Box::new(move || {
-                sim::charge(60);
-                match holding.take() {
-                    Some(k) => {
-                        list.remove(k);
-                    }
-                    None => {
-                        rng = splitmix(rng);
-                        // Odd keys interleave with the hot present keys,
-                        // so tower updates dirty lines on reader paths.
-                        let k = (rng % REGIONS) * 2 + 1;
-                        if list.insert(k) {
-                            holding = Some(k);
+    let point = run_sim(
+        total,
+        point_duration(dur, total),
+        CostModel::default(),
+        |c| {
+            let list = list.clone();
+            let mut rng = splitmix(c as u64 + 1);
+            if c < readers {
+                Box::new(move || {
+                    rng = splitmix(rng);
+                    let key = (rng % REGIONS) * 2;
+                    sim::charge(60); // fault-handler overhead around the lookup
+                    assert!(list.contains(key));
+                    1
+                })
+            } else {
+                let mut holding: Option<u64> = None;
+                Box::new(move || {
+                    sim::charge(60);
+                    match holding.take() {
+                        Some(k) => {
+                            list.remove(k);
+                        }
+                        None => {
+                            rng = splitmix(rng);
+                            // Odd keys interleave with the hot present keys,
+                            // so tower updates dirty lines on reader paths.
+                            let k = (rng % REGIONS) * 2 + 1;
+                            if list.insert(k) {
+                                holding = Some(k);
+                            }
                         }
                     }
-                }
-                0 // writers do not count toward lookup throughput
-            })
-        }
-    });
+                    0 // writers do not count toward lookup throughput
+                })
+            }
+        },
+    );
     point.units as f64 * 1e9 / point.virt_ns as f64
 }
 
 fn main() {
     let dur = duration_ns();
     let reader_counts = core_counts();
-    let series: Vec<(&str, Vec<(usize, f64)>)> = [("0 writers", 0), ("1 writer", 1), ("5 writers", 5)]
-        .iter()
-        .map(|&(name, w)| {
-            let pts = reader_counts
-                .iter()
-                .map(|&r| {
-                    let tput = run(r, w, dur);
-                    eprintln!("  skiplist {name:>10} {r:>3} readers: {tput:>14.0} lookups/s");
-                    (r, tput)
-                })
-                .collect();
-            (name, pts)
-        })
-        .collect();
-    print_table(
-        "Figure 6: skip-list lookups/sec vs reader cores",
-        &series,
-    );
+    let series: Vec<(&str, Vec<(usize, f64)>)> =
+        [("0 writers", 0), ("1 writer", 1), ("5 writers", 5)]
+            .iter()
+            .map(|&(name, w)| {
+                let pts = reader_counts
+                    .iter()
+                    .map(|&r| {
+                        let tput = run(r, w, dur);
+                        eprintln!("  skiplist {name:>10} {r:>3} readers: {tput:>14.0} lookups/s");
+                        (r, tput)
+                    })
+                    .collect();
+                (name, pts)
+            })
+            .collect();
+    print_table("Figure 6: skip-list lookups/sec vs reader cores", &series);
 }

@@ -37,49 +37,56 @@ fn run(readers: usize, writers: usize, dur: u64) -> f64 {
     let tree = Arc::new(RadixTree::<u64>::new(cache, RadixConfig::default()));
     for i in 0..REGIONS {
         let k = present_key(i);
-        tree.lock_range(0, k, k + 1, LockMode::ExpandAll).replace(&i);
+        tree.lock_range(0, k, k + 1, LockMode::ExpandAll)
+            .replace(&i);
     }
-    let point = run_sim(total, point_duration(dur, total), CostModel::default(), |c| {
-        let tree = tree.clone();
-        let mut rng = splitmix(c as u64 + 1);
-        let mut ops = 0u64;
-        if c < readers {
-            Box::new(move || {
-                rng = splitmix(rng);
-                let key = present_key(rng % REGIONS);
-                sim::charge(60);
-                ops += 1;
-                if ops % 256 == 0 {
-                    tree.cache().maintain(c);
-                }
-                assert!(tree.lookup_present(c, key));
-                1
-            })
-        } else {
-            let mut holding: Option<u64> = None;
-            Box::new(move || {
-                sim::charge(60);
-                ops += 1;
-                if ops % 256 == 0 {
-                    tree.cache().maintain(c);
-                }
-                match holding.take() {
-                    Some(k) => {
-                        tree.lock_range(c, k, k + 1, LockMode::ExpandFolded).clear();
+    let point = run_sim(
+        total,
+        point_duration(dur, total),
+        CostModel::default(),
+        |c| {
+            let tree = tree.clone();
+            let mut rng = splitmix(c as u64 + 1);
+            let mut ops = 0u64;
+            if c < readers {
+                Box::new(move || {
+                    rng = splitmix(rng);
+                    let key = present_key(rng % REGIONS);
+                    sim::charge(60);
+                    ops += 1;
+                    if ops.is_multiple_of(256) {
+                        tree.cache().maintain(c);
                     }
-                    None => {
-                        // Random key with no locality: nearly every insert
-                        // expands a fresh leaf (paper §5.5).
-                        rng = splitmix(rng);
-                        let k = (1 << 30) + (rng % (1 << 24)) * 2 + 1;
-                        tree.lock_range(c, k, k + 1, LockMode::ExpandAll).replace(&k);
-                        holding = Some(k);
+                    assert!(tree.lookup_present(c, key));
+                    1
+                })
+            } else {
+                let mut holding: Option<u64> = None;
+                Box::new(move || {
+                    sim::charge(60);
+                    ops += 1;
+                    if ops.is_multiple_of(256) {
+                        tree.cache().maintain(c);
                     }
-                }
-                0
-            })
-        }
-    });
+                    match holding.take() {
+                        Some(k) => {
+                            tree.lock_range(c, k, k + 1, LockMode::ExpandFolded).clear();
+                        }
+                        None => {
+                            // Random key with no locality: nearly every insert
+                            // expands a fresh leaf (paper §5.5).
+                            rng = splitmix(rng);
+                            let k = (1 << 30) + (rng % (1 << 24)) * 2 + 1;
+                            tree.lock_range(c, k, k + 1, LockMode::ExpandAll)
+                                .replace(&k);
+                            holding = Some(k);
+                        }
+                    }
+                    0
+                })
+            }
+        },
+    );
     point.units as f64 * 1e9 / point.virt_ns as f64
 }
 

@@ -33,46 +33,56 @@ impl Managed for SharedPage {
 fn run_eager(counter: Arc<dyn RefCounter>, ncores: usize, dur: u64) -> f64 {
     // Hold one base reference so the count never truly drains.
     counter.inc(0);
-    let p = run_sim(ncores, point_duration(dur, ncores), CostModel::default(), |c| {
-        let counter = counter.clone();
-        let mut phase = false;
-        Box::new(move || {
-            sim::charge(ITER_WORK_NS / 2);
-            if phase {
-                counter.dec(c);
-            } else {
-                counter.inc(c);
-            }
-            phase = !phase;
-            // One iteration = one mmap + one munmap = 2 steps.
-            phase as u64
-        })
-    });
+    let p = run_sim(
+        ncores,
+        point_duration(dur, ncores),
+        CostModel::default(),
+        |c| {
+            let counter = counter.clone();
+            let mut phase = false;
+            Box::new(move || {
+                sim::charge(ITER_WORK_NS / 2);
+                if phase {
+                    counter.dec(c);
+                } else {
+                    counter.inc(c);
+                }
+                phase = !phase;
+                // One iteration = one mmap + one munmap = 2 steps.
+                phase as u64
+            })
+        },
+    );
     p.units as f64 * 1e9 / p.virt_ns as f64
 }
 
 fn run_refcache(ncores: usize, dur: u64) -> f64 {
     let cache = Arc::new(Refcache::new(ncores));
     let page = cache.alloc(1, SharedPage);
-    let p = run_sim(ncores, point_duration(dur, ncores), CostModel::default(), |c| {
-        let cache = cache.clone();
-        let mut phase = false;
-        let mut ops = 0u64;
-        Box::new(move || {
-            sim::charge(ITER_WORK_NS / 2);
-            ops += 1;
-            if ops % 128 == 0 {
-                cache.maintain(c);
-            }
-            if phase {
-                cache.dec(c, page);
-            } else {
-                cache.inc(c, page);
-            }
-            phase = !phase;
-            phase as u64
-        })
-    });
+    let p = run_sim(
+        ncores,
+        point_duration(dur, ncores),
+        CostModel::default(),
+        |c| {
+            let cache = cache.clone();
+            let mut phase = false;
+            let mut ops = 0u64;
+            Box::new(move || {
+                sim::charge(ITER_WORK_NS / 2);
+                ops += 1;
+                if ops.is_multiple_of(128) {
+                    cache.maintain(c);
+                }
+                if phase {
+                    cache.dec(c, page);
+                } else {
+                    cache.inc(c, page);
+                }
+                phase = !phase;
+                phase as u64
+            })
+        },
+    );
     let tput = p.units as f64 * 1e9 / p.virt_ns as f64;
     cache.quiesce();
     tput
@@ -88,9 +98,7 @@ fn main() {
         let r = run_refcache(n, dur);
         let s = run_eager(Arc::new(Snzi::new(n, 4)), n, dur);
         let a = run_eager(Arc::new(SharedCounter::new(0)), n, dur);
-        eprintln!(
-            "  {n:>3} cores: refcache {r:>13.0}  snzi {s:>13.0}  shared {a:>13.0} iters/s"
-        );
+        eprintln!("  {n:>3} cores: refcache {r:>13.0}  snzi {s:>13.0}  shared {a:>13.0} iters/s");
         refcache_pts.push((n, r));
         snzi_pts.push((n, s));
         shared_pts.push((n, a));

@@ -10,23 +10,30 @@
 //! Usage: `fig9_tlb [--quick]`; env `RVM_CORES`, `RVM_DUR_MS`.
 
 use rvm_bench::workloads::{global, local, pipeline, PipelineQueues};
-use rvm_bench::{core_counts, duration_ns, make_vm, point_duration, print_table, run_sim, VmKind};
+use rvm_bench::{
+    build, core_counts, duration_ns, point_duration, print_table, run_sim, BackendKind,
+};
 use rvm_hw::Machine;
 use rvm_sync::CostModel;
 
-fn sweep(bench: &str, kind: VmKind, cores_list: &[usize], dur: u64) -> Vec<(usize, f64)> {
+fn sweep(bench: &str, kind: BackendKind, cores_list: &[usize], dur: u64) -> Vec<(usize, f64)> {
     cores_list
         .iter()
         .map(|&n| {
             let machine = Machine::new(n);
-            let vm = make_vm(kind, &machine);
+            let vm = build(&machine, kind);
             let queues = PipelineQueues::new(n);
-            let point = run_sim(n, point_duration(dur, n), CostModel::default(), |c| match bench {
-                "local" => local(machine.clone(), vm.clone(), c),
-                "pipeline" => pipeline(machine.clone(), vm.clone(), queues.clone(), c, n),
-                "global" => global(machine.clone(), vm.clone(), c, n),
-                _ => unreachable!(),
-            });
+            let point = run_sim(
+                n,
+                point_duration(dur, n),
+                CostModel::default(),
+                |c| match bench {
+                    "local" => local(machine.clone(), vm.clone(), c),
+                    "pipeline" => pipeline(machine.clone(), vm.clone(), queues.clone(), c, n),
+                    "global" => global(machine.clone(), vm.clone(), c, n),
+                    _ => unreachable!(),
+                },
+            );
             eprintln!(
                 "  {bench:>8} {:>18} {n:>3} cores: {:>12.0} pages/s  (ipis {})",
                 kind.name(),
@@ -42,15 +49,20 @@ fn main() {
     let cores_list = core_counts();
     let dur = duration_ns();
     for bench in ["local", "pipeline", "global"] {
-        let series: Vec<(&str, Vec<(usize, f64)>)> = [VmKind::Radix, VmKind::RadixSharedPt]
-            .iter()
-            .map(|&k| {
-                (
-                    if k == VmKind::Radix { "Per-core" } else { "Shared" },
-                    sweep(bench, k, &cores_list, dur),
-                )
-            })
-            .collect();
+        let series: Vec<(&str, Vec<(usize, f64)>)> =
+            [BackendKind::Radix, BackendKind::RadixSharedPt]
+                .iter()
+                .map(|&k| {
+                    (
+                        if k == BackendKind::Radix {
+                            "Per-core"
+                        } else {
+                            "Shared"
+                        },
+                        sweep(bench, k, &cores_list, dur),
+                    )
+                })
+                .collect();
         print_table(
             &format!("Figure 9 ({bench}): per-core vs shared page tables, page writes/sec"),
             &series,

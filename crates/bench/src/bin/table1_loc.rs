@@ -78,6 +78,7 @@ fn main() {
         "crates/hw",
         "crates/radix",
         "crates/core",
+        "crates/backend",
         "crates/baselines",
         "crates/metis",
         "crates/bench",

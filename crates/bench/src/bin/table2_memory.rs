@@ -7,8 +7,8 @@
 //! radix tree costs a small multiple (the paper saw 1.5–2.7×) of Linux's
 //! VMA-tree-plus-page-table and stays a small percentage of RSS.
 
-use rvm_bench::layouts::{build, generate, table2_apps};
-use rvm_bench::{make_vm, VmKind};
+use rvm_bench::layouts::{build_layout, generate, table2_apps};
+use rvm_bench::{build, BackendKind};
 use rvm_hw::Machine;
 
 fn mb(bytes: u64) -> f64 {
@@ -29,16 +29,16 @@ fn main() {
         let regions = generate(&app);
         // Linux representation.
         let lm = Machine::new(1);
-        let lvm = make_vm(VmKind::Linux, &lm);
-        let touched = build(&lm, &*lvm, &regions);
+        let lvm = build(&lm, BackendKind::Linux);
+        let touched = build_layout(&lm, &*lvm, &regions);
         let lu = lvm.space_usage();
         drop(lvm);
         // RadixVM representation (radix tree only: the paper's point is
         // that hardware page tables become disposable caches, so the tree
         // is the persistent metadata).
         let rm = Machine::new(1);
-        let rvm = make_vm(VmKind::Radix, &rm);
-        let _ = build(&rm, &*rvm, &regions);
+        let rvm = build(&rm, BackendKind::Radix);
+        let _ = build_layout(&rm, &*rvm, &regions);
         let ru = rvm.space_usage();
         let rss_bytes = touched * 4096;
         let linux_total = lu.index_bytes + lu.pagetable_bytes;

@@ -122,7 +122,7 @@ pub fn generate(profile: &AppProfile) -> Vec<Region> {
 
 /// Builds the layout inside `vm` (mapping every region and touching the
 /// resident prefix) and returns the touched page count.
-pub fn build(machine: &Arc<Machine>, vm: &dyn VmSystem, regions: &[Region]) -> u64 {
+pub fn build_layout(machine: &Arc<Machine>, vm: &dyn VmSystem, regions: &[Region]) -> u64 {
     vm.attach_core(0);
     let mut touched = 0;
     for (i, r) in regions.iter().enumerate() {
@@ -149,7 +149,7 @@ pub fn build(machine: &Arc<Machine>, vm: &dyn VmSystem, regions: &[Region]) -> u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvm_core::{RadixVm, RadixVmConfig};
+    use crate::{build, BackendKind};
 
     #[test]
     fn profiles_have_sane_counts() {
@@ -164,8 +164,7 @@ mod tests {
                 app.name
             );
             // No overlaps.
-            let mut sorted: Vec<(u64, u64)> =
-                regions.iter().map(|r| (r.addr, r.pages)).collect();
+            let mut sorted: Vec<(u64, u64)> = regions.iter().map(|r| (r.addr, r.pages)).collect();
             sorted.sort();
             for w in sorted.windows(2) {
                 assert!(w[0].0 + w[0].1 * PAGE_SIZE <= w[1].0, "overlap");
@@ -181,9 +180,9 @@ mod tests {
             rss_mb: 2,
         };
         let machine = Machine::new(1);
-        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let vm = build(&machine, BackendKind::Radix);
         let regions = generate(&app);
-        let touched = build(&machine, &*vm, &regions);
+        let touched = build_layout(&machine, &*vm, &regions);
         assert!(touched >= 400, "2 MB ≈ 512 pages touched, got {touched}");
         let usage = vm.space_usage();
         assert!(usage.index_bytes > 0);

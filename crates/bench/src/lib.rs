@@ -20,66 +20,15 @@
 //! | `table1_loc` | Table 1 — component sizes |
 //! | `table2_memory` | Table 2 — address-space metadata memory |
 
-use std::sync::Arc;
-
-use rvm_baselines::{BonsaiVm, LinuxVm};
-use rvm_core::{RadixVm, RadixVmConfig};
-use rvm_hw::{Machine, MmuKind, VmSystem};
 use rvm_sync::{sim, CostModel, SimStats};
 
 pub mod layouts;
 pub mod workloads;
 
-/// The VM systems under test.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum VmKind {
-    /// RadixVM, full design (per-core tables, collapse on).
-    Radix,
-    /// RadixVM with a shared page table (Figure 9 ablation).
-    RadixSharedPt,
-    /// RadixVM without radix-node collapsing (paper's prototype config).
-    RadixNoCollapse,
-    /// The Bonsai baseline.
-    Bonsai,
-    /// The Linux baseline.
-    Linux,
-}
-
-impl VmKind {
-    /// Display name (matches the paper's figure legends).
-    pub fn name(self) -> &'static str {
-        match self {
-            VmKind::Radix => "RadixVM",
-            VmKind::RadixSharedPt => "RadixVM/shared-pt",
-            VmKind::RadixNoCollapse => "RadixVM/no-collapse",
-            VmKind::Bonsai => "Bonsai",
-            VmKind::Linux => "Linux",
-        }
-    }
-}
-
-/// Instantiates a VM system of the given kind on `machine`.
-pub fn make_vm(kind: VmKind, machine: &Arc<Machine>) -> Arc<dyn VmSystem> {
-    match kind {
-        VmKind::Radix => RadixVm::new(machine.clone(), RadixVmConfig::default()),
-        VmKind::RadixSharedPt => RadixVm::new(
-            machine.clone(),
-            RadixVmConfig {
-                mmu: MmuKind::Shared,
-                collapse: true,
-            },
-        ),
-        VmKind::RadixNoCollapse => RadixVm::new(
-            machine.clone(),
-            RadixVmConfig {
-                mmu: MmuKind::PerCore,
-                collapse: false,
-            },
-        ),
-        VmKind::Bonsai => BonsaiVm::new(machine.clone()),
-        VmKind::Linux => LinuxVm::new(machine.clone()),
-    }
-}
+// The VM systems under test live behind the backend layer; the harness
+// re-exports it so bench code and downstream users construct every VM
+// through one seam.
+pub use rvm_backend::{build, BackendKind, BackendMeta, ShootdownPolicy};
 
 /// One measured point of a scalability sweep.
 #[derive(Clone, Debug)]
@@ -146,10 +95,7 @@ pub fn run_sim(
 /// cores at a time plus single core, §5.1).
 pub fn core_counts() -> Vec<usize> {
     if let Ok(s) = std::env::var("RVM_CORES") {
-        return s
-            .split(',')
-            .filter_map(|x| x.trim().parse().ok())
-            .collect();
+        return s.split(',').filter_map(|x| x.trim().parse().ok()).collect();
     }
     if quick() {
         vec![1, 4, 16, 48, 80]

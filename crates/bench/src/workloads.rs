@@ -41,11 +41,7 @@ fn splitmix(mut z: u64) -> u64 {
 /// Builds the **local** workload closure for one core.
 ///
 /// One op = mmap 4 KB + write the page + munmap (3 syscalls, 1 fault).
-pub fn local(
-    machine: Arc<Machine>,
-    vm: Arc<dyn VmSystem>,
-    core: usize,
-) -> Box<dyn FnMut() -> u64> {
+pub fn local(machine: Arc<Machine>, vm: Arc<dyn VmSystem>, core: usize) -> Box<dyn FnMut() -> u64> {
     vm.attach_core(core);
     // Each core cycles through a few slots of its private gigabyte.
     let base = LOCAL_BASE + core as u64 * (1 << 30);
@@ -55,9 +51,11 @@ pub fn local(
         i += 1;
         vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
             .expect("mmap");
-        machine.touch_page(core, &*vm, addr, i as u8).expect("touch");
+        machine
+            .touch_page(core, &*vm, addr, i as u8)
+            .expect("touch");
         vm.munmap(core, addr, PAGE_SIZE).expect("munmap");
-        if i % MAINTAIN_EVERY == 0 {
+        if i.is_multiple_of(MAINTAIN_EVERY) {
             vm.maintain(core);
         }
         1
@@ -101,13 +99,15 @@ pub fn pipeline(
     let mut produced = 0u64;
     Box::new(move || {
         i += 1;
-        if i % MAINTAIN_EVERY == 0 {
+        if i.is_multiple_of(MAINTAIN_EVERY) {
             vm.maintain(core);
         }
         // Prefer consuming a region handed to us.
         let handed = queues.queues[core].borrow_mut().pop_front();
         if let Some(addr) = handed {
-            machine.touch_page(core, &*vm, addr, core as u8).expect("touch");
+            machine
+                .touch_page(core, &*vm, addr, core as u8)
+                .expect("touch");
             vm.munmap(core, addr, PAGE_SIZE).expect("munmap");
             return 1;
         }
@@ -122,7 +122,9 @@ pub fn pipeline(
         let addr = base + (produced % 64) * PAGE_SIZE;
         vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
             .expect("mmap");
-        machine.touch_page(core, &*vm, addr, core as u8).expect("touch");
+        machine
+            .touch_page(core, &*vm, addr, core as u8)
+            .expect("touch");
         queues.queues[next].borrow_mut().push_back(addr);
         1
     })
@@ -153,7 +155,7 @@ pub fn global(
     let remap_every = total_pages * 4;
     Box::new(move || {
         i += 1;
-        if i % MAINTAIN_EVERY == 0 {
+        if i.is_multiple_of(MAINTAIN_EVERY) {
             vm.maintain(core);
         }
         if !mapped {
@@ -168,8 +170,9 @@ pub fn global(
             mapped = true;
             return 0;
         }
-        if i % remap_every == 0 {
-            vm.munmap(core, slice, SLICE_PAGES * PAGE_SIZE).expect("munmap");
+        if i.is_multiple_of(remap_every) {
+            vm.munmap(core, slice, SLICE_PAGES * PAGE_SIZE)
+                .expect("munmap");
             mapped = false;
             return 0;
         }
@@ -190,13 +193,12 @@ pub fn global(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run_sim;
-    use rvm_core::{RadixVm, RadixVmConfig};
+    use crate::{build, run_sim, BackendKind};
     use rvm_sync::CostModel;
 
     fn radix_vm(ncores: usize) -> (Arc<Machine>, Arc<dyn VmSystem>) {
         let machine = Machine::new(ncores);
-        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let vm = build(&machine, BackendKind::Radix);
         (machine, vm)
     }
 
@@ -226,7 +228,7 @@ mod tests {
         assert!(p.units > 100, "pipeline made progress: {}", p.units);
         // Every munmap of a handed-off page shoots exactly one remote TLB.
         assert!(m.stats().shootdown_ipis > 0);
-        assert!(m.stats().shootdown_ipis <= m.stats().shootdown_rounds * 1);
+        assert!(m.stats().shootdown_ipis <= m.stats().shootdown_rounds);
     }
 
     #[test]

@@ -58,7 +58,8 @@ mod tests {
     #[test]
     fn mmap_write_read_munmap() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, 8 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 8 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         for i in 0..8u64 {
             m.write_u64(0, &*vm, BASE + i * PAGE_SIZE, i + 100).unwrap();
         }
@@ -76,7 +77,8 @@ mod tests {
     #[test]
     fn demand_zero_and_lazy_allocation() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, 64 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 64 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         // No physical pages yet.
         assert_eq!(vm.op_stats().faults_alloc, 0);
         assert_eq!(m.pool().total_frames(), 0);
@@ -88,7 +90,8 @@ mod tests {
     #[test]
     fn frames_freed_after_munmap() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         for i in 0..4u64 {
             m.write_u64(0, &*vm, BASE + i * PAGE_SIZE, 1).unwrap();
         }
@@ -109,10 +112,19 @@ mod tests {
             vm.mmap(0, BASE, PAGE_SIZE + 7, Prot::RW, Backing::Anon),
             Err(VmError::BadRange)
         );
-        assert_eq!(vm.mmap(0, BASE, 0, Prot::RW, Backing::Anon), Err(VmError::BadRange));
+        assert_eq!(
+            vm.mmap(0, BASE, 0, Prot::RW, Backing::Anon),
+            Err(VmError::BadRange)
+        );
         assert_eq!(vm.munmap(0, BASE, 0), Err(VmError::BadRange));
         assert_eq!(
-            vm.mmap(0, (1 << 48) - PAGE_SIZE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon),
+            vm.mmap(
+                0,
+                (1 << 48) - PAGE_SIZE,
+                2 * PAGE_SIZE,
+                Prot::RW,
+                Backing::Anon
+            ),
             Err(VmError::BadRange)
         );
     }
@@ -120,7 +132,8 @@ mod tests {
     #[test]
     fn protection_enforced() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::READ, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::READ, Backing::Anon)
+            .unwrap();
         assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 0);
         assert_eq!(m.write_u64(0, &*vm, BASE, 1), Err(VmError::ProtViolation));
     }
@@ -128,11 +141,16 @@ mod tests {
     #[test]
     fn mprotect_revokes_and_refaults() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 7).unwrap();
         vm.mprotect(0, BASE, 2 * PAGE_SIZE, Prot::READ).unwrap();
         assert_eq!(m.write_u64(0, &*vm, BASE, 8), Err(VmError::ProtViolation));
-        assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 7, "data survives mprotect");
+        assert_eq!(
+            m.read_u64(0, &*vm, BASE).unwrap(),
+            7,
+            "data survives mprotect"
+        );
         vm.mprotect(0, BASE, 2 * PAGE_SIZE, Prot::RW).unwrap();
         m.write_u64(0, &*vm, BASE, 8).unwrap();
         assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 8);
@@ -148,19 +166,25 @@ mod tests {
         let (_m, vm) = setup(1);
         // 512 pages, aligned: must fold into one interior slot.
         let aligned = 512 * PAGE_SIZE * 4;
-        vm.mmap(0, aligned, 512 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, aligned, 512 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         let ts = vm.tree_stats();
         assert_eq!(ts.leaf_nodes.load(std::sync::atomic::Ordering::Relaxed), 0);
-        assert_eq!(ts.folded_values.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            ts.folded_values.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]
     fn mmap_replaces_existing_mapping() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 111).unwrap();
         // Remap over it: old contents must be gone (fresh demand-zero).
-        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 0);
         vm.cache().quiesce();
         assert_eq!(
@@ -177,7 +201,8 @@ mod tests {
         let (m, vm) = setup(4);
         for i in 0..50u64 {
             let addr = BASE + i * PAGE_SIZE;
-            vm.mmap(2, addr, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+            vm.mmap(2, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+                .unwrap();
             m.touch_page(2, &*vm, addr, 0xAB).unwrap();
             vm.munmap(2, addr, PAGE_SIZE).unwrap();
             vm.maintain(2);
@@ -194,12 +219,17 @@ mod tests {
         let iters = 20u64;
         for i in 0..iters {
             let addr = BASE + i * PAGE_SIZE;
-            vm.mmap(0, addr, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+            vm.mmap(0, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+                .unwrap();
             m.touch_page(0, &*vm, addr, 1).unwrap();
             m.touch_page(1, &*vm, addr, 2).unwrap();
             vm.munmap(1, addr, PAGE_SIZE).unwrap();
         }
-        assert_eq!(m.stats().shootdown_ipis, iters, "exactly one IPI per munmap");
+        assert_eq!(
+            m.stats().shootdown_ipis,
+            iters,
+            "exactly one IPI per munmap"
+        );
     }
 
     #[test]
@@ -215,7 +245,8 @@ mod tests {
         for c in 0..4 {
             vm.attach_core(c);
         }
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         machine.touch_page(0, &*vm, BASE, 1).unwrap();
         vm.munmap(0, BASE, PAGE_SIZE).unwrap();
         // Broadcast to all 4 attached cores minus the sender = 3 IPIs.
@@ -234,7 +265,8 @@ mod tests {
         );
         vm.attach_core(0);
         vm.attach_core(1);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         machine.write_u64(0, &*vm, BASE, 5).unwrap();
         // Core 1's access is a hardware-style fill (PTE already present).
         assert_eq!(machine.read_u64(1, &*vm, BASE).unwrap(), 5);
@@ -246,7 +278,8 @@ mod tests {
     #[test]
     fn percore_tables_fill_fault_per_core() {
         let (m, vm) = setup(3);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 9).unwrap();
         assert_eq!(m.read_u64(1, &*vm, BASE).unwrap(), 9);
         assert_eq!(m.read_u64(2, &*vm, BASE).unwrap(), 9);
@@ -265,7 +298,8 @@ mod tests {
         let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
         vm.attach_core(0);
         vm.attach_core(1);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         machine.write_u64(1, &*vm, BASE, 7).unwrap(); // core 1 caches it
         vm.munmap(0, BASE, PAGE_SIZE).unwrap(); // shootdown suppressed
         vm.cache().quiesce(); // frame actually freed
@@ -280,7 +314,8 @@ mod tests {
     #[test]
     fn fork_shares_then_isolates() {
         let (m, vm) = setup(2);
-        vm.mmap(0, BASE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 42).unwrap();
         m.write_u64(0, &*vm, BASE + PAGE_SIZE, 43).unwrap();
         let child = vm.fork(0);
@@ -303,7 +338,8 @@ mod tests {
     #[test]
     fn fork_frame_accounting() {
         let (m, vm) = setup(1);
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.write_u64(0, &*vm, BASE, 1).unwrap();
         let child = vm.fork(0);
         child.attach_core(0);
@@ -338,7 +374,8 @@ mod tests {
     #[test]
     fn space_usage_reports_both_components() {
         let (m, vm) = setup(2);
-        vm.mmap(0, BASE, 16 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 16 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         m.touch_page(0, &*vm, BASE, 1).unwrap();
         m.touch_page(1, &*vm, BASE + PAGE_SIZE, 1).unwrap();
         let u = vm.space_usage();
@@ -371,7 +408,8 @@ mod tests {
                 let base = BASE + core as u64 * (1 << 30);
                 for i in 0..300u64 {
                     let addr = base + (i % 7) * 4 * PAGE_SIZE;
-                    vm.mmap(core, addr, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+                    vm.mmap(core, addr, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+                        .unwrap();
                     for p in 0..4u64 {
                         m.write_u64(core, &*vm, addr + p * PAGE_SIZE, i).unwrap();
                     }
@@ -431,7 +469,8 @@ mod tests {
         {
             let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
             vm.attach_core(0);
-            vm.mmap(0, BASE, 32 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+            vm.mmap(0, BASE, 32 * PAGE_SIZE, Prot::RW, Backing::Anon)
+                .unwrap();
             for i in 0..32u64 {
                 machine.write_u64(0, &*vm, BASE + i * PAGE_SIZE, i).unwrap();
             }

@@ -27,8 +27,7 @@ use std::sync::Arc;
 
 use rvm_hw::{
     vpn_of, AccessKind, Asid, Backing, Machine, Mmu, MmuKind, PerCoreMmu, Prot, Pte, SharedMmu,
-    SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, PAGE_SIZE,
-    VA_LIMIT,
+    SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
 };
 use rvm_radix::{LockMode, RadixConfig, RadixTree, Removed, VPN_LIMIT};
 use rvm_refcache::{RcPtr, Refcache};
@@ -57,19 +56,10 @@ impl Default for RadixVmConfig {
 }
 
 /// Operation counters (the paper reports these for Metis, §5.2).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct VmOpStats {
-    /// mmap invocations.
-    pub mmaps: u64,
-    /// munmap invocations.
-    pub munmaps: u64,
-    /// Faults that allocated a new physical page.
-    pub faults_alloc: u64,
-    /// Faults that only filled a translation (page already present).
-    pub faults_fill: u64,
-    /// Copy-on-write resolutions.
-    pub faults_cow: u64,
-}
+///
+/// An alias of the backend-generic [`rvm_hw::OpStats`], which every
+/// [`VmSystem`] reports through the trait's `op_stats` method.
+pub type VmOpStats = rvm_hw::OpStats;
 
 #[derive(Default)]
 struct OpStatCells {
@@ -152,18 +142,6 @@ impl RadixVm {
     /// Radix-tree statistics (node counts, expansions, collapses).
     pub fn tree_stats(&self) -> &rvm_radix::TreeStats {
         self.tree.stats()
-    }
-
-    fn check_range(addr: Vaddr, len: u64) -> VmResult<(Vpn, u64)> {
-        if len == 0
-            || addr % PAGE_SIZE != 0
-            || len % PAGE_SIZE != 0
-            || addr.checked_add(len).is_none()
-            || addr + len > VA_LIMIT
-        {
-            return Err(VmError::BadRange);
-        }
-        Ok((vpn_of(addr), len / PAGE_SIZE))
     }
 
     /// Clears page tables and shoots down TLBs for displaced metadata,
@@ -270,9 +248,10 @@ impl RadixVm {
 
 impl VmSystem for RadixVm {
     fn name(&self) -> &'static str {
-        match self.cfg.mmu {
-            MmuKind::PerCore => "RadixVM",
-            MmuKind::Shared => "RadixVM/shared-pt",
+        match (self.cfg.mmu, self.cfg.collapse) {
+            (MmuKind::PerCore, true) => "RadixVM",
+            (MmuKind::Shared, _) => "RadixVM/shared-pt",
+            (MmuKind::PerCore, false) => "RadixVM/no-collapse",
         }
     }
 
@@ -293,7 +272,7 @@ impl VmSystem for RadixVm {
         backing: Backing,
     ) -> VmResult<Vaddr> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         self.stats.mmaps.fetch_add(1, StdOrdering::Relaxed);
         // Anchor file offsets to the VPN so every page's metadata is
         // identical and the mapping folds (§3.2).
@@ -315,7 +294,7 @@ impl VmSystem for RadixVm {
 
     fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         self.stats.munmaps.fetch_add(1, StdOrdering::Relaxed);
         let mut guard = self
             .tree
@@ -383,16 +362,12 @@ impl VmSystem for RadixVm {
                 let tracked = meta.coreset;
                 meta.coreset = CoreSet::EMPTY;
                 if !tracked.is_empty() {
-                    let targets =
-                        self.mmu
-                            .unmap_range(vpn, 1, tracked, self.attached.load());
+                    let targets = self.mmu.unmap_range(vpn, 1, tracked, self.attached.load());
                     self.machine.shootdown(core, self.asid, vpn, 1, targets);
                 }
                 self.cache.dec(core, old_ref);
             }
-            let page = self
-                .cache
-                .alloc(1, PhysPage::new(new_pfn, pool.clone()));
+            let page = self.cache.alloc(1, PhysPage::new(new_pfn, pool.clone()));
             meta.phys = Some(page);
             meta.kind = PageKind::Plain;
         }
@@ -430,7 +405,7 @@ impl VmSystem for RadixVm {
 
     fn mprotect(&self, core: usize, addr: Vaddr, len: u64, prot: Prot) -> VmResult<()> {
         sim::charge_op_base();
-        let (lo, n) = Self::check_range(addr, len)?;
+        let (lo, n) = rvm_hw::check_range(addr, len)?;
         let mut guard = self
             .tree
             .lock_range(core, lo, lo + n, LockMode::ExpandFolded);
@@ -470,6 +445,22 @@ impl VmSystem for RadixVm {
         self.cache.maintain(core);
     }
 
+    fn fork(&self, core: usize) -> VmResult<Arc<dyn VmSystem>> {
+        Ok(RadixVm::fork(self, core))
+    }
+
+    fn op_stats(&self) -> VmOpStats {
+        RadixVm::op_stats(self)
+    }
+
+    fn quiesce(&self) {
+        self.cache.quiesce();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn space_usage(&self) -> SpaceUsage {
         SpaceUsage {
             index_bytes: self.tree.space_bytes(),
@@ -500,7 +491,9 @@ impl Drop for RadixVm {
         // Unmap everything so physical pages return to the pool, then let
         // the tree tear itself down.
         let removed = {
-            let mut guard = self.tree.lock_range(0, 0, VPN_LIMIT, LockMode::ExpandFolded);
+            let mut guard = self
+                .tree
+                .lock_range(0, 0, VPN_LIMIT, LockMode::ExpandFolded);
             guard.clear()
         };
         self.finish_unmap(0, 0, VPN_LIMIT, removed);

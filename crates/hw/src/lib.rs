@@ -60,6 +60,22 @@ pub fn vpn_of(va: Vaddr) -> Vpn {
     va >> PAGE_SHIFT
 }
 
+/// Validates an mmap/munmap/mprotect operation range: page-aligned,
+/// non-empty, no overflow, within the canonical user address space.
+/// Returns `(first VPN, page count)`. Shared by every backend so
+/// `BadRange` semantics cannot drift between them.
+pub fn check_range(addr: Vaddr, len: u64) -> VmResult<(Vpn, u64)> {
+    if len == 0
+        || !addr.is_multiple_of(PAGE_SIZE)
+        || !len.is_multiple_of(PAGE_SIZE)
+        || addr.checked_add(len).is_none()
+        || addr + len > VA_LIMIT
+    {
+        return Err(VmError::BadRange);
+    }
+    Ok((vpn_of(addr), len / PAGE_SIZE))
+}
+
 /// Memory protection bits.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Prot(pub u8);
@@ -170,10 +186,28 @@ impl SpaceUsage {
     }
 }
 
+/// Operation counters every VM system may report (the paper's §5.2
+/// numbers). Backends that do not track a counter leave it zero.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpStats {
+    /// mmap invocations.
+    pub mmaps: u64,
+    /// munmap invocations.
+    pub munmaps: u64,
+    /// Faults that allocated a new physical page.
+    pub faults_alloc: u64,
+    /// Faults that only filled a translation (page already present).
+    pub faults_fill: u64,
+    /// Copy-on-write resolutions.
+    pub faults_cow: u64,
+}
+
 /// A virtual memory system managing one address space.
 ///
-/// Implemented by `rvm_core::RadixVm` and the baselines. All operations
-/// take the executing core explicitly (kernel code runs on a core).
+/// Implemented by `rvm_core::RadixVm` and the baselines; constructed
+/// exclusively through the backend layer (`rvm_backend::build`). All
+/// operations take the executing core explicitly (kernel code runs on a
+/// core).
 pub trait VmSystem: Send + Sync {
     /// Short human-readable name for harness output.
     fn name(&self) -> &'static str;
@@ -188,8 +222,14 @@ pub trait VmSystem: Send + Sync {
     /// Maps `[addr, addr + len)` with the given protection and backing.
     /// Returns the mapped address. Fixed-address semantics: existing
     /// mappings in the range are replaced.
-    fn mmap(&self, core: usize, addr: Vaddr, len: u64, prot: Prot, backing: Backing)
-        -> VmResult<Vaddr>;
+    fn mmap(
+        &self,
+        core: usize,
+        addr: Vaddr,
+        len: u64,
+        prot: Prot,
+        backing: Backing,
+    ) -> VmResult<Vaddr>;
 
     /// Unmaps `[addr, addr + len)`: clears metadata and page tables,
     /// shoots down TLBs, and releases physical pages.
@@ -206,6 +246,28 @@ pub trait VmSystem: Send + Sync {
 
     /// Periodic per-core maintenance (Refcache ticks); default no-op.
     fn maintain(&self, _core: usize) {}
+
+    /// Forks this address space copy-on-write, returning the child.
+    /// Backends without fork return [`VmError::Unsupported`]; the backend
+    /// layer's metadata (`supports_fork`) says which do.
+    fn fork(&self, _core: usize) -> VmResult<Arc<dyn VmSystem>> {
+        Err(VmError::Unsupported)
+    }
+
+    /// Snapshot of this address space's operation counters.
+    fn op_stats(&self) -> OpStats {
+        OpStats::default()
+    }
+
+    /// Drains all deferred reclamation (Refcache epochs, RCU grace
+    /// periods) so frame accounting is exact; default no-op for backends
+    /// that free eagerly.
+    fn quiesce(&self) {}
+
+    /// The concrete backend, for white-box tests that need to downcast
+    /// (`vm.as_any().downcast_ref::<RadixVm>()`). Production code never
+    /// calls this.
+    fn as_any(&self) -> &dyn std::any::Any;
 
     /// Current space consumption of the address-space structures.
     fn space_usage(&self) -> SpaceUsage;
@@ -550,6 +612,10 @@ mod tests {
             Ok(tr)
         }
 
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
         fn space_usage(&self) -> SpaceUsage {
             SpaceUsage::default()
         }
@@ -618,10 +684,7 @@ mod tests {
         m.pool().free(0, pfn);
         // Core 1's stale TLB entry now points at a freed (reusable) frame:
         // the generation check catches it.
-        assert_eq!(
-            m.read_u64(1, &vm, 0x1000),
-            Err(VmError::StaleTranslation)
-        );
+        assert_eq!(m.read_u64(1, &vm, 0x1000), Err(VmError::StaleTranslation));
         assert_eq!(m.stats().stale_detected, 1);
         assert_eq!(m.stats().shootdowns_suppressed, 1);
     }

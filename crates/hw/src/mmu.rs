@@ -146,7 +146,10 @@ mod tests {
         let mmu = PerCoreMmu::new(2);
         mmu.map(0, 100, Pte::new(1, true));
         assert!(mmu.walk(0, 100).present());
-        assert!(!mmu.walk(1, 100).present(), "core 1 must not see core 0's PTE");
+        assert!(
+            !mmu.walk(1, 100).present(),
+            "core 1 must not see core 0's PTE"
+        );
     }
 
     #[test]

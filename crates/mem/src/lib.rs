@@ -101,7 +101,7 @@ pub struct FramePool {
 impl FramePool {
     /// Creates a pool serving `ncores` cores.
     pub fn new(ncores: usize) -> Self {
-        assert!(ncores >= 1 && ncores <= rvm_sync::MAX_CORES);
+        assert!((1..=rvm_sync::MAX_CORES).contains(&ncores));
         let chunk_ptrs = (0..MAX_CHUNKS)
             .map(|_| AtomicPtr::new(std::ptr::null_mut()))
             .collect::<Vec<_>>()
@@ -179,7 +179,7 @@ impl FramePool {
             let n = self.nframes.load(Ordering::Acquire) as usize;
             for i in 0..REFILL_BATCH {
                 let idx = n + i;
-                if idx % CHUNK_FRAMES == 0 {
+                if idx.is_multiple_of(CHUNK_FRAMES) {
                     let chunk_idx = idx / CHUNK_FRAMES;
                     assert!(chunk_idx < MAX_CHUNKS, "frame pool exhausted");
                     let chunk: Vec<FrameMeta> = (0..CHUNK_FRAMES)
@@ -318,7 +318,7 @@ impl Drop for FramePool {
                 // SAFETY: `p` was leaked from a Box<[FrameMeta]> of length
                 // CHUNK_FRAMES in `alloc` and is reclaimed exactly once.
                 unsafe {
-                    drop(Box::from_raw(std::slice::from_raw_parts_mut(
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
                         p,
                         CHUNK_FRAMES,
                     )));

@@ -97,11 +97,11 @@ impl VmArena {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvm_core::{RadixVm, RadixVmConfig};
+    use rvm_backend::{build, BackendKind};
 
     fn setup() -> (Arc<Machine>, VmArena) {
         let machine = Machine::new(2);
-        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let vm = build(&machine, BackendKind::Radix);
         vm.attach_core(0);
         vm.attach_core(1);
         let arena = VmArena::new(machine.clone(), vm, 16);
@@ -131,7 +131,10 @@ mod tests {
         let (_m, arena) = setup();
         let a = arena.alloc(0, 8);
         let b = arena.alloc(1, 8);
-        assert!(a.abs_diff(b) >= arena.block_bytes, "cores use separate blocks");
+        assert!(
+            a.abs_diff(b) >= arena.block_bytes,
+            "cores use separate blocks"
+        );
     }
 
     #[test]

@@ -159,7 +159,11 @@ impl Metis {
             .collect();
         Metis {
             heads: (0..cfg.workers)
-                .map(|_| (0..cfg.workers).map(|_| rvm_sync::Atomic64::new(0)).collect())
+                .map(|_| {
+                    (0..cfg.workers)
+                        .map(|_| rvm_sync::Atomic64::new(0))
+                        .collect()
+                })
                 .collect(),
             cfg,
             arena,
@@ -225,8 +229,7 @@ impl Metis {
                 if ms.produced == ms.quota {
                     // Publish chain heads and pass the barrier.
                     for (r, chain) in ms.out.iter().enumerate() {
-                        self.heads[core][r]
-                            .store(chain.head, std::sync::atomic::Ordering::Release);
+                        self.heads[core][r].store(chain.head, std::sync::atomic::Ordering::Release);
                     }
                     *slot = WorkerState::WaitingReduce;
                     self.maps_done.fetch_add(1, Ordering::SeqCst);
@@ -247,8 +250,8 @@ impl Metis {
             WorkerState::Reducing(rs) => {
                 if rs.src < self.cfg.workers {
                     if rs.block == 0 {
-                        let head = self.heads[rs.src][core]
-                            .load(std::sync::atomic::Ordering::Acquire);
+                        let head =
+                            self.heads[rs.src][core].load(std::sync::atomic::Ordering::Acquire);
                         if head == 0 {
                             rs.src += 1;
                             return Step::Worked;

@@ -35,12 +35,16 @@ pub fn run_to_completion(job: &Metis, workers: usize) -> MetisStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvm_baselines::LinuxVm;
-    use rvm_core::{RadixVm, RadixVmConfig};
+    use rvm_backend::{build, BackendKind};
     use rvm_hw::{Machine, VmSystem};
     use std::sync::Arc;
 
-    fn run_on(vm: Arc<dyn VmSystem>, machine: Arc<Machine>, workers: usize, block_pages: u64) -> MetisStats {
+    fn run_on(
+        vm: Arc<dyn VmSystem>,
+        machine: Arc<Machine>,
+        workers: usize,
+        block_pages: u64,
+    ) -> MetisStats {
         for c in 0..workers {
             vm.attach_core(c);
         }
@@ -52,7 +56,7 @@ mod tests {
     #[test]
     fn completes_and_indexes_every_word() {
         let machine = Machine::new(4);
-        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let vm = build(&machine, BackendKind::Radix);
         let st = run_on(vm, machine, 4, 16);
         assert_eq!(st.pairs, 64_000);
         assert_eq!(st.outputs, st.distinct_words);
@@ -65,10 +69,10 @@ mod tests {
         // The paper's §5.2 knob: smaller allocation units → many more
         // mmap invocations for the same job.
         let m1 = Machine::new(2);
-        let vm1 = RadixVm::new(m1.clone(), RadixVmConfig::default());
+        let vm1 = build(&m1, BackendKind::Radix);
         let small = run_on(vm1, m1, 2, 16); // 64 KB blocks
         let m2 = Machine::new(2);
-        let vm2 = RadixVm::new(m2.clone(), RadixVmConfig::default());
+        let vm2 = build(&m2, BackendKind::Radix);
         let large = run_on(vm2, m2, 2, 2048); // 8 MB blocks
         assert!(
             small.mmaps > 8 * large.mmaps,
@@ -83,10 +87,10 @@ mod tests {
     fn same_result_on_linux_baseline() {
         // The job is VM-agnostic: identical output on the Linux baseline.
         let m1 = Machine::new(2);
-        let vm1 = RadixVm::new(m1.clone(), RadixVmConfig::default());
+        let vm1 = build(&m1, BackendKind::Radix);
         let a = run_on(vm1, m1, 2, 16);
         let m2 = Machine::new(2);
-        let vm2 = LinuxVm::new(m2.clone());
+        let vm2 = build(&m2, BackendKind::Linux);
         let b = run_on(vm2, m2, 2, 16);
         assert_eq!(a.pairs, b.pairs);
         assert_eq!(a.distinct_words, b.distinct_words);
@@ -95,7 +99,7 @@ mod tests {
     #[test]
     fn single_worker_job() {
         let machine = Machine::new(1);
-        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let vm = build(&machine, BackendKind::Radix);
         let st = run_on(vm, machine, 1, 16);
         assert_eq!(st.pairs, 64_000);
         assert!(st.distinct_words > 0);
@@ -106,7 +110,7 @@ mod tests {
         // Pairwise sharing: reducers fault pages written by other map
         // workers — with per-core tables those are fill faults.
         let machine = Machine::new(4);
-        let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+        let vm = build(&machine, BackendKind::Radix);
         let vm2 = vm.clone();
         let _ = run_on(vm, machine, 4, 16);
         let ops = vm2.op_stats();

@@ -273,10 +273,7 @@ mod tests {
 
     #[test]
     fn no_collapse_when_disabled() {
-        let t = RadixTree::new(
-            Arc::new(Refcache::new(1)),
-            RadixConfig { collapse: false },
-        );
+        let t = RadixTree::new(Arc::new(Refcache::new(1)), RadixConfig { collapse: false });
         {
             let mut g = t.lock_range(0, 100, 110, LockMode::ExpandAll);
             g.replace(&1);
@@ -405,8 +402,7 @@ mod tests {
                     }
                     assert_eq!(t.get(core, base + 7), Some(core as u64));
                     {
-                        let mut g =
-                            t.lock_range(core, base, base + 16, LockMode::ExpandFolded);
+                        let mut g = t.lock_range(core, base, base + 16, LockMode::ExpandFolded);
                         let removed = g.clear();
                         assert_eq!(removed.len(), 16);
                     }

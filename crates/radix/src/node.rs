@@ -234,7 +234,9 @@ impl<V: Send + Sync + 'static> Managed for Node<V> {
         // Freed by Refcache: all slots are empty and no traversals pin us.
         // The freeing CAS already emptied our parent's slot; surrender the
         // used-slot reference it represented.
-        self.stats.nodes_collapsed.fetch_add(1, StdOrdering::Relaxed);
+        self.stats
+            .nodes_collapsed
+            .fetch_add(1, StdOrdering::Relaxed);
         if let Some((parent, _idx)) = self.parent {
             ctx.cache.dec(ctx.core, parent);
         }
@@ -284,13 +286,12 @@ impl<V: Send + Sync + 'static> Drop for Node<V> {
 pub fn lock_interior_slot(slot: &Atomic64) -> u64 {
     loop {
         let v = slot.load(Ordering::Acquire);
-        if v & LOCK_BIT == 0 {
-            if slot
+        if v & LOCK_BIT == 0
+            && slot
                 .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
-            {
-                return v;
-            }
+        {
+            return v;
         }
         std::hint::spin_loop();
     }
@@ -308,13 +309,12 @@ pub fn unlock_interior_slot(slot: &Atomic64) {
 pub fn lock_leaf_slot(status: &Atomic64) -> u64 {
     loop {
         let v = status.load(Ordering::Acquire);
-        if v & LOCK_BIT == 0 {
-            if status
+        if v & LOCK_BIT == 0
+            && status
                 .compare_exchange(v, v | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
-            {
-                return v;
-            }
+        {
+            return v;
         }
         std::hint::spin_loop();
     }

@@ -195,6 +195,9 @@ impl<V: RadixValue> RadixTree<V> {
     }
 
     /// Recursive locking descent (see module docs for the protocol).
+    /// Takes the full lock-plan state; splitting it into a struct would
+    /// only rename the arguments.
+    #[allow(clippy::too_many_arguments)]
     fn descend(
         &self,
         core: usize,
@@ -469,8 +472,7 @@ impl<V: RadixValue> RadixTree<V> {
                 if slot_tag(w) == TAG_CHILD {
                     // SAFETY: TAG_CHILD slots hold `Node<V>` pointers; we
                     // have exclusive access during drop.
-                    let child =
-                        unsafe { RcPtr::<Node<V>>::from_raw_addr(slot_ptr(w)) };
+                    let child = unsafe { RcPtr::<Node<V>>::from_raw_addr(slot_ptr(w)) };
                     self.teardown(child);
                     slot.store(0, Ordering::Release);
                 }

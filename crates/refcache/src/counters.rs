@@ -107,7 +107,9 @@ impl Snzi {
             .map(|_| CachePadded::new(Atomic64::new(0)))
             .collect();
         let leaves_begin = level_start[depth];
-        let leaf_of_core = (0..ncores).map(|c| leaves_begin + c % arity.pow(depth as u32)).collect();
+        let leaf_of_core = (0..ncores)
+            .map(|c| leaves_begin + c % arity.pow(depth as u32))
+            .collect();
         Snzi {
             nodes,
             root: CachePadded::new(Atomic64::new(0)),

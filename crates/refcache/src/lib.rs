@@ -140,7 +140,7 @@ impl Refcache {
 
     /// Creates a cache for `ncores` cores.
     pub fn with_config(ncores: usize, cfg: RefcacheConfig) -> Self {
-        assert!(ncores >= 1 && ncores <= rvm_sync::MAX_CORES);
+        assert!((1..=rvm_sync::MAX_CORES).contains(&ncores));
         assert!(cfg.cache_slots.is_power_of_two());
         let cores = (0..ncores)
             .map(|_| {
@@ -515,10 +515,7 @@ mod tests {
         }
     }
 
-    fn tracked(
-        rc: &Refcache,
-        init: i64,
-    ) -> (RcPtr<Tracked>, Arc<StdAtomicU64>, Arc<StdAtomicU64>) {
+    fn tracked(rc: &Refcache, init: i64) -> (RcPtr<Tracked>, Arc<StdAtomicU64>, Arc<StdAtomicU64>) {
         let drops = Arc::new(StdAtomicU64::new(0));
         let releases = Arc::new(StdAtomicU64::new(0));
         let p = rc.alloc(

@@ -338,7 +338,10 @@ mod tests {
         }
         let read_stats = sim::stats();
         // No reader waited on the lock itself.
-        assert_eq!(read_stats.cores.iter().map(|c| c.lock_wait_ns).sum::<u64>(), 0);
+        assert_eq!(
+            read_stats.cores.iter().map(|c| c.lock_wait_ns).sum::<u64>(),
+            0
+        );
         // But a writer must wait for all readers.
         sim::switch(0);
         let w = l.write();

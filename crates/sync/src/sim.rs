@@ -170,7 +170,7 @@ pub struct SimCtx {
 
 impl SimCtx {
     fn new(ncores: usize, model: CostModel) -> Self {
-        assert!(ncores >= 1 && ncores <= crate::MAX_CORES);
+        assert!((1..=crate::MAX_CORES).contains(&ncores));
         SimCtx {
             model,
             ncores,
@@ -388,7 +388,10 @@ pub fn install(ncores: usize, model: CostModel) -> SimGuard {
     let boxed = Box::new(SimCtx::new(ncores, model));
     let ptr = Box::into_raw(boxed);
     SIM.with(|c| {
-        assert!(c.get().is_null(), "simulator already installed on this thread");
+        assert!(
+            c.get().is_null(),
+            "simulator already installed on this thread"
+        );
         c.set(ptr);
     });
     SimGuard { ptr }
@@ -624,10 +627,10 @@ mod tests {
         assert!(st.max_clock() >= service * 79);
         // Distinct lines would not serialize: compare.
         let g2 = install(n, CostModel::default());
-        for round in 0..10 {
+        for _round in 0..10 {
             for c in 0..n {
                 switch(c);
-                on_write(0x10000 + c * 64 + round * 0); // per-core line
+                on_write(0x10000 + c * 64); // per-core line, reused each round
             }
         }
         let st2 = g2.finish();

@@ -10,13 +10,13 @@
 
 use std::sync::Arc;
 
-use radixvm::core_vm::{RadixVm, RadixVmConfig};
+use radixvm::backend::{build, BackendKind};
 use radixvm::hw::{Backing, Machine, Prot, VmSystem, PAGE_SIZE};
 
 const THREADS: usize = 4;
 const ITERS: u64 = 2_000;
 
-fn local(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
+fn local(machine: &Arc<Machine>, vm: &Arc<dyn VmSystem>) {
     let mut handles = Vec::new();
     for core in 0..THREADS {
         let machine = machine.clone();
@@ -25,7 +25,8 @@ fn local(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
             let base = 0x100_0000_0000 + (core as u64) * (1 << 30);
             for i in 0..ITERS {
                 let addr = base + (i % 32) * PAGE_SIZE;
-                vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+                vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+                    .unwrap();
                 machine.touch_page(core, &*vm, addr, i as u8).unwrap();
                 vm.munmap(core, addr, PAGE_SIZE).unwrap();
                 if i % 128 == 0 {
@@ -39,7 +40,7 @@ fn local(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
     }
 }
 
-fn pipeline(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
+fn pipeline(machine: &Arc<Machine>, vm: &Arc<dyn VmSystem>) {
     // Thread k maps + writes, hands the address to thread k+1, which
     // writes again and unmaps. Channels stand in for the app's queues.
     let mut txs = Vec::new();
@@ -59,7 +60,8 @@ fn pipeline(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
             let base = 0x200_0000_0000 + (core as u64) * (1 << 30);
             for i in 0..ITERS {
                 let addr = base + (i % 32) * PAGE_SIZE;
-                vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+                vm.mmap(core, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+                    .unwrap();
                 machine.touch_page(core, &*vm, addr, 1).unwrap();
                 next.send(addr).unwrap();
                 let got = rx.recv().unwrap();
@@ -77,14 +79,15 @@ fn pipeline(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
     }
 }
 
-fn global(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
+fn global(machine: &Arc<Machine>, vm: &Arc<dyn VmSystem>) {
     // Each thread maps a 64 KB slice of a shared region up front; then
     // everyone writes random pages of the whole region.
     const SLICE: u64 = 16;
     let region = 0x300_0000_0000u64;
     for core in 0..THREADS {
         let addr = region + (core as u64) * SLICE * PAGE_SIZE;
-        vm.mmap(core, addr, SLICE * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(core, addr, SLICE * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
     }
     let total = SLICE * THREADS as u64;
     let mut handles = Vec::new();
@@ -111,9 +114,9 @@ fn global(machine: &Arc<Machine>, vm: &Arc<RadixVm>) {
     }
 }
 
-fn run(name: &str, f: impl Fn(&Arc<Machine>, &Arc<RadixVm>)) {
+fn run(name: &str, f: impl Fn(&Arc<Machine>, &Arc<dyn VmSystem>)) {
     let machine = Machine::new(THREADS);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let vm = build(&machine, BackendKind::Radix);
     for c in 0..THREADS {
         vm.attach_core(c);
     }
@@ -124,10 +127,7 @@ fn run(name: &str, f: impl Fn(&Arc<Machine>, &Arc<RadixVm>)) {
     let ops = vm.op_stats();
     println!(
         "{name:>9}: {dt:>8.1?}  mmap {} / fault {}+{} / IPIs {}",
-        ops.mmaps,
-        ops.faults_alloc,
-        ops.faults_fill,
-        st.shootdown_ipis
+        ops.mmaps, ops.faults_alloc, ops.faults_fill, st.shootdown_ipis
     );
 }
 

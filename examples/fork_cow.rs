@@ -6,12 +6,12 @@
 //!
 //! Run with: `cargo run --example fork_cow`
 
-use radixvm::core_vm::{RadixVm, RadixVmConfig};
-use radixvm::hw::{Backing, Machine, Prot, VmSystem, PAGE_SIZE};
+use radixvm::backend::{build, BackendKind};
+use radixvm::hw::{Backing, Machine, Prot, PAGE_SIZE};
 
 fn main() {
     let machine = Machine::new(2);
-    let parent = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let parent = build(&machine, BackendKind::Radix);
     parent.attach_core(0);
     parent.attach_core(1);
 
@@ -27,11 +27,15 @@ fn main() {
     }
     let frames_before = machine.pool().stats().fresh;
 
-    // Fork: child shares every frame copy-on-write.
-    let child = parent.fork(0);
+    // Fork: child shares every frame copy-on-write. (`fork` is part of
+    // the VmSystem trait; backends without it return Unsupported.)
+    let child = parent.fork(0).expect("RadixVM supports fork");
     child.attach_core(0);
     child.attach_core(1);
-    println!("forked; fresh frames unchanged: {}", machine.pool().stats().fresh == frames_before);
+    println!(
+        "forked; fresh frames unchanged: {}",
+        machine.pool().stats().fresh == frames_before
+    );
 
     // Child reads see the parent's data without copying.
     for p in 0..16u64 {
@@ -58,7 +62,10 @@ fn main() {
         101,
         "child keeps the pre-fork value"
     );
-    println!("parent CoW write isolated; parent cow faults: {}", parent.op_stats().faults_cow);
+    println!(
+        "parent CoW write isolated; parent cow faults: {}",
+        parent.op_stats().faults_cow
+    );
 
     // Tear down both spaces; every frame must return to the pool.
     drop(child);

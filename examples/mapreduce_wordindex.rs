@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use radixvm::core_vm::{RadixVm, RadixVmConfig};
-use radixvm::hw::{Machine, VmSystem};
+use radixvm::backend::{build, BackendKind};
+use radixvm::hw::Machine;
 use radixvm::metis::{run_to_completion, Metis, MetisConfig, VmArena};
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let words: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(200_000);
 
     let machine = Machine::new(workers);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let vm = build(&machine, BackendKind::Radix);
     for c in 0..workers {
         vm.attach_core(c);
     }
@@ -38,7 +38,10 @@ fn main() {
     let stats = run_to_completion(&job, workers);
     let dt = t0.elapsed();
 
-    println!("indexed {} words in {dt:.1?} on {workers} workers", stats.pairs);
+    println!(
+        "indexed {} words in {dt:.1?} on {workers} workers",
+        stats.pairs
+    );
     println!(
         "distinct words: {}, output records: {}",
         stats.distinct_words, stats.outputs

@@ -3,13 +3,14 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use radixvm::core_vm::{RadixVm, RadixVmConfig};
-use radixvm::hw::{Backing, Machine, Prot, VmSystem, PAGE_SIZE};
+use radixvm::backend::{build, BackendKind};
+use radixvm::hw::{Backing, Machine, Prot, PAGE_SIZE};
 
 fn main() {
-    // A simulated 8-core machine and one RadixVM address space.
+    // A simulated 8-core machine and one RadixVM address space, built
+    // through the backend layer like every VM system in this workspace.
     let machine = Machine::new(8);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let vm = build(&machine, BackendKind::Radix);
     for core in 0..8 {
         vm.attach_core(core);
     }
@@ -40,10 +41,7 @@ fn main() {
         "faults: {} allocating, {} fill",
         ops.faults_alloc, ops.faults_fill
     );
-    println!(
-        "TLB: {} hits, {} misses",
-        hw.tlb_hits, hw.tlb_misses
-    );
+    println!("TLB: {} hits, {} misses", hw.tlb_hits, hw.tlb_misses);
     println!(
         "shootdown IPIs: {} (local pattern ⇒ zero, §5.3)",
         hw.shootdown_ipis

@@ -20,27 +20,37 @@
 //!   mprotect, fork with copy-on-write),
 //! * [`baselines`] — Linux-style and Bonsai-style VMs, lock-free skip
 //!   list,
+//! * [`backend`] — the backend layer: [`BackendKind`] + [`build`], the
+//!   one seam through which every VM system is constructed,
 //! * [`metis`] — MapReduce workload with a VM-backed allocator.
 //!
 //! # Quickstart
 //!
+//! Every VM system — RadixVM, its ablations, the baselines — is built
+//! through the backend layer and driven through the `VmSystem` trait:
+//!
 //! ```
-//! use radixvm::core_vm::{RadixVm, RadixVmConfig};
-//! use radixvm::hw::{Backing, Machine, Prot, VmSystem, PAGE_SIZE};
+//! use radixvm::backend::{build, BackendKind};
+//! use radixvm::hw::{Backing, Machine, Prot, PAGE_SIZE};
 //!
 //! let machine = Machine::new(8);
-//! let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+//! let vm = build(&machine, BackendKind::Radix);
 //! vm.attach_core(0);
 //! vm.mmap(0, 0x1000_0000, 16 * PAGE_SIZE, Prot::RW, Backing::Anon)
 //!     .unwrap();
 //! machine.write_u64(0, &*vm, 0x1000_0000, 7).unwrap();
 //! assert_eq!(machine.read_u64(0, &*vm, 0x1000_0000).unwrap(), 7);
 //! vm.munmap(0, 0x1000_0000, 16 * PAGE_SIZE).unwrap();
+//!
+//! // Same code, different backend:
+//! let vm = build(&machine, BackendKind::Linux);
+//! assert_eq!(vm.name(), "Linux");
 //! ```
 //!
 //! ["RadixVM: Scalable address spaces for multithreaded applications"]:
 //! https://pdos.csail.mit.edu/papers/radixvm:eurosys13.pdf
 
+pub use rvm_backend as backend;
 pub use rvm_baselines as baselines;
 pub use rvm_core as core_vm;
 pub use rvm_hw as hw;
@@ -49,3 +59,5 @@ pub use rvm_metis as metis;
 pub use rvm_radix as radix;
 pub use rvm_refcache as refcache;
 pub use rvm_sync as sync;
+
+pub use rvm_backend::{build, BackendKind, BackendMeta};

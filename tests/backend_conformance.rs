@@ -1,0 +1,219 @@
+//! Backend conformance: every [`BackendKind`] must sustain the same VM
+//! lifecycle — mmap → write → read → munmap → fault-after-unmap — on a
+//! single core, across cores, and under real threads.
+//!
+//! This is the contract the backend layer advertises: code written
+//! against `Arc<dyn VmSystem>` behaves identically on RadixVM, its
+//! ablations, the baselines, and the toy reference backend; only the
+//! performance differs. Each test loops over `BackendKind::ALL`, so a new
+//! backend is covered the moment it is added to the enum.
+
+use std::sync::Arc;
+
+use radixvm::backend::{build, BackendKind};
+use radixvm::hw::{Backing, Machine, Prot, VmError, VmSystem, PAGE_SIZE};
+
+const BASE: u64 = 0x50_0000_0000;
+
+/// One full lifecycle on `core`, in its own address range.
+fn lifecycle(machine: &Arc<Machine>, vm: &Arc<dyn VmSystem>, core: usize, kind: BackendKind) {
+    let base = BASE + core as u64 * (1 << 30);
+    let pages = 8u64;
+    // mmap
+    vm.mmap(core, base, pages * PAGE_SIZE, Prot::RW, Backing::Anon)
+        .unwrap_or_else(|e| panic!("{kind}: mmap failed: {e}"));
+    // write every page
+    for p in 0..pages {
+        machine
+            .write_u64(core, &**vm, base + p * PAGE_SIZE, 0xC0DE + p)
+            .unwrap_or_else(|e| panic!("{kind}: write failed: {e}"));
+    }
+    // read every page back
+    for p in 0..pages {
+        let v = machine
+            .read_u64(core, &**vm, base + p * PAGE_SIZE)
+            .unwrap_or_else(|e| panic!("{kind}: read failed: {e}"));
+        assert_eq!(v, 0xC0DE + p, "{kind}: page {p} corrupted");
+    }
+    // munmap
+    vm.munmap(core, base, pages * PAGE_SIZE)
+        .unwrap_or_else(|e| panic!("{kind}: munmap failed: {e}"));
+    // fault-after-unmap: every page must be gone, not stale
+    for p in 0..pages {
+        assert_eq!(
+            machine.read_u64(core, &**vm, base + p * PAGE_SIZE),
+            Err(VmError::NoMapping),
+            "{kind}: page {p} survived munmap"
+        );
+    }
+}
+
+#[test]
+fn lifecycle_single_core() {
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(1);
+        let vm = build(&machine, kind);
+        vm.attach_core(0);
+        lifecycle(&machine, &vm, 0, kind);
+        vm.quiesce();
+    }
+}
+
+#[test]
+fn lifecycle_every_core_in_turn() {
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(4);
+        let vm = build(&machine, kind);
+        for c in 0..4 {
+            vm.attach_core(c);
+        }
+        for c in 0..4 {
+            lifecycle(&machine, &vm, c, kind);
+        }
+        vm.quiesce();
+    }
+}
+
+#[test]
+fn lifecycle_multi_core_threaded() {
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(4);
+        let vm = build(&machine, kind);
+        for c in 0..4 {
+            vm.attach_core(c);
+        }
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let machine = machine.clone();
+            let vm = vm.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    lifecycle(&machine, &vm, core, kind);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            machine.stats().stale_detected,
+            0,
+            "{kind}: stale translation under threads"
+        );
+        vm.quiesce();
+    }
+}
+
+#[test]
+fn cross_core_visibility() {
+    // A write on core 0 is visible from every other core (per-core-table
+    // backends take fill faults; shared-table backends hit the PTE).
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(4);
+        let vm = build(&machine, kind);
+        for c in 0..4 {
+            vm.attach_core(c);
+        }
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
+        machine.write_u64(0, &*vm, BASE, 31337).unwrap();
+        for c in 1..4 {
+            assert_eq!(
+                machine.read_u64(c, &*vm, BASE).unwrap(),
+                31337,
+                "{kind}: core {c} sees a different value"
+            );
+        }
+        // Unmap from a core that never wrote: the translation must die
+        // everywhere.
+        vm.munmap(3, BASE, PAGE_SIZE).unwrap();
+        for c in 0..4 {
+            assert_eq!(
+                machine.read_u64(c, &*vm, BASE),
+                Err(VmError::NoMapping),
+                "{kind}: core {c} kept a stale view"
+            );
+        }
+        vm.quiesce();
+    }
+}
+
+#[test]
+fn demand_zero_and_protection() {
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(1);
+        let vm = build(&machine, kind);
+        vm.attach_core(0);
+        // Fresh anonymous memory reads zero.
+        vm.mmap(0, BASE, 2 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
+        assert_eq!(machine.read_u64(0, &*vm, BASE).unwrap(), 0, "{kind}");
+        // Read-only mappings reject writes.
+        vm.mmap(0, BASE + (1 << 24), PAGE_SIZE, Prot::READ, Backing::Anon)
+            .unwrap();
+        assert_eq!(
+            machine.write_u64(0, &*vm, BASE + (1 << 24), 1),
+            Err(VmError::ProtViolation),
+            "{kind}"
+        );
+        vm.quiesce();
+    }
+}
+
+#[test]
+fn bad_ranges_rejected() {
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(1);
+        let vm = build(&machine, kind);
+        vm.attach_core(0);
+        for (addr, len) in [
+            (BASE + 1, PAGE_SIZE),                     // unaligned base
+            (BASE, PAGE_SIZE + 7),                     // unaligned length
+            (BASE, 0),                                 // empty
+            (u64::MAX - PAGE_SIZE + 1, 2 * PAGE_SIZE), // overflow
+        ] {
+            assert_eq!(
+                vm.mmap(0, addr, len, Prot::RW, Backing::Anon),
+                Err(VmError::BadRange),
+                "{kind}: accepted bad mmap({addr:#x}, {len})"
+            );
+        }
+        assert_eq!(vm.munmap(0, BASE, 0), Err(VmError::BadRange), "{kind}");
+    }
+}
+
+#[test]
+fn names_and_metadata_consistent() {
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(1);
+        let vm = build(&machine, kind);
+        assert_eq!(vm.name(), kind.name(), "factory/metadata name mismatch");
+        assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+    }
+}
+
+#[test]
+fn frames_return_to_pool_after_unmap() {
+    // After a full map/touch/unmap cycle and quiesce, every allocated
+    // frame is back in the pool — no backend leaks physical memory.
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(2);
+        let vm = build(&machine, kind);
+        vm.attach_core(0);
+        vm.attach_core(1);
+        let pages = 16u64;
+        vm.mmap(0, BASE, pages * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
+        for p in 0..pages {
+            machine.write_u64(0, &*vm, BASE + p * PAGE_SIZE, p).unwrap();
+        }
+        vm.munmap(0, BASE, pages * PAGE_SIZE).unwrap();
+        vm.quiesce();
+        let st = machine.pool().stats();
+        assert_eq!(
+            st.local_frees + st.remote_frees,
+            pages,
+            "{kind}: frames leaked after munmap"
+        );
+    }
+}

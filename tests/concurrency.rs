@@ -1,11 +1,16 @@
 //! Real-thread concurrency stress across the whole stack, plus failure
 //! injection: the invariants RadixVM's design guarantees must hold under
 //! genuine interleaving, and breaking the mechanism must be *detected*.
+//!
+//! Every VM is constructed through the backend layer; white-box checks
+//! that need the concrete type (Refcache accounting) downcast via
+//! `VmSystem::as_any`.
 
 use std::sync::Arc;
 
-use radixvm::core_vm::{RadixVm, RadixVmConfig};
-use radixvm::hw::{Backing, Machine, MachineConfig, Prot, VmError, VmSystem, PAGE_SIZE};
+use radixvm::backend::{build, BackendKind};
+use radixvm::core_vm::RadixVm;
+use radixvm::hw::{Backing, Machine, MachineConfig, Prot, VmError, PAGE_SIZE};
 
 const BASE: u64 = 0x60_0000_0000;
 
@@ -17,7 +22,7 @@ const BASE: u64 = 0x60_0000_0000;
 #[test]
 fn munmap_ordering_under_racing_faults() {
     let machine = Machine::new(4);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let vm = build(&machine, BackendKind::Radix);
     for c in 0..4 {
         vm.attach_core(c);
     }
@@ -41,7 +46,8 @@ fn munmap_ordering_under_racing_faults() {
     }
     // One mapper thread cycles the mapping.
     for i in 0..500u64 {
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         machine.write_u64(0, &*vm, BASE, i).unwrap();
         vm.munmap(0, BASE, PAGE_SIZE).unwrap();
         if i % 64 == 0 {
@@ -60,7 +66,7 @@ fn munmap_ordering_under_racing_faults() {
 #[test]
 fn fork_cow_under_concurrency() {
     let machine = Machine::new(4);
-    let parent = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let parent = build(&machine, BackendKind::Radix);
     for c in 0..4 {
         parent.attach_core(c);
     }
@@ -75,14 +81,16 @@ fn fork_cow_under_concurrency() {
     let mut handles = Vec::new();
     for core in 1..4usize {
         let machine = machine.clone();
-        let child = parent.fork(0);
+        let child = parent.fork(0).expect("RadixVM supports fork");
         child.attach_core(core);
         handles.push(std::thread::spawn(move || {
             for i in 0..300u64 {
                 let p = i % 8;
                 let va = BASE + p * PAGE_SIZE;
                 if i % 3 == 0 {
-                    machine.write_u64(core, &*child, va, core as u64 * 10_000 + i).unwrap();
+                    machine
+                        .write_u64(core, &*child, va, core as u64 * 10_000 + i)
+                        .unwrap();
                 } else {
                     let v = machine.read_u64(core, &*child, va).unwrap();
                     // A child sees either the pre-fork value or its own
@@ -106,7 +114,12 @@ fn fork_cow_under_concurrency() {
             1000 + p
         );
     }
-    let cache = parent.cache().clone();
+    let cache = parent
+        .as_any()
+        .downcast_ref::<RadixVm>()
+        .expect("Radix backend is a RadixVm")
+        .cache()
+        .clone();
     drop(parent);
     cache.quiesce();
     assert_eq!(cache.live_objects(), 0, "all pages and nodes reclaimed");
@@ -120,12 +133,13 @@ fn suppressed_shootdowns_are_detected_not_silent() {
     let mut cfg = MachineConfig::new(2);
     cfg.shootdown_enabled = false;
     let machine = Machine::with_config(cfg);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let vm = build(&machine, BackendKind::Radix);
     vm.attach_core(0);
     vm.attach_core(1);
     let mut detected = 0u64;
     for i in 0..50u64 {
-        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         // Core 1 caches the translation (a leftover stale entry from the
         // previous round is itself a detection).
         match machine.write_u64(1, &*vm, BASE, i) {
@@ -139,7 +153,7 @@ fn suppressed_shootdowns_are_detected_not_silent() {
         vm.munmap(0, BASE, PAGE_SIZE).unwrap(); // no shootdown!
         vm.maintain(0);
         vm.maintain(1);
-        vm.cache().quiesce(); // frame actually freed and reusable
+        vm.quiesce(); // frame actually freed and reusable
         match machine.read_u64(1, &*vm, BASE) {
             Err(VmError::StaleTranslation) => detected += 1,
             Err(VmError::NoMapping) | Ok(_) => {}
@@ -157,13 +171,14 @@ fn suppressed_shootdowns_are_detected_not_silent() {
 #[test]
 fn lagging_core_stalls_but_never_corrupts() {
     let machine = Machine::new(3);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
+    let vm = build(&machine, BackendKind::Radix);
     for c in 0..3 {
         vm.attach_core(c);
     }
     for i in 0..200u64 {
         let addr = BASE + (i % 16) * PAGE_SIZE;
-        vm.mmap(0, addr, PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, addr, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         machine.write_u64(0, &*vm, addr, i).unwrap();
         vm.munmap(0, addr, PAGE_SIZE).unwrap();
         vm.maintain(0); // cores 1 and 2 never tick
@@ -172,22 +187,18 @@ fn lagging_core_stalls_but_never_corrupts() {
     // mappings still work and no stale translations appeared.
     assert_eq!(machine.stats().stale_detected, 0);
     // Once the lagging cores tick, everything drains.
-    vm.cache().quiesce();
+    vm.quiesce();
     let st = machine.pool().stats();
     assert_eq!(st.local_frees + st.remote_frees, 200);
 }
 
-/// Mixed overlapping traffic on every system survives and stays stale-free.
+/// Mixed overlapping traffic on every backend survives and stays
+/// stale-free.
 #[test]
-fn overlapping_stress_all_systems() {
-    use radixvm::baselines::{BonsaiVm, LinuxVm};
-    for which in 0..3 {
+fn overlapping_stress_all_backends() {
+    for kind in BackendKind::ALL {
         let machine = Machine::new(4);
-        let vm: Arc<dyn VmSystem> = match which {
-            0 => RadixVm::new(machine.clone(), RadixVmConfig::default()),
-            1 => LinuxVm::new(machine.clone()),
-            _ => BonsaiVm::new(machine.clone()),
-        };
+        let vm = build(&machine, kind);
         for c in 0..4 {
             vm.attach_core(c);
         }

@@ -19,8 +19,11 @@ enum TreeOp {
 
 fn tree_op() -> impl Strategy<Value = TreeOp> {
     prop_oneof![
-        (0u64..2048, 1u64..600, any::<u64>())
-            .prop_map(|(lo, len, val)| TreeOp::Set { lo, len, val }),
+        (0u64..2048, 1u64..600, any::<u64>()).prop_map(|(lo, len, val)| TreeOp::Set {
+            lo,
+            len,
+            val
+        }),
         (0u64..2048, 1u64..600).prop_map(|(lo, len)| TreeOp::Clear { lo, len }),
         (0u64..2700).prop_map(|at| TreeOp::Get { at }),
     ]

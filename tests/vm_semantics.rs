@@ -1,15 +1,14 @@
-//! Cross-system semantic equivalence: RadixVM, the Linux baseline, and
-//! the Bonsai baseline must implement the same POSIX-ish VM contract.
-//! A deterministic random workload of mmap/munmap/write/read operations
-//! is run against all three systems plus a pure model; every observable
-//! result must agree.
+//! Cross-system semantic equivalence: every backend must implement the
+//! same POSIX-ish VM contract. A deterministic random workload of
+//! mmap/munmap/write/read operations is run against every `BackendKind`
+//! plus a pure model; every observable result must agree.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use radixvm::baselines::{BonsaiVm, LinuxVm};
-use radixvm::core_vm::{RadixVm, RadixVmConfig};
-use radixvm::hw::{Backing, Machine, MmuKind, Prot, VmError, VmSystem, PAGE_SIZE};
+use radixvm::backend::{build, BackendKind};
+use radixvm::core_vm::RadixVm;
+use radixvm::hw::{Backing, Machine, Prot, VmError, VmSystem, PAGE_SIZE};
 
 const BASE: u64 = 0x40_0000_0000;
 const PAGES: u64 = 96;
@@ -96,41 +95,30 @@ fn run_sequence(vm: Arc<dyn VmSystem>, machine: Arc<Machine>, seed: u64) -> Vec<
 }
 
 #[test]
-fn all_systems_agree_on_random_workloads() {
+fn all_backends_agree_on_random_workloads() {
     for seed in [1u64, 42, 1234, 98765] {
-        let m1 = Machine::new(2);
-        let radix = run_sequence(
-            RadixVm::new(m1.clone(), RadixVmConfig::default()),
-            m1,
-            seed,
-        );
-        let m2 = Machine::new(2);
-        let linux = run_sequence(LinuxVm::new(m2.clone()), m2, seed);
-        let m3 = Machine::new(2);
-        let bonsai = run_sequence(BonsaiVm::new(m3.clone()), m3, seed);
-        let m4 = Machine::new(2);
-        let radix_shared = run_sequence(
-            RadixVm::new(
-                m4.clone(),
-                RadixVmConfig {
-                    mmu: MmuKind::Shared,
-                    collapse: true,
-                },
-            ),
-            m4,
-            seed,
-        );
-        assert_eq!(radix, linux, "seed {seed}: RadixVM vs Linux");
-        assert_eq!(radix, bonsai, "seed {seed}: RadixVM vs Bonsai");
-        assert_eq!(radix, radix_shared, "seed {seed}: per-core vs shared PT");
+        let mut logs: Vec<(BackendKind, Vec<Outcome>)> = Vec::new();
+        for kind in BackendKind::ALL {
+            let machine = Machine::new(2);
+            logs.push((kind, run_sequence(build(&machine, kind), machine, seed)));
+        }
+        let (first_kind, reference) = &logs[0];
+        for (kind, log) in &logs[1..] {
+            assert_eq!(reference, log, "seed {seed}: {first_kind} vs {kind}");
+        }
     }
 }
 
 #[test]
 fn no_leaks_after_random_workload() {
     let machine = Machine::new(2);
-    let vm = RadixVm::new(machine.clone(), RadixVmConfig::default());
-    let cache = vm.cache().clone();
+    let vm = build(&machine, BackendKind::Radix);
+    let cache = vm
+        .as_any()
+        .downcast_ref::<RadixVm>()
+        .expect("Radix backend is a RadixVm")
+        .cache()
+        .clone();
     run_sequence(vm, machine.clone(), 7);
     // All spaces dropped: every frame must be back in the pool and every
     // radix node collapsed.
@@ -139,28 +127,65 @@ fn no_leaks_after_random_workload() {
 }
 
 #[test]
-fn mprotect_agrees_between_radix_and_linux() {
-    for (name, mk) in [
-        ("radix", 0u8),
-        ("linux", 1u8),
-    ] {
+fn mprotect_agrees_across_backends() {
+    // Every backend implements mprotect and must enforce it identically.
+    for kind in BackendKind::ALL {
         let machine = Machine::new(1);
-        let vm: Arc<dyn VmSystem> = if mk == 0 {
-            RadixVm::new(machine.clone(), RadixVmConfig::default())
-        } else {
-            LinuxVm::new(machine.clone())
-        };
+        let vm = build(&machine, kind);
         vm.attach_core(0);
-        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon).unwrap();
+        vm.mmap(0, BASE, 4 * PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
         machine.write_u64(0, &*vm, BASE + PAGE_SIZE, 5).unwrap();
         vm.mprotect(0, BASE, 4 * PAGE_SIZE, Prot::READ).unwrap();
         assert_eq!(
             machine.write_u64(0, &*vm, BASE, 1),
             Err(VmError::ProtViolation),
-            "{name}"
+            "{kind}"
         );
         vm.mprotect(0, BASE, 4 * PAGE_SIZE, Prot::RW).unwrap();
         machine.write_u64(0, &*vm, BASE, 1).unwrap();
+        // Partial coverage: protecting a half-mapped range succeeds and
+        // affects the mapped subset, on every backend alike.
+        let base2 = BASE + (1 << 26);
+        vm.mmap(0, base2, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
+        vm.mprotect(0, base2, 2 * PAGE_SIZE, Prot::READ).unwrap();
+        assert_eq!(
+            machine.write_u64(0, &*vm, base2, 1),
+            Err(VmError::ProtViolation),
+            "{kind}: partial-range mprotect must cover the mapped page"
+        );
+        // A fully-unmapped range still errors.
+        assert_eq!(
+            vm.mprotect(0, base2 + (1 << 20), PAGE_SIZE, Prot::READ),
+            Err(VmError::NoMapping),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn fork_support_matches_metadata() {
+    // The metadata's supports_fork flag is exactly the set of backends
+    // whose trait fork succeeds.
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(2);
+        let vm = build(&machine, kind);
+        vm.attach_core(0);
+        vm.mmap(0, BASE, PAGE_SIZE, Prot::RW, Backing::Anon)
+            .unwrap();
+        machine.write_u64(0, &*vm, BASE, 9).unwrap();
+        match vm.fork(0) {
+            Ok(child) => {
+                assert!(kind.meta().supports_fork, "{kind} forked unexpectedly");
+                child.attach_core(1);
+                assert_eq!(machine.read_u64(1, &*child, BASE).unwrap(), 9);
+            }
+            Err(VmError::Unsupported) => {
+                assert!(!kind.meta().supports_fork, "{kind} should fork");
+            }
+            Err(e) => panic!("{kind}: unexpected fork error {e}"),
+        }
     }
 }
 
@@ -168,13 +193,9 @@ fn mprotect_agrees_between_radix_and_linux() {
 fn metis_identical_across_all_systems() {
     use radixvm::metis::{run_to_completion, Metis, MetisConfig, VmArena};
     let mut digests = Vec::new();
-    for which in 0..3 {
+    for kind in [BackendKind::Radix, BackendKind::Linux, BackendKind::Bonsai] {
         let machine = Machine::new(3);
-        let vm: Arc<dyn VmSystem> = match which {
-            0 => RadixVm::new(machine.clone(), RadixVmConfig::default()),
-            1 => LinuxVm::new(machine.clone()),
-            _ => BonsaiVm::new(machine.clone()),
-        };
+        let vm = build(&machine, kind);
         for c in 0..3 {
             vm.attach_core(c);
         }

@@ -1,0 +1,487 @@
+//! Epoch-based memory reclamation, API-compatible with the subset of
+//! `crossbeam-epoch` used by `rvm_baselines` (Bonsai's RCU tree and the
+//! lock-free skip list).
+//!
+//! The scheme is the classic three-epoch design: a global epoch counter,
+//! one participant slot per thread publishing "pinned at epoch E", and
+//! per-epoch garbage bags. Retired objects recorded at global epoch `e`
+//! are freed once the global epoch reaches `e + 2`: advancing from `e` to
+//! `e + 1` requires every pinned participant to have observed `e`, so by
+//! `e + 2` no thread can still hold a reference obtained before the
+//! object was unlinked. Orderings are deliberately all `SeqCst` — this
+//! crate backs correctness tests, not production hot paths, and the
+//! virtual-time simulator charges costs independently of real fences.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How many pins between attempts to advance the epoch and collect.
+const PINS_BETWEEN_COLLECT: usize = 64;
+
+/// One registered thread. `state == 0` means "not pinned"; otherwise the
+/// value is `(epoch << 1) | 1`.
+struct Participant {
+    state: AtomicUsize,
+}
+
+/// A deferred destruction: type-erased pointer plus its dropper.
+struct Garbage {
+    ptr: *mut u8,
+    dropper: unsafe fn(*mut u8),
+}
+
+// SAFETY: garbage is only ever dropped, on whichever thread collects it;
+// every type retired through this module is owned heap data whose drop is
+// safe to run off-thread (the caller of `defer_destroy` asserts as much,
+// exactly as with real crossbeam).
+unsafe impl Send for Garbage {}
+
+struct Global {
+    epoch: AtomicUsize,
+    participants: Mutex<Vec<Arc<Participant>>>,
+    /// Garbage bags tagged with the global epoch at retirement.
+    garbage: Mutex<Vec<(usize, Garbage)>>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(0),
+        participants: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+    })
+}
+
+/// Tries to advance the global epoch, then frees sufficiently old garbage.
+fn try_advance_and_collect() {
+    let g = global();
+    let e = g.epoch.load(Ordering::SeqCst);
+    let can_advance = {
+        let parts = g.participants.lock().unwrap();
+        parts.iter().all(|p| {
+            let s = p.state.load(Ordering::SeqCst);
+            s & 1 == 0 || s >> 1 == e
+        })
+    };
+    if can_advance {
+        let _ = g
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+    }
+    let now = g.epoch.load(Ordering::SeqCst);
+    // Drain expired garbage under the lock, drop it outside the lock (a
+    // dropper may cascade into arbitrary user drops).
+    let expired: Vec<Garbage> = {
+        let mut bags = g.garbage.lock().unwrap();
+        let mut expired = Vec::new();
+        bags.retain_mut(|(epoch, item)| {
+            if *epoch + 2 <= now {
+                expired.push(Garbage {
+                    ptr: item.ptr,
+                    dropper: item.dropper,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        expired
+    };
+    for item in expired {
+        // SAFETY: the epoch invariant above guarantees no thread can still
+        // reach `ptr`; each item is dropped exactly once (it was moved out
+        // of the bag list).
+        unsafe { (item.dropper)(item.ptr) };
+    }
+}
+
+struct Local {
+    participant: Arc<Participant>,
+    pin_depth: Cell<usize>,
+    pins_since_collect: Cell<usize>,
+}
+
+impl Local {
+    fn register() -> Local {
+        let participant = Arc::new(Participant {
+            state: AtomicUsize::new(0),
+        });
+        global()
+            .participants
+            .lock()
+            .unwrap()
+            .push(participant.clone());
+        Local {
+            participant,
+            pin_depth: Cell::new(0),
+            pins_since_collect: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        let mut parts = global().participants.lock().unwrap();
+        parts.retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static LOCAL: Local = Local::register();
+}
+
+/// Pins the current thread, returning a [`Guard`] that keeps every object
+/// reachable at pin time allocated until the guard drops.
+pub fn pin() -> Guard {
+    LOCAL.with(|local| {
+        let depth = local.pin_depth.get();
+        if depth == 0 {
+            let g = global();
+            // Publish "pinned at E" and re-check that E is still current;
+            // without the re-check a collector could advance twice between
+            // our load and our store and free something we are about to
+            // read.
+            loop {
+                let e = g.epoch.load(Ordering::SeqCst);
+                local
+                    .participant
+                    .state
+                    .store((e << 1) | 1, Ordering::SeqCst);
+                if g.epoch.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+        local.pin_depth.set(depth + 1);
+        let pins = local.pins_since_collect.get() + 1;
+        local.pins_since_collect.set(pins);
+        if pins >= PINS_BETWEEN_COLLECT {
+            local.pins_since_collect.set(0);
+            try_advance_and_collect();
+        }
+    });
+    Guard {
+        _not_send: PhantomData,
+    }
+}
+
+/// A pinned-epoch guard (see [`pin`]).
+pub struct Guard {
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl Guard {
+    /// Defers destruction of the object behind `ptr` until no pinned
+    /// thread can still hold a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// The pointed-to object must have been made unreachable to new
+    /// readers before this call, `ptr` must own its allocation (created by
+    /// [`Owned::new`] or [`Atomic::new`]), and it must not be retired
+    /// twice.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        unsafe fn drop_box<T>(raw: *mut u8) {
+            drop(Box::from_raw(raw as *mut T));
+        }
+        let g = global();
+        let epoch = g.epoch.load(Ordering::SeqCst);
+        g.garbage.lock().unwrap().push((
+            epoch,
+            Garbage {
+                ptr: ptr.untagged_raw() as *mut u8,
+                dropper: drop_box::<T>,
+            },
+        ));
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        LOCAL.with(|local| {
+            let depth = local.pin_depth.get();
+            debug_assert!(depth > 0);
+            local.pin_depth.set(depth - 1);
+            if depth == 1 {
+                local.participant.state.store(0, Ordering::SeqCst);
+            }
+        });
+    }
+}
+
+/// Bit mask of tag bits available in pointers to `T` (alignment bits).
+fn tag_mask<T>() -> usize {
+    std::mem::align_of::<T>() - 1
+}
+
+/// Common interface of [`Owned`] and [`Shared`] for store/swap/CAS `new`
+/// arguments.
+pub trait Pointer<T> {
+    /// Consumes the pointer, returning its tagged machine word.
+    fn into_usize(self) -> usize;
+
+    /// Rebuilds the pointer from a word produced by [`Pointer::into_usize`]
+    /// (used to hand `new` back on a failed compare-exchange).
+    fn from_usize(data: usize) -> Self;
+}
+
+/// An owned, heap-allocated object not yet published to other threads.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Heap-allocates `value`.
+    pub fn new(value: T) -> Owned<T> {
+        Owned {
+            data: Box::into_raw(Box::new(value)) as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts into a [`Shared`] bound to `_guard`'s lifetime.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let data = self.data;
+        std::mem::forget(self);
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: `data` holds a valid, exclusively owned allocation.
+        unsafe { &*((self.data & !tag_mask::<T>()) as *const T) }
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`, and we hold `&mut self`.
+        unsafe { &mut *((self.data & !tag_mask::<T>()) as *mut T) }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: `Owned` uniquely owns its allocation.
+        unsafe { drop(Box::from_raw((self.data & !tag_mask::<T>()) as *mut T)) };
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        std::mem::forget(self);
+        data
+    }
+
+    fn from_usize(data: usize) -> Self {
+        Owned {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A tagged shared pointer valid for the lifetime of a [`Guard`].
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Shared<'g, T> {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    fn from_usize(data: usize) -> Shared<'g, T> {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+
+    fn untagged_raw(self) -> *mut T {
+        (self.data & !tag_mask::<T>()) as *mut T
+    }
+
+    /// Returns true if the (untagged) pointer is null.
+    pub fn is_null(self) -> bool {
+        self.untagged_raw().is_null()
+    }
+
+    /// Returns the untagged raw pointer.
+    pub fn as_raw(self) -> *const T {
+        self.untagged_raw()
+    }
+
+    /// Returns the tag bits.
+    pub fn tag(self) -> usize {
+        self.data & tag_mask::<T>()
+    }
+
+    /// Returns the same pointer with the tag bits set to `tag`.
+    pub fn with_tag(self, tag: usize) -> Shared<'g, T> {
+        Shared::from_usize((self.data & !tag_mask::<T>()) | (tag & tag_mask::<T>()))
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and point to an object kept alive for
+    /// `'g` (reached through a live link under the guard, with retirement
+    /// going through [`Guard::defer_destroy`]).
+    pub unsafe fn deref(self) -> &'g T {
+        &*self.untagged_raw()
+    }
+
+    /// Converts to a reference, or `None` if null.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Shared::deref`], when non-null.
+    pub unsafe fn as_ref(self) -> Option<&'g T> {
+        self.untagged_raw().as_ref()
+    }
+
+    /// Reclaims the allocation as an [`Owned`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access: no other thread may reach or
+    /// free this pointer, now or later.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null());
+        Owned {
+            data: self.data & !tag_mask::<T>(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        self.data
+    }
+
+    fn from_usize(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// The error of a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The proposed new value, returned to the caller.
+    pub new: P,
+}
+
+/// An atomic tagged pointer managed through the epoch scheme.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: `Atomic` is a pointer-sized atomic cell; the pointed-to objects
+// are shared across threads, which is sound exactly when T is Send + Sync.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// The null pointer.
+    pub fn null() -> Atomic<T> {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Heap-allocates `value` and points at it.
+    pub fn new(value: T) -> Atomic<T> {
+        Atomic {
+            data: AtomicUsize::new(Box::into_raw(Box::new(value)) as usize),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Loads the pointer.
+    pub fn load<'g>(&self, _ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared::from_usize(self.data.load(Ordering::SeqCst))
+    }
+
+    /// Stores `new` (an [`Owned`] or [`Shared`]) into the atomic.
+    pub fn store<P: Pointer<T>>(&self, new: P, _ord: Ordering) {
+        self.data.store(new.into_usize(), Ordering::SeqCst);
+    }
+
+    /// Swaps in `new`, returning the previous pointer.
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        _ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        Shared::from_usize(self.data.swap(new.into_usize(), Ordering::SeqCst))
+    }
+
+    /// Compare-and-exchange of the full tagged word. On failure the
+    /// proposed `new` pointer is handed back in the error, so an `Owned`
+    /// is never leaked.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'g, T>,
+        new: P,
+        _success: Ordering,
+        _failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let word = new.into_usize();
+        match self.data.compare_exchange(
+            current.into_usize(),
+            word,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => Ok(Shared::from_usize(word)),
+            Err(actual) => Err(CompareExchangeError {
+                current: Shared::from_usize(actual),
+                new: P::from_usize(word),
+            }),
+        }
+    }
+}
+
+impl<T> Drop for Atomic<T> {
+    fn drop(&mut self) {
+        // Deliberately nothing: ownership of the pointee is managed by the
+        // user (retired through `defer_destroy` or taken via
+        // `into_owned`), exactly as with real crossbeam.
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this vendored crate provides the one subset of crossbeam the workspace
+//! actually uses: `crossbeam::epoch` (see [`epoch`]). The API mirrors
+//! `crossbeam-epoch` 0.9 closely enough that swapping the real crate back
+//! in is a one-line change in the workspace manifest.
+
+pub mod epoch;

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! this vendored crate implements the subset of proptest the workspace's
+//! property tests use: the [`Strategy`] trait over integer ranges, tuples,
+//! `prop_map`, [`Just`], `prop_oneof!`, `collection::vec`, `any`, and the
+//! `proptest!` / `prop_assert*` macros, driven by a deterministic
+//! splitmix64 RNG.
+//!
+//! Differences from real proptest: cases are sampled deterministically
+//! from a fixed seed (reruns are exact), and there is **no shrinking** —
+//! a failing case prints its full input instead of a minimized one. Swap
+//! the real crate back in via the workspace manifest for shrinking.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Just, Map, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// The usual `use proptest::prelude::*;` import surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy) { body }` item
+/// becomes a `#[test]` that samples `strategy` for the configured number
+/// of cases and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$attr:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = $strat;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        case as u64,
+                    );
+                    let value = $crate::Strategy::generate(&strategy, &mut rng);
+                    let input_repr = format!("{:?}", &value);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            let $pat = value;
+                            $body
+                        }),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed (no shrinking in the \
+                             vendored stand-in); input: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            input_repr
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly among the listed strategies (which must share one
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::boxed($s) ),+ ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
