@@ -186,6 +186,7 @@ pub fn build(machine: &Arc<Machine>, kind: BackendKind) -> Arc<dyn VmSystem> {
                 RadixVmConfig {
                     mmu: meta.mmu,
                     collapse: meta.collapse,
+                    ..Default::default()
                 },
             )
         }

@@ -63,6 +63,9 @@ fn visit(n: &Arc<RNode>) {
 }
 
 fn mk(base: &RNode, left: Link, right: Link) -> Link {
+    // Path copying allocates a node per rebuilt level; charged so the
+    // comparison with allocation-free paths stays fair.
+    sim::charge_alloc();
     Some(Arc::new(RNode {
         start: base.start,
         end: base.end,
@@ -142,6 +145,7 @@ fn collect(t: &Link, out: &mut Vec<Span>) {
 }
 
 fn region_node(start: Vpn, end: Vpn, prot: Prot, backing: Backing) -> Arc<RNode> {
+    sim::charge_alloc();
     Arc::new(RNode {
         start,
         end,

@@ -190,6 +190,7 @@ impl SkipList {
                 return false;
             }
             let height = height_of(key);
+            sim::charge_alloc();
             let node = Owned::new(SlNode {
                 key,
                 height,

@@ -10,6 +10,7 @@
 //! concurrent.
 
 use rvm_hw::{Backing, Prot, Vpn};
+use rvm_sync::sim;
 use std::collections::BTreeMap;
 
 /// Bytes we charge per VMA for Table 2 accounting: models Linux's
@@ -127,6 +128,9 @@ impl VmaMap {
     /// Inserts `vma`, which must not overlap existing regions (carve
     /// first), merging with compatible neighbours as Linux does.
     pub fn insert(&mut self, mut vma: Vma) {
+        // A new VMA record is heap state; charged so the comparison with
+        // allocation-free paths stays fair.
+        sim::charge_alloc();
         debug_assert!(vma.start < vma.end);
         debug_assert!(
             self.carve_check(vma.start, vma.end),

@@ -60,7 +60,7 @@ fn fault_only(c: &mut Criterion) {
             b.iter(|| {
                 // Invalidate the TLB entry so every access walks the
                 // fault path but hits an existing page (fill fault).
-                machine.invalidate_local(0, vm.asid(), p % 256, 1);
+                machine.invalidate_local(0, vm.asid(), (BASE >> 12) + p % 256, 1);
                 machine
                     .read_u64(0, &*vm, BASE + (p % 256) * PAGE_SIZE)
                     .unwrap();

@@ -31,7 +31,22 @@ fn present_key(i: u64) -> u64 {
     i * 2
 }
 
-fn run(readers: usize, writers: usize, dur: u64) -> f64 {
+/// One measured point: lookup throughput plus the fast-path counters
+/// (leaf-hint hits/misses and guard spills) for the whole run.
+struct Point {
+    tput: f64,
+    hint_hits: u64,
+    hint_misses: u64,
+    guard_spills: u64,
+}
+
+impl Point {
+    fn hit_pct(&self) -> f64 {
+        rvm_bench::fastpath::hit_rate(self.hint_hits, self.hint_misses) * 100.0
+    }
+}
+
+fn run(readers: usize, writers: usize, dur: u64) -> Point {
     let total = readers + writers;
     let cache = Arc::new(Refcache::new(total.max(1)));
     let tree = Arc::new(RadixTree::<u64>::new(cache, RadixConfig::default()));
@@ -87,26 +102,42 @@ fn run(readers: usize, writers: usize, dur: u64) -> f64 {
             }
         },
     );
-    point.units as f64 * 1e9 / point.virt_ns as f64
+    let rel = std::sync::atomic::Ordering::Relaxed;
+    Point {
+        tput: point.units as f64 * 1e9 / point.virt_ns as f64,
+        hint_hits: tree.stats().hint_hits.load(rel),
+        hint_misses: tree.stats().hint_misses.load(rel),
+        guard_spills: tree.stats().guard_spills.load(rel),
+    }
 }
 
 fn main() {
     let dur = duration_ns();
     let reader_counts = core_counts();
-    let series: Vec<(&str, Vec<(usize, f64)>)> =
-        [("0 writers", 0), ("10 writers", 10), ("40 writers", 40)]
-            .iter()
-            .map(|&(name, w)| {
-                let pts = reader_counts
-                    .iter()
-                    .map(|&r| {
-                        let tput = run(r, w, dur);
-                        eprintln!("  radix {name:>10} {r:>3} readers: {tput:>14.0} lookups/s");
-                        (r, tput)
-                    })
-                    .collect();
-                (name, pts)
-            })
-            .collect();
-    print_table("Figure 7: radix-tree lookups/sec vs reader cores", &series);
+    let mut tput_series: Vec<(&str, Vec<(usize, f64)>)> = Vec::new();
+    let mut hint_series: Vec<(&str, Vec<(usize, f64)>)> = Vec::new();
+    for &(name, w) in &[("0 writers", 0), ("10 writers", 10), ("40 writers", 40)] {
+        let mut tputs = Vec::new();
+        let mut hints = Vec::new();
+        for &r in &reader_counts {
+            let p = run(r, w, dur);
+            eprintln!(
+                "  radix {name:>10} {r:>3} readers: {:>14.0} lookups/s  \
+                 (hint hits {}, misses {}, spills {})",
+                p.tput, p.hint_hits, p.hint_misses, p.guard_spills
+            );
+            tputs.push((r, p.tput));
+            hints.push((r, p.hit_pct()));
+        }
+        tput_series.push((name, tputs));
+        hint_series.push((name, hints));
+    }
+    print_table(
+        "Figure 7: radix-tree lookups/sec vs reader cores",
+        &tput_series,
+    );
+    print_table(
+        "Figure 7b: leaf-hint hit rate (%) vs reader cores",
+        &hint_series,
+    );
 }

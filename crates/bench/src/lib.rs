@@ -22,6 +22,7 @@
 
 use rvm_sync::{sim, CostModel, SimStats};
 
+pub mod fastpath;
 pub mod layouts;
 pub mod workloads;
 

@@ -240,6 +240,7 @@ mod tests {
             RadixVmConfig {
                 mmu: MmuKind::Shared,
                 collapse: true,
+                ..Default::default()
             },
         );
         for c in 0..4 {
@@ -261,6 +262,7 @@ mod tests {
             RadixVmConfig {
                 mmu: MmuKind::Shared,
                 collapse: true,
+                ..Default::default()
             },
         );
         vm.attach_core(0);
@@ -387,6 +389,7 @@ mod tests {
             RadixVmConfig {
                 mmu: MmuKind::Shared,
                 collapse: true,
+                ..Default::default()
             },
         );
         shared.attach_core(0);

@@ -44,6 +44,9 @@ pub struct RadixVmConfig {
     /// Collapse empty radix nodes (the full design; the paper's prototype
     /// shipped without it).
     pub collapse: bool,
+    /// Per-core leaf hint cache on the fault fast path (DESIGN.md §5).
+    /// Disable to measure the plain descent.
+    pub leaf_hints: bool,
 }
 
 impl Default for RadixVmConfig {
@@ -51,6 +54,7 @@ impl Default for RadixVmConfig {
         RadixVmConfig {
             mmu: MmuKind::PerCore,
             collapse: true,
+            leaf_hints: true,
         }
     }
 }
@@ -104,6 +108,7 @@ impl RadixVm {
             cache.clone(),
             RadixConfig {
                 collapse: cfg.collapse,
+                leaf_hints: cfg.leaf_hints,
             },
         );
         Arc::new(RadixVm {

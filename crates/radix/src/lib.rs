@@ -273,7 +273,13 @@ mod tests {
 
     #[test]
     fn no_collapse_when_disabled() {
-        let t = RadixTree::new(Arc::new(Refcache::new(1)), RadixConfig { collapse: false });
+        let t = RadixTree::new(
+            Arc::new(Refcache::new(1)),
+            RadixConfig {
+                collapse: false,
+                ..Default::default()
+            },
+        );
         {
             let mut g = t.lock_range(0, 100, 110, LockMode::ExpandAll);
             g.replace(&1);

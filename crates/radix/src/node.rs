@@ -102,6 +102,15 @@ pub struct TreeStats {
     pub leaf_values: AtomicU64,
     /// Nodes freed by Refcache collapse.
     pub nodes_collapsed: AtomicU64,
+    /// Single-page operations served by the per-core leaf hint cache
+    /// (the fault fast path: no descent, no per-level pins).
+    pub hint_hits: AtomicU64,
+    /// Single-page operations that fell back to a full descent because
+    /// the hint was absent, stale, or covered a different block.
+    pub hint_misses: AtomicU64,
+    /// Range guards whose unit/pin storage spilled from its inline
+    /// capacity to the heap (only large multi-block operations should).
+    pub guard_spills: AtomicU64,
 }
 
 /// One leaf slot: a status word (lock, present) plus inline storage.

@@ -21,6 +21,27 @@
 //! acquisitions performed in ascending VPN order; whole-node locks are
 //! born held (created atomically with the node, before it is published),
 //! so they add no waiting edges.
+//!
+//! # The fault fast path (DESIGN.md §5)
+//!
+//! Single-page operations — the page-fault pattern the paper's Figure 5
+//! measures — run allocation-free and descent-cheap:
+//!
+//! * **Inline guard storage.** [`RangeGuard`] keeps its locked units and
+//!   traversal pins in [`InlineVec`]s sized so single-page and
+//!   single-block locks never touch the heap; only large multi-block
+//!   operations spill (counted in [`TreeStats::guard_spills`]).
+//! * **Pin elision.** The root is permanently pinned and never
+//!   `tryget`-ed. During descent, a traversal pin on an interior node is
+//!   surrendered as soon as the pinned child guarantees the chain stays
+//!   live (a linked child holds a used-slot reference on its parent), so
+//!   a completed single-page guard holds exactly one pin: the leaf.
+//! * **Per-core leaf hints.** Each core caches the last leaf it reached
+//!   (with one pinned reference). A repeat fault in the same 512-page
+//!   block skips the descent entirely. Correctness never depends on the
+//!   hint: a stale or missing hint falls back to the full descent, and
+//!   the hint's pin is surrendered at every Refcache flush so collapse is
+//!   delayed by at most one epoch. See DESIGN.md §5 for the invariants.
 
 use std::sync::atomic::Ordering as StdOrdering;
 use std::sync::Arc;
@@ -28,6 +49,7 @@ use std::sync::Arc;
 use rvm_refcache::weak::LOCK_BIT;
 use rvm_refcache::{RcPtr, Refcache};
 use rvm_sync::atomic::Ordering;
+use rvm_sync::{CachePadded, InlineVec, SpinLock};
 
 use crate::node::{
     index_at_level, lock_interior_slot, lock_leaf_slot, pack_slot, slot_ptr, slot_tag,
@@ -40,6 +62,15 @@ pub type Vpn = u64;
 
 /// Exclusive upper bound of VPNs the tree covers.
 pub const VPN_LIMIT: Vpn = 1 << 36;
+
+/// Inline capacity of a guard's unit list: a single-page fault through a
+/// fully folded path creates at most `LEVELS - 1` whole-node units plus
+/// one leaf range.
+const UNITS_INLINE: usize = LEVELS + 2;
+
+/// Inline capacity of a guard's pin list: one pin per expanded level plus
+/// the leaf.
+const PINS_INLINE: usize = LEVELS;
 
 /// Values storable in the tree.
 ///
@@ -57,11 +88,17 @@ pub struct RadixConfig {
     /// The paper's prototype shipped without collapsing; disable to
     /// reproduce that configuration.
     pub collapse: bool,
+    /// Enable the per-core leaf hint cache on the single-page fast path.
+    /// Disable to measure the plain descent (ablation).
+    pub leaf_hints: bool,
 }
 
 impl Default for RadixConfig {
     fn default() -> Self {
-        RadixConfig { collapse: true }
+        RadixConfig {
+            collapse: true,
+            leaf_hints: true,
+        }
     }
 }
 
@@ -118,12 +155,53 @@ enum Unit<V: Send + Sync + 'static> {
 ///
 /// SAFETY-CONTRACT: every `RcPtr<Node<V>>` the tree manipulates is kept
 /// alive by (a) the permanent root reference, (b) a traversal pin obtained
-/// through `tryget` and released at guard drop, or (c) a used-slot
-/// reference in a parent that is itself pinned. See module docs.
+/// through `tryget` and released at guard drop, (c) a used-slot
+/// reference in a parent that is itself pinned, (d) a pinned *descendant*
+/// (a linked child holds a used-slot reference on its parent, surrendered
+/// only in `on_release`), or (e) a per-core leaf hint's pinned reference.
+/// See module docs and DESIGN.md §5.
 fn nref<'a, V: Send + Sync + 'static>(p: RcPtr<Node<V>>) -> &'a Node<V> {
     // SAFETY: see the contract above; all call sites hold one of the
     // listed references across the borrow.
     unsafe { p.as_ref() }
+}
+
+/// One core's cached leaf: the last leaf node this core reached on a
+/// single-page operation, holding **one pinned reference** to it.
+struct LeafHint<V: Send + Sync + 'static> {
+    /// First VPN of the hinted leaf's 512-page block.
+    block_base: Vpn,
+    /// The hinted leaf; the hint owns one Refcache reference to it.
+    node: RcPtr<Node<V>>,
+}
+
+/// One core's hint slot: line-padded so neighbouring cores never share.
+type HintSlot<V> = CachePadded<SpinLock<Option<LeafHint<V>>>>;
+
+/// Per-core leaf hint slots, shared between the tree and its Refcache
+/// flush hook (which surrenders the pins every epoch flush).
+struct HintTable<V: Send + Sync + 'static> {
+    slots: Box<[HintSlot<V>]>,
+}
+
+impl<V: Send + Sync + 'static> HintTable<V> {
+    fn new(ncores: usize) -> Self {
+        HintTable {
+            slots: (0..ncores)
+                .map(|_| CachePadded::new(SpinLock::new(None)))
+                .collect(),
+        }
+    }
+
+    /// Takes `core`'s hint (if any) and surrenders its pin. Runs at every
+    /// Refcache flush so a hint delays node collapse by at most one epoch
+    /// — the property that keeps the freeing-safety argument intact.
+    fn release(&self, cache: &Refcache, core: usize) {
+        let taken = self.slots[core].lock().take();
+        if let Some(h) = taken {
+            cache.dec(core, h.node);
+        }
+    }
 }
 
 /// The RadixVM radix tree.
@@ -132,6 +210,9 @@ pub struct RadixTree<V: RadixValue> {
     root: RcPtr<Node<V>>,
     cfg: RadixConfig,
     stats: Arc<TreeStats>,
+    hints: Arc<HintTable<V>>,
+    /// Flush-hook registration (0 when `leaf_hints` is off).
+    hook_id: u64,
 }
 
 // SAFETY: nodes are Sync; RcPtr is a pointer; all mutation is internally
@@ -146,11 +227,20 @@ impl<V: RadixValue> RadixTree<V> {
         let stats = Arc::new(TreeStats::default());
         // The root is pinned forever with its initial count of 1.
         let root = cache.alloc(1, Node::new_interior(0, 0, None, stats.clone(), |_| 0));
+        let hints = Arc::new(HintTable::new(cache.ncores()));
+        let hook_id = if cfg.leaf_hints {
+            let table = hints.clone();
+            cache.register_flush_hook(move |c, core| table.release(c, core))
+        } else {
+            0
+        };
         RadixTree {
             cache,
             root,
             cfg,
             stats,
+            hints,
+            hook_id,
         }
     }
 
@@ -177,6 +267,73 @@ impl<V: RadixValue> RadixTree<V> {
             + folded * std::mem::size_of::<V>() as u64
     }
 
+    /// Checks a hint against the block containing `vpn`: the block must
+    /// match and the parent slot must still publish the hinted node.
+    ///
+    /// The hint's pin keeps the node alive, and a live node is never
+    /// unlinked (only the freeing CAS empties its parent slot), so the
+    /// parent re-check cannot fail under the current protocol — it is a
+    /// one-load insurance policy that turns any future protocol change
+    /// into a fast-path miss instead of a use-after-free.
+    fn hint_valid(h: &LeafHint<V>, block_base: Vpn) -> bool {
+        if h.block_base != block_base {
+            return false;
+        }
+        let node = nref(h.node);
+        match node.parent {
+            Some((parent, idx)) => {
+                let w = nref(parent).interior()[idx as usize].load(Ordering::Acquire);
+                slot_tag(w) == TAG_CHILD && slot_ptr(w) == h.node.addr()
+            }
+            None => false,
+        }
+    }
+
+    /// Fault fast path: returns `core`'s hinted leaf for `vpn`'s block
+    /// with one pinned reference transferred to the caller, or `None` on
+    /// a miss. Hit/miss counts land in [`TreeStats`].
+    fn hint_lookup(&self, core: usize, vpn: Vpn) -> Option<RcPtr<Node<V>>> {
+        if !self.cfg.leaf_hints {
+            return None;
+        }
+        let block_base = vpn & !((FANOUT as u64) - 1);
+        let slot = self.hints.slots[core].lock();
+        if let Some(h) = slot.as_ref() {
+            if Self::hint_valid(h, block_base) {
+                let node = h.node;
+                // Pin for the caller while the hint lock is held — the
+                // hint's own pin guarantees liveness until we are done.
+                self.cache.inc(core, node);
+                drop(slot);
+                self.stats.hint_hits.fetch_add(1, StdOrdering::Relaxed);
+                return Some(node);
+            }
+        }
+        drop(slot);
+        self.stats.hint_misses.fetch_add(1, StdOrdering::Relaxed);
+        None
+    }
+
+    /// Remembers `node` as `core`'s leaf hint, taking one pinned
+    /// reference for the hint and surrendering the previous hint's pin.
+    ///
+    /// The caller must hold a live reference to `node` (a traversal pin
+    /// or a guard pin) across the call.
+    fn install_hint(&self, core: usize, node: RcPtr<Node<V>>) {
+        if !self.cfg.leaf_hints {
+            return;
+        }
+        debug_assert!(nref(node).is_leaf());
+        self.cache.inc(core, node);
+        let prev = self.hints.slots[core].lock().replace(LeafHint {
+            block_base: nref(node).base_vpn,
+            node,
+        });
+        if let Some(h) = prev {
+            self.cache.dec(core, h.node);
+        }
+    }
+
     /// Locks `[lo, hi)` left-to-right and returns the guard.
     ///
     /// # Panics
@@ -187,16 +344,50 @@ impl<V: RadixValue> RadixTree<V> {
         let mut guard = RangeGuard {
             tree: self,
             core,
-            units: Vec::new(),
-            pins: Vec::new(),
+            units: InlineVec::new(),
+            pins: InlineVec::new(),
         };
+        // Fault fast path: a single-page lock served by the leaf hint
+        // skips the descent entirely (both modes behave identically once
+        // a leaf exists).
+        if hi == lo + 1 {
+            if let Some(leaf) = self.hint_lookup(core, lo) {
+                let n = nref(leaf);
+                let first = (lo - n.base_vpn) as usize;
+                lock_leaf_slot(&n.leaf()[first].status);
+                guard.pins.push(leaf);
+                guard.units.push(Unit::LeafRange {
+                    node: leaf,
+                    first,
+                    end: first + 1,
+                    born: false,
+                });
+                return guard;
+            }
+        }
         self.descend(core, self.root, lo, hi, mode, false, &mut guard);
+        // Refresh the hint when the descent ended at a single leaf slot,
+        // so the next fault in this block takes the fast path. The leaf
+        // is pinned by the guard, satisfying `install_hint`'s contract.
+        if hi == lo + 1 && self.cfg.leaf_hints {
+            if let Some(Unit::LeafRange { node, .. }) = guard.units.iter().last() {
+                self.install_hint(core, *node);
+            }
+        }
         guard
     }
 
     /// Recursive locking descent (see module docs for the protocol).
     /// Takes the full lock-plan state; splitting it into a struct would
     /// only rename the arguments.
+    ///
+    /// Returns true when `node_ptr` itself is referenced by a pushed unit
+    /// and must therefore stay pinned by the guard. When it returns
+    /// false, every unit pushed below lives in a pinned descendant, and a
+    /// pinned descendant transitively keeps this node alive (each linked
+    /// child holds a used-slot reference on its parent) — so the caller
+    /// surrenders the traversal pin immediately instead of accumulating
+    /// one pin per level.
     #[allow(clippy::too_many_arguments)]
     fn descend(
         &self,
@@ -207,7 +398,7 @@ impl<V: RadixValue> RadixTree<V> {
         mode: LockMode,
         born_locked: bool,
         g: &mut RangeGuard<'_, V>,
-    ) {
+    ) -> bool {
         let node = nref(node_ptr);
         if node.is_leaf() {
             let first = (lo - node.base_vpn) as usize;
@@ -224,12 +415,13 @@ impl<V: RadixValue> RadixTree<V> {
                 end,
                 born: born_locked,
             });
-            return;
+            return true;
         }
         let span = node.slot_span();
         let level = node.level as usize;
         let first_idx = index_at_level(lo, level);
         let last_idx = index_at_level(hi - 1, level);
+        let mut retain = false;
         for idx in first_idx..=last_idx {
             let block_lo = node.base_vpn + idx as u64 * span;
             let block_hi = block_lo + span;
@@ -246,8 +438,13 @@ impl<V: RadixValue> RadixTree<V> {
                     // `Node<V>` pointers registered with this cache.
                     match unsafe { self.cache.tryget::<Node<V>>(core, slot, TAG_CHILD) } {
                         Some(child) => {
-                            g.pins.push(child);
-                            self.descend(core, child, sub_lo, sub_hi, mode, false, g);
+                            if self.descend(core, child, sub_lo, sub_hi, mode, false, g) {
+                                g.pins.push(child);
+                            } else {
+                                // Pin elision: the child's subtree holds
+                                // pinned units that keep it alive.
+                                self.cache.dec(core, child);
+                            }
                             break;
                         }
                         None => continue, // freed under us; re-read
@@ -280,16 +477,20 @@ impl<V: RadixValue> RadixTree<V> {
                         idx,
                         born: born_locked,
                     });
+                    retain = true;
                     break;
                 }
                 // Expand under the held slot lock.
                 let child = self.expand_slot(core, node_ptr, idx, v, block_lo);
                 g.pins.push(child);
                 g.units.push(Unit::WholeNode { node: child });
-                self.descend(core, child, sub_lo, sub_hi, mode, true, g);
+                // The child is already pinned above; the recursion's
+                // retain verdict is irrelevant.
+                let _ = self.descend(core, child, sub_lo, sub_hi, mode, true, g);
                 break;
             }
         }
+        retain
     }
 
     /// Replaces a locked EMPTY/FOLDED interior slot with a freshly
@@ -364,9 +565,25 @@ impl<V: RadixValue> RadixTree<V> {
     }
 
     /// Reads (clones) the value governing `vpn`, if any.
+    ///
+    /// Allocation-free; holds at most one pin at a time (hand-over-hand:
+    /// the previous level's pin is surrendered as soon as the next level
+    /// is pinned), and none at all when the leaf hint hits.
     pub fn get(&self, core: usize, vpn: Vpn) -> Option<V> {
-        let mut pins: Vec<RcPtr<Node<V>>> = Vec::new();
+        if let Some(leaf) = self.hint_lookup(core, vpn) {
+            let n = nref(leaf);
+            let slot = &n.leaf()[(vpn - n.base_vpn) as usize];
+            lock_leaf_slot(&slot.status);
+            // SAFETY: the slot lock is held.
+            let out = unsafe { (*slot.value.get()).clone() };
+            unlock_leaf_slot(&slot.status);
+            self.cache.dec(core, leaf);
+            return out;
+        }
         let mut node_ptr = self.root;
+        // The single in-flight traversal pin (`None` while at the
+        // permanently pinned root).
+        let mut pin: Option<RcPtr<Node<V>>> = None;
         let result = loop {
             let node = nref(node_ptr);
             if node.is_leaf() {
@@ -376,6 +593,8 @@ impl<V: RadixValue> RadixTree<V> {
                 // SAFETY: the slot lock is held.
                 let out = unsafe { (*slot.value.get()).clone() };
                 unlock_leaf_slot(&slot.status);
+                // We hold the leaf's pin: remember it for the next fault.
+                self.install_hint(core, node_ptr);
                 break out;
             }
             let idx = index_at_level(vpn, node.level as usize);
@@ -386,7 +605,11 @@ impl<V: RadixValue> RadixTree<V> {
                     // SAFETY: TAG_CHILD slots hold `Node<V>` pointers.
                     match unsafe { self.cache.tryget::<Node<V>>(core, slot, TAG_CHILD) } {
                         Some(child) => {
-                            pins.push(child);
+                            // Hand-over-hand: the pinned child keeps its
+                            // ancestors alive, so drop the previous pin.
+                            if let Some(prev) = pin.replace(child) {
+                                self.cache.dec(core, prev);
+                            }
                             node_ptr = child;
                             continue;
                         }
@@ -411,7 +634,7 @@ impl<V: RadixValue> RadixTree<V> {
                 _ => break None, // EMPTY
             }
         };
-        for p in pins {
+        if let Some(p) = pin {
             self.cache.dec(core, p);
         }
         result
@@ -421,14 +644,34 @@ impl<V: RadixValue> RadixTree<V> {
     /// without taking any slot lock (pure traversal over atomic slot
     /// words — the Figure 7 lookup operation). May race with concurrent
     /// mutations; the answer is a linearizable snapshot of the slot word.
+    ///
+    /// On a leaf-hint hit this is pin-free: two loads under the per-core
+    /// hint lock.
     pub fn lookup_present(&self, core: usize, vpn: Vpn) -> bool {
-        let mut pins: Vec<RcPtr<Node<V>>> = Vec::new();
+        if self.cfg.leaf_hints {
+            let block_base = vpn & !((FANOUT as u64) - 1);
+            let slot = self.hints.slots[core].lock();
+            if let Some(h) = slot.as_ref() {
+                if Self::hint_valid(h, block_base) {
+                    let st = nref(h.node).leaf()[(vpn - block_base) as usize]
+                        .status
+                        .load(Ordering::Acquire);
+                    drop(slot);
+                    self.stats.hint_hits.fetch_add(1, StdOrdering::Relaxed);
+                    return st & LEAF_PRESENT != 0;
+                }
+            }
+            drop(slot);
+            self.stats.hint_misses.fetch_add(1, StdOrdering::Relaxed);
+        }
         let mut node_ptr = self.root;
+        let mut pin: Option<RcPtr<Node<V>>> = None;
         let result = loop {
             let node = nref(node_ptr);
             if node.is_leaf() {
                 let idx = (vpn - node.base_vpn) as usize;
                 let st = node.leaf()[idx].status.load(Ordering::Acquire);
+                self.install_hint(core, node_ptr);
                 break st & crate::node::LEAF_PRESENT != 0;
             }
             let idx = index_at_level(vpn, node.level as usize);
@@ -439,7 +682,9 @@ impl<V: RadixValue> RadixTree<V> {
                     // SAFETY: TAG_CHILD slots hold `Node<V>` pointers.
                     match unsafe { self.cache.tryget::<Node<V>>(core, slot, TAG_CHILD) } {
                         Some(child) => {
-                            pins.push(child);
+                            if let Some(prev) = pin.replace(child) {
+                                self.cache.dec(core, prev);
+                            }
                             node_ptr = child;
                         }
                         None => continue,
@@ -449,7 +694,7 @@ impl<V: RadixValue> RadixTree<V> {
                 _ => break false,
             }
         };
-        for p in pins {
+        if let Some(p) = pin {
             self.cache.dec(core, p);
         }
         result
@@ -457,10 +702,95 @@ impl<V: RadixValue> RadixTree<V> {
 
     /// Collects all `(vpn, value)` pairs in `[lo, hi)` (test oracle aid;
     /// clones each page's governing value).
+    ///
+    /// A single range walk: each leaf and each folded block in range is
+    /// visited once, with one pin per traversed level — not the old
+    /// per-page root-to-leaf descent (O(pages × depth) with per-page pin
+    /// traffic).
     pub fn collect_range(&self, core: usize, lo: Vpn, hi: Vpn) -> Vec<(Vpn, V)> {
-        (lo..hi)
-            .filter_map(|vpn| self.get(core, vpn).map(|v| (vpn, v)))
-            .collect()
+        assert!(hi <= VPN_LIMIT, "bad range {lo}..{hi}");
+        let mut out = Vec::new();
+        if lo < hi {
+            self.collect_from(core, self.root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// Range-walk worker for [`RadixTree::collect_range`].
+    fn collect_from(
+        &self,
+        core: usize,
+        node_ptr: RcPtr<Node<V>>,
+        lo: Vpn,
+        hi: Vpn,
+        out: &mut Vec<(Vpn, V)>,
+    ) {
+        let node = nref(node_ptr);
+        if node.is_leaf() {
+            let first = (lo - node.base_vpn) as usize;
+            let end = (hi - node.base_vpn) as usize;
+            for idx in first..end {
+                let slot = &node.leaf()[idx];
+                lock_leaf_slot(&slot.status);
+                // SAFETY: the slot lock is held.
+                let v = unsafe { (*slot.value.get()).clone() };
+                unlock_leaf_slot(&slot.status);
+                if let Some(v) = v {
+                    out.push((node.base_vpn + idx as u64, v));
+                }
+            }
+            return;
+        }
+        let span = node.slot_span();
+        let level = node.level as usize;
+        let first_idx = index_at_level(lo, level);
+        let last_idx = index_at_level(hi - 1, level);
+        for idx in first_idx..=last_idx {
+            let block_lo = node.base_vpn + idx as u64 * span;
+            let sub_lo = lo.max(block_lo);
+            let sub_hi = hi.min(block_lo + span);
+            let slot = &node.interior()[idx];
+            loop {
+                let peek = slot.load(Ordering::Acquire);
+                match slot_tag(peek) {
+                    TAG_CHILD => {
+                        // SAFETY: TAG_CHILD slots hold `Node<V>` pointers.
+                        let done = unsafe {
+                            self.cache
+                                .with_pin::<Node<V>, _>(core, slot, TAG_CHILD, |child| {
+                                    self.collect_from(core, child, sub_lo, sub_hi, out)
+                                })
+                        };
+                        match done {
+                            Some(()) => break,
+                            None => continue, // freed under us; re-read
+                        }
+                    }
+                    TAG_FOLDED => {
+                        // Clone the folded value once under a brief lock,
+                        // then fan it out per page.
+                        let v = lock_interior_slot(slot);
+                        let val = if slot_tag(v) == TAG_FOLDED {
+                            // SAFETY: lock held; FOLDED slot owns the box.
+                            Some(unsafe { (*(slot_ptr(v) as *const V)).clone() })
+                        } else {
+                            None
+                        };
+                        unlock_interior_slot(slot);
+                        match val {
+                            Some(val) => {
+                                for vpn in sub_lo..sub_hi {
+                                    out.push((vpn, val.clone()));
+                                }
+                                break;
+                            }
+                            None => continue, // changed under us; retry
+                        }
+                    }
+                    _ => break, // EMPTY
+                }
+            }
+        }
     }
 
     /// Tears down a subtree, freeing nodes directly (exclusive access).
@@ -487,8 +817,17 @@ impl<V: RadixValue> RadixTree<V> {
 
 impl<V: RadixValue> Drop for RadixTree<V> {
     fn drop(&mut self) {
-        // Settle Refcache so no core caches deltas for our nodes and no
-        // review-queue entry survives, then free the remaining structure.
+        // Stop the flush hook first (it holds the hint table, not the
+        // tree, but after teardown its nodes would dangle), surrender
+        // every hint pin, then settle Refcache so no core caches deltas
+        // for our nodes and no review-queue entry survives, and free the
+        // remaining structure.
+        if self.cfg.leaf_hints {
+            self.cache.unregister_flush_hook(self.hook_id);
+            for core in 0..self.cache.ncores() {
+                self.hints.release(&self.cache, core);
+            }
+        }
         self.cache.quiesce();
         self.teardown(self.root);
     }
@@ -498,11 +837,14 @@ impl<V: RadixValue> Drop for RadixTree<V> {
 ///
 /// Dropping the guard unlocks every slot (clearing born-held lock bits of
 /// newly created nodes, per §3.4) and releases all traversal pins.
+///
+/// Unit and pin storage is inline ([`InlineVec`]): single-page and
+/// single-block guards never allocate.
 pub struct RangeGuard<'t, V: RadixValue> {
     tree: &'t RadixTree<V>,
     core: usize,
-    units: Vec<Unit<V>>,
-    pins: Vec<RcPtr<Node<V>>>,
+    units: InlineVec<Unit<V>, UNITS_INLINE>,
+    pins: InlineVec<RcPtr<Node<V>>, PINS_INLINE>,
 }
 
 impl<V: RadixValue> RangeGuard<'_, V> {
@@ -513,7 +855,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
         let core = self.core;
         let cache = &self.tree.cache;
         let stats = &self.tree.stats;
-        for unit in &self.units {
+        for unit in self.units.iter() {
             match unit {
                 Unit::LeafRange {
                     node, first, end, ..
@@ -562,12 +904,16 @@ impl<V: RadixValue> RangeGuard<'_, V> {
     /// Sets every page (or whole block) in the locked range to a clone of
     /// `value`, returning displaced values. Empty full blocks receive a
     /// folded value; partially covered blocks were expanded at lock time.
+    ///
+    /// One walk per slot: a present slot swaps its value in place (no
+    /// reference-count or status traffic, and folded blocks reuse their
+    /// box allocation); only previously empty slots pay the install cost.
     pub fn replace(&mut self, value: &V) -> Vec<Removed<V>> {
-        let out = self.clear();
+        let mut out = Vec::new();
         let core = self.core;
         let cache = &self.tree.cache;
         let stats = &self.tree.stats;
-        for unit in &self.units {
+        for unit in self.units.iter() {
             match unit {
                 Unit::LeafRange {
                     node, first, end, ..
@@ -575,24 +921,52 @@ impl<V: RadixValue> RangeGuard<'_, V> {
                     let n = nref(*node);
                     for idx in *first..*end {
                         let slot = &n.leaf()[idx];
-                        // SAFETY: we hold the slot lock; `clear` above
-                        // emptied it.
-                        unsafe { *slot.value.get() = Some(value.clone()) };
-                        slot.status.fetch_or(LEAF_PRESENT, Ordering::AcqRel);
-                        stats.leaf_values.fetch_add(1, StdOrdering::Relaxed);
-                        cache.inc(core, *node);
+                        let st = slot.status.load(Ordering::Acquire);
+                        debug_assert!(st & LOCK_BIT != 0, "leaf slot not locked");
+                        if st & LEAF_PRESENT != 0 {
+                            // SAFETY: we hold the slot lock.
+                            let old = unsafe { (*slot.value.get()).replace(value.clone()) };
+                            if let Some(v) = old {
+                                out.push(Removed::Page(n.base_vpn + idx as u64, v));
+                            }
+                            // Present → present: status, value count, and
+                            // the node's used-slot reference are unchanged.
+                        } else {
+                            // SAFETY: we hold the slot lock.
+                            unsafe { *slot.value.get() = Some(value.clone()) };
+                            slot.status.fetch_or(LEAF_PRESENT, Ordering::AcqRel);
+                            stats.leaf_values.fetch_add(1, StdOrdering::Relaxed);
+                            cache.inc(core, *node);
+                        }
                     }
                 }
                 Unit::Block { node, idx, .. } => {
                     let n = nref(*node);
                     let slot = &n.interior()[*idx];
-                    let boxed = Box::new(value.clone());
-                    slot.store(
-                        pack_slot(Box::into_raw(boxed) as usize, TAG_FOLDED) | LOCK_BIT,
-                        Ordering::Release,
-                    );
-                    stats.folded_values.fetch_add(1, StdOrdering::Relaxed);
-                    cache.inc(core, *node);
+                    let w = slot.load(Ordering::Acquire);
+                    debug_assert!(w & LOCK_BIT != 0, "interior slot not locked");
+                    if slot_tag(w) == TAG_FOLDED {
+                        // SAFETY: lock held; FOLDED slot owns the box.
+                        // Swap in place, reusing the allocation; the slot
+                        // word (and the node's used-slot ref) is unchanged.
+                        let old = std::mem::replace(
+                            unsafe { &mut *(slot_ptr(w) as *mut V) },
+                            value.clone(),
+                        );
+                        out.push(Removed::Block {
+                            start: n.base_vpn + *idx as u64 * n.slot_span(),
+                            pages: n.slot_span(),
+                            value: old,
+                        });
+                    } else {
+                        let boxed = Box::new(value.clone());
+                        slot.store(
+                            pack_slot(Box::into_raw(boxed) as usize, TAG_FOLDED) | LOCK_BIT,
+                            Ordering::Release,
+                        );
+                        stats.folded_values.fetch_add(1, StdOrdering::Relaxed);
+                        cache.inc(core, *node);
+                    }
                 }
                 Unit::WholeNode { .. } => {}
             }
@@ -605,7 +979,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
     /// pages and the block span for folded blocks. Used by fork-style
     /// duplication and mprotect.
     pub fn for_each_entry_mut(&mut self, mut f: impl FnMut(Vpn, u64, &mut V)) {
-        for unit in &self.units {
+        for unit in self.units.iter() {
             match unit {
                 Unit::LeafRange {
                     node, first, end, ..
@@ -641,34 +1015,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
     /// Applies `f` to every present value in the locked range (pages and
     /// folded blocks) — the mprotect path.
     pub fn for_each_value_mut(&mut self, mut f: impl FnMut(&mut V)) {
-        for unit in &self.units {
-            match unit {
-                Unit::LeafRange {
-                    node, first, end, ..
-                } => {
-                    let n = nref(*node);
-                    for idx in *first..*end {
-                        let slot = &n.leaf()[idx];
-                        if slot.status.load(Ordering::Acquire) & LEAF_PRESENT != 0 {
-                            // SAFETY: we hold the slot lock.
-                            if let Some(v) = unsafe { (*slot.value.get()).as_mut() } {
-                                f(v);
-                            }
-                        }
-                    }
-                }
-                Unit::Block { node, idx, .. } => {
-                    let n = nref(*node);
-                    let slot = &n.interior()[*idx];
-                    let w = slot.load(Ordering::Acquire);
-                    if slot_tag(w) == TAG_FOLDED {
-                        // SAFETY: lock held; FOLDED slot owns the box.
-                        f(unsafe { &mut *(slot_ptr(w) as *mut V) });
-                    }
-                }
-                Unit::WholeNode { .. } => {}
-            }
-        }
+        self.for_each_entry_mut(|_, _, v| f(v));
     }
 
     /// For a single-page guard at leaf granularity, returns mutable access
@@ -678,7 +1025,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
     /// The value's *presence* must not change through this reference; use
     /// [`RangeGuard::clear`]/[`RangeGuard::replace`] for that.
     pub fn page_value_mut(&mut self) -> Option<&mut V> {
-        for unit in &self.units {
+        for unit in self.units.iter() {
             match unit {
                 Unit::LeafRange {
                     node, first, end, ..
@@ -708,7 +1055,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
 
 impl<V: RadixValue> Drop for RangeGuard<'_, V> {
     fn drop(&mut self) {
-        for unit in &self.units {
+        for unit in self.units.iter() {
             match unit {
                 Unit::LeafRange {
                     node,
@@ -745,8 +1092,14 @@ impl<V: RadixValue> Drop for RangeGuard<'_, V> {
                 }
             }
         }
-        for pin in &self.pins {
+        for pin in self.pins.iter() {
             self.tree.cache.dec(self.core, *pin);
+        }
+        if self.units.spilled() || self.pins.spilled() {
+            self.tree
+                .stats
+                .guard_spills
+                .fetch_add(1, StdOrdering::Relaxed);
         }
     }
 }

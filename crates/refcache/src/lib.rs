@@ -44,7 +44,7 @@ use std::collections::VecDeque;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use rvm_sync::{Atomic64, CachePadded, Mutex, SpinLock};
+use rvm_sync::{sim, Atomic64, CachePadded, Mutex, RwLock, SpinLock};
 
 pub mod counters;
 pub mod obj;
@@ -120,6 +120,14 @@ struct StatCells {
     revivals: AtomicU64,
 }
 
+/// A callback invoked at the start of every [`Refcache::flush`], before
+/// any delta is applied. Data structures use flush hooks to surrender
+/// per-core cached references (for example, the radix tree's leaf-hint
+/// pins) so that the epoch barrier never advances past a core that still
+/// silently holds an object: a hook-held reference delays reclamation by
+/// at most one flush interval.
+pub type FlushHook = Box<dyn Fn(&Refcache, usize) + Send + Sync>;
+
 /// The scalable reference-count cache (one per simulated machine).
 pub struct Refcache {
     cfg: RefcacheConfig,
@@ -129,6 +137,14 @@ pub struct Refcache {
     global_epoch: Atomic64,
     /// Number of cores that have flushed in the current epoch.
     flushed_cores: Atomic64,
+    /// Flush hooks, keyed by registration id. Read on every flush (cheap:
+    /// almost always shared), written only on register/unregister.
+    hooks: RwLock<Vec<(u64, FlushHook)>>,
+    /// Number of registered hooks; lets `flush` skip the hook lock
+    /// entirely when no data structure registered one (std atomic: not
+    /// simulator-instrumented, so the common no-hook case stays free).
+    hook_count: AtomicU64,
+    next_hook_id: AtomicU64,
     stats: StatCells,
 }
 
@@ -157,6 +173,9 @@ impl Refcache {
             cores,
             global_epoch: Atomic64::new(1),
             flushed_cores: Atomic64::new(0),
+            hooks: RwLock::new(Vec::new()),
+            hook_count: AtomicU64::new(0),
+            next_hook_id: AtomicU64::new(1),
             stats: StatCells::default(),
         }
     }
@@ -189,12 +208,33 @@ impl Refcache {
         self.stats.allocs.load(Ordering::Relaxed) - self.stats.frees.load(Ordering::Relaxed)
     }
 
+    /// Registers a [`FlushHook`] invoked at the start of every flush.
+    /// Returns an id for [`Refcache::unregister_flush_hook`].
+    pub fn register_flush_hook(
+        &self,
+        hook: impl Fn(&Refcache, usize) + Send + Sync + 'static,
+    ) -> u64 {
+        let id = self.next_hook_id.fetch_add(1, Ordering::Relaxed);
+        let mut hooks = self.hooks.write();
+        hooks.push((id, Box::new(hook)));
+        self.hook_count.store(hooks.len() as u64, Ordering::Release);
+        id
+    }
+
+    /// Removes a previously registered flush hook.
+    pub fn unregister_flush_hook(&self, id: u64) {
+        let mut hooks = self.hooks.write();
+        hooks.retain(|(h, _)| *h != id);
+        self.hook_count.store(hooks.len() as u64, Ordering::Release);
+    }
+
     /// Allocates a managed object with an initial reference count.
     ///
     /// The initial count covers the creator's references (for example, a
     /// radix node created by expansion starts with one reference per
     /// pre-filled slot plus one for the installing traversal).
     pub fn alloc<T: Managed>(&self, init_count: i64, obj: T) -> RcPtr<T> {
+        sim::charge_alloc();
         let boxed = Box::new(RcBox {
             hdr: Header {
                 state: SpinLock::new(ObjState {
@@ -302,6 +342,15 @@ impl Refcache {
     /// Flushes `core`'s delta cache and advances the epoch barrier (the
     /// paper's `flush`).
     pub fn flush(&self, core: usize) {
+        // Run hooks before taking the core lock: hooks surrender cached
+        // references (which re-enters `dec` and needs the core lock), and
+        // doing it first guarantees those decs are part of this flush.
+        if self.hook_count.load(Ordering::Acquire) != 0 {
+            let hooks = self.hooks.read();
+            for (_, hook) in hooks.iter() {
+                hook(self, core);
+            }
+        }
         let mut cc = self.cores[core].lock();
         let epoch = self.epoch();
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
@@ -465,6 +514,33 @@ impl Refcache {
                 Some(ptr)
             }
         }
+    }
+
+    /// Runs `f` with a pinned reference to the object behind a weak word,
+    /// releasing the pin when `f` returns (the scoped companion of
+    /// [`Refcache::tryget`]). Returns `None` — without calling `f` — when
+    /// the object is gone or the slot holds a different tag.
+    ///
+    /// Using this instead of manual `tryget`/`dec` pairs guarantees a
+    /// traversal holds exactly one pin per nesting level and cannot leak
+    /// one on an early return.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Refcache::tryget`]: if `slot` currently holds a
+    /// pointer under tag `tag`, it must point to an `RcBox<T>` registered
+    /// with [`Refcache::register_weak`].
+    pub unsafe fn with_pin<T, R>(
+        &self,
+        core: usize,
+        slot: &Atomic64,
+        tag: u8,
+        f: impl FnOnce(RcPtr<T>) -> R,
+    ) -> Option<R> {
+        let obj = self.tryget::<T>(core, slot, tag)?;
+        let out = f(obj);
+        self.dec(core, obj);
+        Some(out)
     }
 
     /// Immediately frees a managed object, bypassing the lazy protocol
@@ -666,6 +742,57 @@ mod tests {
         slot.fetch_and(!weak::LOCK_BIT, Ordering::AcqRel);
         rc.quiesce();
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn with_pin_scopes_the_reference() {
+        let rc = Refcache::new(1);
+        let (p, drops, _) = tracked(&rc, 1);
+        let slot = Atomic64::new(weak::pack(p.addr(), 1));
+        rc.register_weak(p, &slot);
+        // SAFETY: slot holds `p` under tag 1.
+        let seen = unsafe { rc.with_pin::<Tracked, _>(0, &slot, 1, |q| q.addr()) };
+        assert_eq!(seen, Some(p.addr()));
+        // The pin was released inside with_pin: dropping the base
+        // reference frees the object.
+        rc.dec(0, p);
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // Gone now: the closure must not run.
+        // SAFETY: slot is empty; tryget handles that case.
+        let ran = unsafe { rc.with_pin::<Tracked, _>(0, &slot, 1, |_| ()) };
+        assert!(ran.is_none());
+    }
+
+    #[test]
+    fn flush_hooks_surrender_cached_references() {
+        // A hook-held reference (like the radix tree's leaf hints) delays
+        // freeing only until the core's next flush.
+        let rc = Arc::new(Refcache::new(2));
+        let (p, drops, _) = tracked(&rc, 1);
+        let held = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let calls = Arc::new(StdAtomicU64::new(0));
+        let id = {
+            let held = held.clone();
+            let calls = calls.clone();
+            rc.register_flush_hook(move |cache, core| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if core == 0 && held.swap(false, Ordering::SeqCst) {
+                    cache.dec(core, p);
+                }
+            })
+        };
+        // The hook still holds the only reference: nothing frees until a
+        // flush on core 0 runs the hook.
+        rc.flush(1);
+        assert!(drops.load(Ordering::SeqCst) == 0);
+        rc.quiesce();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "hook released the ref");
+        assert!(calls.load(Ordering::SeqCst) > 0);
+        rc.unregister_flush_hook(id);
+        let before = calls.load(Ordering::SeqCst);
+        rc.flush(0);
+        assert_eq!(calls.load(Ordering::SeqCst), before, "unregistered");
     }
 
     #[test]

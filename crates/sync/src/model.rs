@@ -43,6 +43,12 @@ pub struct CostModel {
     /// Fixed per-operation software cost (instruction execution not
     /// attributable to instrumented shared-memory accesses).
     pub op_base_ns: u64,
+    /// Cost of one heap allocation on a hot path (allocator bookkeeping
+    /// plus the shared allocator state it touches). Charged explicitly by
+    /// code that allocates where it matters — radix-node expansion,
+    /// Refcache object allocation, and [`crate::InlineVec`] spills — so
+    /// "allocation-free" designs show their advantage in virtual time.
+    pub alloc_ns: u64,
 }
 
 impl Default for CostModel {
@@ -58,6 +64,7 @@ impl Default for CostModel {
             ipi_bus_ns: 600,
             page_work_ns: 1_300,
             op_base_ns: 150,
+            alloc_ns: 90,
         }
     }
 }
@@ -77,6 +84,7 @@ impl CostModel {
             ipi_bus_ns: 0,
             page_work_ns: 0,
             op_base_ns: 0,
+            alloc_ns: 0,
         }
     }
 }

@@ -92,6 +92,8 @@ pub struct CoreStats {
     pub ipis_received: u64,
     /// Explicitly charged work (page zeroing etc.).
     pub charged_ns: u64,
+    /// Heap allocations explicitly charged on hot paths.
+    pub heap_allocs: u64,
 }
 
 /// A snapshot of the simulator's counters and clocks.
@@ -450,6 +452,20 @@ pub fn charge_page_work() {
         let c = s.cur;
         s.clocks[c] += s.model.page_work_ns;
         s.stats[c].charged_ns += s.model.page_work_ns;
+    });
+}
+
+/// Charges the model's heap-allocation cost to the current core and
+/// counts the allocation. Called by hot-path code that allocates
+/// (node expansion, Refcache object allocation, `InlineVec` spill) so
+/// allocation-free fast paths are rewarded in virtual time.
+#[inline]
+pub fn charge_alloc() {
+    with_ctx(|s| {
+        let c = s.cur;
+        s.clocks[c] += s.model.alloc_ns;
+        s.stats[c].charged_ns += s.model.alloc_ns;
+        s.stats[c].heap_allocs += 1;
     });
 }
 

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_fastpath.json, the fault-fast-path perf record:
+# virtual-time cost of repeated same-block single-page faults (leaf
+# hints on vs off), the hint hit rate, and a wall-clock 1-core
+# fault-fill loop. Run from the repository root; commit the refreshed
+# file so successive PRs have a perf trajectory to compare against.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p rvm_bench --bin bench_fastpath > BENCH_fastpath.json
+echo "wrote $(pwd)/BENCH_fastpath.json:" >&2
+cat BENCH_fastpath.json

@@ -1,0 +1,142 @@
+//! Acceptance test for the fault fast path: after warm-up, single-page
+//! fault handling performs **zero heap allocations** — the guard's unit
+//! and pin storage is inline, the leaf hint skips the descent, and
+//! nothing on the PTE/TLB refill path allocates.
+//!
+//! Lives in its own integration-test binary because it installs a
+//! counting global allocator, and contains a single #[test] so no
+//! concurrent test can perturb the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use radixvm::backend::{build, BackendKind};
+use radixvm::hw::{Backing, Machine, Prot, PAGE_SIZE};
+use radixvm::radix::{LockMode, RadixConfig, RadixTree};
+use radixvm::refcache::Refcache;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to the system allocator; only adds a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+const BASE: u64 = 0x70_0000_0000;
+
+/// Runs `work` (a 10k-operation loop) in up to five measurement windows
+/// and requires at least one window with zero allocations. The counter
+/// is process-global, and the libtest harness's main thread may allocate
+/// concurrently (printing the test-start event) during the first window;
+/// a genuine fault-path allocation would taint *every* window, so one
+/// clean window proves the path allocation-free.
+fn assert_allocation_free(label: &str, mut work: impl FnMut()) {
+    let mut last = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        work();
+        last = ALLOCS.load(Ordering::Relaxed) - before;
+        if last == 0 {
+            return;
+        }
+    }
+    panic!("{label}: every window allocated (last saw {last} allocations)");
+}
+
+#[test]
+fn warm_single_page_fault_path_is_allocation_free() {
+    // Phase 1: the radix-tree component alone — single-page range lock +
+    // metadata mutation, the tree work of every page fault.
+    {
+        let cache = std::sync::Arc::new(Refcache::new(1));
+        let tree = RadixTree::<u64>::new(cache, RadixConfig::default());
+        let base = 512 * 11;
+        tree.lock_range(0, base, base + 512, LockMode::ExpandAll)
+            .replace(&1);
+        // Warm-up: expands the folded block to a leaf, installs the hint.
+        for i in 0..16u64 {
+            let vpn = base + (i % 8);
+            let mut g = tree.lock_range(0, vpn, vpn + 1, LockMode::ExpandFolded);
+            *g.page_value_mut().expect("mapped") += 1;
+        }
+        // Drain warm-up residue from the Refcache delta cache and review
+        // queue (a leftover warm-up delta in the hash slot the leaf maps
+        // to would otherwise be conflict-evicted — and possibly queued —
+        // on the first measured fault), then re-warm the hint.
+        tree.cache().quiesce();
+        for i in 0..16u64 {
+            let vpn = base + (i % 8);
+            let mut g = tree.lock_range(0, vpn, vpn + 1, LockMode::ExpandFolded);
+            *g.page_value_mut().expect("mapped") += 1;
+        }
+        assert_allocation_free("tree fault path", || {
+            for i in 0..10_000u64 {
+                let vpn = base + (i % 8);
+                let mut g = tree.lock_range(0, vpn, vpn + 1, LockMode::ExpandFolded);
+                *g.page_value_mut().expect("mapped") += 1;
+            }
+        });
+        assert_allocation_free("tree lookup path", || {
+            for i in 0..10_000u64 {
+                assert!(tree.get(0, base + (i % 8)).is_some());
+                assert!(tree.lookup_present(0, base + (i % 8)));
+            }
+        });
+    }
+
+    // Phase 2: the full stack — TLB invalidate + access → pagefault →
+    // range lock → PTE install → TLB fill, repeated in one block.
+    let machine = Machine::new(1);
+    let vm = build(&machine, BackendKind::Radix);
+    vm.attach_core(0);
+    vm.mmap(0, BASE, 8 * PAGE_SIZE, Prot::RW, Backing::Anon)
+        .unwrap();
+    for p in 0..8u64 {
+        machine
+            .touch_page(0, &*vm, BASE + p * PAGE_SIZE, 1)
+            .unwrap();
+    }
+    // Warm-up: page tables and TLB structures exist, hint installed;
+    // then drain warm-up residue (see phase 1) and re-warm the hint.
+    for i in 0..64u64 {
+        let vpn = (BASE >> 12) + (i % 8);
+        machine.invalidate_local(0, vm.asid(), vpn, 1);
+        machine
+            .read_u64(0, &*vm, BASE + (i % 8) * PAGE_SIZE)
+            .unwrap();
+    }
+    vm.quiesce();
+    for i in 0..64u64 {
+        let vpn = (BASE >> 12) + (i % 8);
+        machine.invalidate_local(0, vm.asid(), vpn, 1);
+        machine
+            .read_u64(0, &*vm, BASE + (i % 8) * PAGE_SIZE)
+            .unwrap();
+    }
+    assert_allocation_free("full fault path", || {
+        for i in 0..10_000u64 {
+            let vpn = (BASE >> 12) + (i % 8);
+            machine.invalidate_local(0, vm.asid(), vpn, 1);
+            machine
+                .read_u64(0, &*vm, BASE + (i % 8) * PAGE_SIZE)
+                .unwrap();
+        }
+    });
+}

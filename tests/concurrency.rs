@@ -11,6 +11,8 @@ use std::sync::Arc;
 use radixvm::backend::{build, BackendKind};
 use radixvm::core_vm::RadixVm;
 use radixvm::hw::{Backing, Machine, MachineConfig, Prot, VmError, PAGE_SIZE};
+use radixvm::radix::{LockMode, RadixConfig, RadixTree};
+use radixvm::refcache::Refcache;
 
 const BASE: u64 = 0x60_0000_0000;
 
@@ -190,6 +192,111 @@ fn lagging_core_stalls_but_never_corrupts() {
     vm.quiesce();
     let st = machine.pool().stats();
     assert_eq!(st.local_frees + st.remote_frees, 200);
+}
+
+/// The leaf hint cache under adversarial churn: one core faults
+/// repeatedly inside a 512-page block while another munmaps and remaps
+/// the whole block, with collapse enabled and both cores ticking
+/// Refcache so emptied leaves actually die and get reallocated. The
+/// hint must never serve a freed node (values read through it are
+/// always one of the two generation markers, never garbage) and the
+/// structure must still collapse to just the root at the end.
+#[test]
+fn leaf_hint_never_serves_freed_or_stale_nodes() {
+    let cache = Arc::new(Refcache::new(2));
+    let tree = Arc::new(RadixTree::<u64>::new(
+        cache,
+        RadixConfig {
+            collapse: true,
+            leaf_hints: true,
+        },
+    ));
+    let block = 512 * 5;
+    // A second, stable block the faulter periodically migrates to: the
+    // hint follows it there (surrendering the churned leaf's pin), which
+    // is what lets the cleared leaf actually die mid-run.
+    let stable = 512 * 9;
+    tree.lock_range(0, stable, stable + 512, LockMode::ExpandAll)
+        .replace(&7);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // While set, the faulter works the stable block instead of the
+    // churned one — modeling a thread whose working set moved away, so
+    // its hint pin stops protecting the churned leaf and the leaf can
+    // actually die (a hint on an actively faulted block legitimately
+    // keeps its leaf alive until the next flush).
+    let quiet = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let faulter = {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        let quiet = quiet.clone();
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let base = if quiet.load(std::sync::atomic::Ordering::Relaxed) {
+                    stable
+                } else {
+                    block
+                };
+                let vpn = base + (i % 8);
+                i += 1;
+                let mut g = tree.lock_range(1, vpn, vpn + 1, LockMode::ExpandFolded);
+                if let Some(v) = g.page_value_mut() {
+                    // Only the mapper's generation markers may ever be
+                    // visible; a freed/stale node would surface garbage.
+                    assert!(*v == 7 || *v == 9, "hint served stale value {v}");
+                }
+                drop(g);
+                if i.is_multiple_of(32) {
+                    tree.cache().maintain(1);
+                }
+            }
+        })
+    };
+    let rel = std::sync::atomic::Ordering::Relaxed;
+    for round in 0..200u64 {
+        tree.lock_range(0, block, block + 512, LockMode::ExpandFolded)
+            .clear();
+        if round % 10 == 0 {
+            // Death window: steer the faulter away and keep flushing
+            // until the emptied leaf (and its spine) actually collapse —
+            // the faulter's own maintenance ticks advance the epoch from
+            // its side.
+            quiet.store(true, rel);
+            let before = tree.stats().nodes_collapsed.load(rel);
+            for _ in 0..500 {
+                tree.cache().maintain(0);
+                if tree.stats().nodes_collapsed.load(rel) > before {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            }
+            quiet.store(false, rel);
+        }
+        let marker = if round % 2 == 0 { 7 } else { 9 };
+        tree.lock_range(0, block, block + 512, LockMode::ExpandAll)
+            .replace(&marker);
+        // Leave the block mapped long enough for the faulter to take
+        // repeated (hinted) faults in it before the next churn round.
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    faulter.join().unwrap();
+    assert!(
+        tree.stats().hint_hits.load(rel) > 0,
+        "hints never exercised"
+    );
+    assert!(
+        tree.stats().nodes_collapsed.load(rel) > 0,
+        "no node ever died — the dangerous interleaving was not exercised"
+    );
+    // Everything still collapses: hint pins are surrendered at flush.
+    tree.lock_range(0, block, block + 512, LockMode::ExpandFolded)
+        .clear();
+    tree.lock_range(0, stable, stable + 512, LockMode::ExpandFolded)
+        .clear();
+    let tree = Arc::try_unwrap(tree).ok().expect("sole owner");
+    tree.cache().quiesce();
+    assert_eq!(tree.cache().live_objects(), 1, "only the root survives");
 }
 
 /// Mixed overlapping traffic on every backend survives and stays

@@ -110,6 +110,63 @@ proptest! {
         }
     }
 
+    /// The same oracle with the leaf hint cache force-enabled and
+    /// adversarial maintenance interleaved: every read runs twice (the
+    /// first may miss and install the hint, the second must hit), and
+    /// periodic maintenance surrenders hint pins so collapse/revival
+    /// interleave with hinted reads. `collect_range`'s single range walk
+    /// is also held to the oracle here.
+    #[test]
+    fn radix_tree_matches_btreemap_with_hints(
+        ops in proptest::collection::vec(tree_op(), 1..60)
+    ) {
+        let cache = Arc::new(Refcache::new(1));
+        let tree = RadixTree::<u64>::new(
+            cache.clone(),
+            RadixConfig { collapse: true, leaf_hints: true },
+        );
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        let base = 512 * 7 + 13;
+        for (n, op) in ops.iter().enumerate() {
+            match *op {
+                TreeOp::Set { lo, len, val } => {
+                    let (lo, hi) = (base + lo, base + lo + len);
+                    tree.lock_range(0, lo, hi, LockMode::ExpandAll).replace(&val);
+                    for p in lo..hi {
+                        oracle.insert(p, val);
+                    }
+                }
+                TreeOp::Clear { lo, len } => {
+                    let (lo, hi) = (base + lo, base + lo + len);
+                    tree.lock_range(0, lo, hi, LockMode::ExpandFolded).clear();
+                    for p in lo..hi {
+                        oracle.remove(&p);
+                    }
+                }
+                TreeOp::Get { at } => {
+                    let at = base + at;
+                    // Twice: a miss (installing the hint) must agree with
+                    // the hit that follows it.
+                    prop_assert_eq!(tree.get(0, at), oracle.get(&at).copied());
+                    prop_assert_eq!(tree.get(0, at), oracle.get(&at).copied());
+                    prop_assert_eq!(tree.lookup_present(0, at), oracle.contains_key(&at));
+                }
+            }
+            if n % 7 == 0 {
+                // Surrender hint pins and advance epochs mid-run.
+                cache.maintain(0);
+            }
+        }
+        // The single range walk agrees with the oracle wholesale.
+        let walked = tree.collect_range(0, base, base + 2700);
+        let expected: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(walked, expected);
+        cache.quiesce();
+        for (&p, &v) in &oracle {
+            prop_assert_eq!(tree.get(0, p), Some(v));
+        }
+    }
+
     /// Refcache frees an object exactly when a matched inc/dec history
     /// ends at zero, never earlier, regardless of which cores the
     /// operations and flushes land on.
