@@ -15,8 +15,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rvm_hw::{
-    vpn_of, AccessKind, Asid, Backing, Machine, Prot, SpaceUsage, TlbEntry, Translation, Vaddr,
-    VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
+    vpn_of, AccessKind, Asid, Backing, Machine, OpStats, Prot, ShardedOpStats, SpaceUsage,
+    TlbEntry, Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
 };
 use rvm_mem::Pfn;
 use rvm_sync::atomic::AtomicCoreSet;
@@ -35,6 +35,8 @@ pub struct ToyVm {
     asid: Asid,
     attached: AtomicCoreSet,
     pages: Mutex<BTreeMap<Vpn, Page>>,
+    /// Sharded per-core op counters.
+    stats: ShardedOpStats,
 }
 
 impl ToyVm {
@@ -42,6 +44,7 @@ impl ToyVm {
     pub fn new(machine: Arc<Machine>) -> Arc<ToyVm> {
         Arc::new(ToyVm {
             asid: machine.alloc_asid(),
+            stats: ShardedOpStats::new(machine.ncores()),
             machine,
             attached: AtomicCoreSet::new(),
             pages: Mutex::new(BTreeMap::new()),
@@ -99,6 +102,7 @@ impl VmSystem for ToyVm {
     ) -> VmResult<Vaddr> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
+        self.stats.mmap(core);
         let _ = backing; // all backings are demand-zero in the simulation
         let mut pages = self.pages.lock();
         self.remove_range(core, &mut pages, lo, n);
@@ -111,6 +115,7 @@ impl VmSystem for ToyVm {
     fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
+        self.stats.munmap(core);
         let mut pages = self.pages.lock();
         self.remove_range(core, &mut pages, lo, n);
         Ok(())
@@ -132,8 +137,12 @@ impl VmSystem for ToyVm {
         }
         let pool = self.machine.pool();
         let pfn = match page.pfn {
-            Some(pfn) => pfn,
+            Some(pfn) => {
+                self.stats.fault_fill(core);
+                pfn
+            }
             None => {
+                self.stats.fault_alloc(core);
                 let pfn = pool.alloc(core);
                 page.pfn = Some(pfn);
                 pfn
@@ -186,6 +195,16 @@ impl VmSystem for ToyVm {
                 .shootdown(core, self.asid, lo, n, self.attached.load());
         }
         Ok(())
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.snapshot()
+    }
+
+    fn quiesce(&self) {
+        // The toy backend frees eagerly; only remote frees parked in the
+        // pool's outbound magazines remain to return home.
+        self.machine.pool().flush_magazines();
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

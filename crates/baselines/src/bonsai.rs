@@ -22,8 +22,8 @@ use std::sync::Arc;
 
 use crossbeam::epoch::{self, Atomic, Owned};
 use rvm_hw::{
-    vpn_of, AccessKind, Asid, Backing, Machine, Prot, Pte, SharedMmu, SpaceUsage, TlbEntry,
-    Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
+    vpn_of, AccessKind, Asid, Backing, Machine, OpStats, Prot, Pte, ShardedOpStats, SharedMmu,
+    SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
 };
 use rvm_sync::atomic::AtomicCoreSet;
 use rvm_sync::{sim, CachePadded, Mutex, SpinLock};
@@ -204,6 +204,8 @@ pub struct BonsaiVm {
     ptl: Vec<CachePadded<SpinLock<()>>>,
     mmu: SharedMmu,
     regions: AtomicU64,
+    /// Sharded per-core op counters.
+    stats: ShardedOpStats,
 }
 
 impl BonsaiVm {
@@ -211,6 +213,7 @@ impl BonsaiVm {
     pub fn new(machine: Arc<Machine>) -> Arc<BonsaiVm> {
         Arc::new(BonsaiVm {
             asid: machine.alloc_asid(),
+            stats: ShardedOpStats::new(machine.ncores()),
             machine,
             attached: AtomicCoreSet::new(),
             root: Atomic::new(RootBox { tree: None }),
@@ -305,6 +308,7 @@ impl VmSystem for BonsaiVm {
     ) -> VmResult<Vaddr> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
+        self.stats.mmap(core);
         let backing = match backing {
             Backing::File { file, offset_pages } => Backing::File {
                 file,
@@ -331,6 +335,7 @@ impl VmSystem for BonsaiVm {
     fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
+        self.stats.munmap(core);
         let _m = self.mutate.lock();
         let g = epoch::pin();
         let shared = self.root.load(std::sync::atomic::Ordering::Acquire, &g);
@@ -372,8 +377,10 @@ impl VmSystem for BonsaiVm {
         let table = self.mmu.table();
         let pte = table.get(vpn);
         let pfn = if pte.present() {
+            self.stats.fault_fill(core);
             pte.pfn()
         } else {
+            self.stats.fault_alloc(core);
             let pfn = pool.alloc(core);
             pool.inc_map(pfn);
             table.set(vpn, Pte::new(pfn, writable));
@@ -422,6 +429,16 @@ impl VmSystem for BonsaiVm {
         self.publish(tree, &g);
         self.cleanup_removed(core, lo, n, &removed);
         Ok(())
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.snapshot()
+    }
+
+    fn quiesce(&self) {
+        // Bonsai frees frames eagerly; only remote frees parked in the
+        // pool's outbound magazines remain to return home.
+        self.machine.pool().flush_magazines();
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

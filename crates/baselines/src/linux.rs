@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use rvm_hw::{
-    vpn_of, AccessKind, Asid, Backing, Machine, Prot, Pte, SharedMmu, SpaceUsage, TlbEntry,
-    Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
+    vpn_of, AccessKind, Asid, Backing, Machine, OpStats, Prot, Pte, ShardedOpStats, SharedMmu,
+    SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
 };
 use rvm_sync::atomic::AtomicCoreSet;
 use rvm_sync::{sim, RwLock};
@@ -34,6 +34,8 @@ pub struct LinuxVm {
     state: RwLock<VmaMap>,
     /// Single shared page table.
     mmu: SharedMmu,
+    /// Sharded per-core op counters.
+    stats: ShardedOpStats,
 }
 
 impl LinuxVm {
@@ -41,6 +43,7 @@ impl LinuxVm {
     pub fn new(machine: Arc<Machine>) -> Arc<LinuxVm> {
         Arc::new(LinuxVm {
             asid: machine.alloc_asid(),
+            stats: ShardedOpStats::new(machine.ncores()),
             machine,
             attached: AtomicCoreSet::new(),
             state: RwLock::new(VmaMap::new()),
@@ -94,6 +97,7 @@ impl VmSystem for LinuxVm {
     ) -> VmResult<Vaddr> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
+        self.stats.mmap(core);
         let backing = match backing {
             Backing::File { file, offset_pages } => Backing::File {
                 file,
@@ -118,6 +122,7 @@ impl VmSystem for LinuxVm {
     fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
+        self.stats.munmap(core);
         let mut vmas = self.state.write();
         let removed = vmas.carve(lo, lo + n);
         for old in &removed {
@@ -147,14 +152,19 @@ impl VmSystem for LinuxVm {
         let table = self.mmu.table();
         let pte = table.get(vpn);
         let pfn = if pte.present() {
+            self.stats.fault_fill(core);
             pte.pfn()
         } else {
             let pfn = pool.alloc(core);
             pool.inc_map(pfn);
             match table.set_if(vpn, Pte::EMPTY, Pte::new(pfn, writable)) {
-                Ok(()) => pfn,
+                Ok(()) => {
+                    self.stats.fault_alloc(core);
+                    pfn
+                }
                 Err(winner) => {
                     // Another core's fault won the install race.
+                    self.stats.fault_fill(core);
                     pool.dec_map(pfn);
                     pool.free(core, pfn);
                     winner.pfn()
@@ -200,6 +210,16 @@ impl VmSystem for LinuxVm {
             });
         }
         Ok(())
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.snapshot()
+    }
+
+    fn quiesce(&self) {
+        // Linux frees frames eagerly; only remote frees parked in the
+        // pool's outbound magazines remain to return home.
+        self.machine.pool().flush_magazines();
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

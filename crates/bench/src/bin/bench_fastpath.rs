@@ -42,9 +42,8 @@ fn real_fault_loop(iters: u64) -> (f64, f64) {
             .read_u64(0, &*vm, BASE + (i % 8) * PAGE_SIZE)
             .unwrap();
     }
-    let rel = std::sync::atomic::Ordering::Relaxed;
-    let hits0 = radix.tree_stats().hint_hits.load(rel);
-    let misses0 = radix.tree_stats().hint_misses.load(rel);
+    let hits0 = radix.tree_stats().hint_hits();
+    let misses0 = radix.tree_stats().hint_misses();
     let t0 = Instant::now();
     for i in 0..iters {
         let vpn = (BASE >> 12) + (i % 8);
@@ -54,8 +53,8 @@ fn real_fault_loop(iters: u64) -> (f64, f64) {
             .unwrap();
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    let hits = radix.tree_stats().hint_hits.load(rel) - hits0;
-    let misses = radix.tree_stats().hint_misses.load(rel) - misses0;
+    let hits = radix.tree_stats().hint_hits() - hits0;
+    let misses = radix.tree_stats().hint_misses() - misses0;
     (iters as f64 / elapsed, hit_rate(hits, misses))
 }
 

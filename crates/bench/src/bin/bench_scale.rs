@@ -1,0 +1,123 @@
+//! Emits the multicore scalability record (`BENCH_scale.json`) to
+//! stdout and enforces the disjoint-ops scaling gate.
+//!
+//! The sweep drives every backend through `rvm_backend::build()` over
+//! the disjoint mmap/touch/munmap workload on 1..N simulated cores
+//! (Figure 7's experiment), recording ops per virtual second, per-core
+//! retention vs. 1 core, remote cache-line transfers per op, and
+//! shootdown IPIs per op. The gate (radix retention ≥ 70 % at max
+//! cores, O(1) remote traffic per op, and a strictly better slope than
+//! the Bonsai/Linux baselines) exits non-zero on regression, so the CI
+//! smoke step fails loudly.
+//!
+//! Usage: `cargo run --release -p rvm_bench --bin bench_scale [--quick]`
+//! (or `scripts/bench_record.sh`, which redirects into the checked-in
+//! JSON). Env: `RVM_CORES=1,4,...`, `RVM_DUR_MS`.
+
+use rvm_bench::scale::{
+    check_gate, disjoint_sweep, retention, scale_core_counts, ScalePoint, RADIX_REMOTE_PER_OP_CEIL,
+    RADIX_RETENTION_FLOOR,
+};
+use rvm_bench::{duration_ns, BackendKind};
+
+fn print_backend(name: &str, points: &[ScalePoint], last: bool) {
+    println!("    \"{name}\": {{");
+    println!(
+        "      \"retention_at_max_cores\": {:.4},",
+        retention(points)
+    );
+    println!("      \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        println!(
+            "        {{\"cores\": {}, \"ops_per_sec\": {:.0}, \
+             \"per_core_ops_per_sec\": {:.0}, \"remote_per_op\": {:.4}, \
+             \"ipis_per_op\": {:.4}}}{comma}",
+            p.cores,
+            p.ops_per_sec(),
+            p.per_core_ops_per_sec(),
+            p.remote_per_op(),
+            p.ipis_per_op(),
+        );
+    }
+    println!("      ]");
+    println!("    }}{}", if last { "" } else { "," });
+}
+
+fn main() {
+    let cores = scale_core_counts();
+    let dur = duration_ns();
+    let mut sweeps: Vec<(BackendKind, Vec<ScalePoint>)> = Vec::new();
+    for kind in BackendKind::ALL {
+        eprintln!("sweeping {kind} over {cores:?} cores...");
+        let points = disjoint_sweep(kind, &cores, dur);
+        for p in &points {
+            eprintln!(
+                "  {kind:>20} {:>3} cores: {:>12.0} ops/s ({:>10.0}/core, \
+                 {:.3} remote/op, {:.3} ipi/op)",
+                p.cores,
+                p.ops_per_sec(),
+                p.per_core_ops_per_sec(),
+                p.remote_per_op(),
+                p.ipis_per_op(),
+            );
+        }
+        sweeps.push((kind, points));
+    }
+    let get = |k: BackendKind| &sweeps.iter().find(|(kind, _)| *kind == k).unwrap().1;
+    let report = check_gate(
+        get(BackendKind::Radix),
+        get(BackendKind::Bonsai),
+        get(BackendKind::Linux),
+    );
+
+    println!("{{");
+    println!("  \"schema\": 1,");
+    println!("  \"bench\": \"scale\",");
+    println!("  \"workload\": \"disjoint mmap+touch+munmap per core (Fig. 7)\",");
+    print!("  \"cores\": [");
+    print!(
+        "{}",
+        cores
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("],");
+    println!("  \"backends\": {{");
+    for (i, (kind, points)) in sweeps.iter().enumerate() {
+        print_backend(kind.name(), points, i + 1 == sweeps.len());
+    }
+    println!("  }},");
+    println!("  \"gate\": {{");
+    println!("    \"radix_retention_floor\": {RADIX_RETENTION_FLOOR},");
+    println!("    \"radix_remote_per_op_ceiling\": {RADIX_REMOTE_PER_OP_CEIL},");
+    println!("    \"radix_retention\": {:.4},", report.radix_retention);
+    println!("    \"bonsai_retention\": {:.4},", report.bonsai_retention);
+    println!("    \"linux_retention\": {:.4},", report.linux_retention);
+    println!(
+        "    \"radix_remote_per_op\": {:.4},",
+        report.radix_remote_per_op
+    );
+    println!("    \"passed\": {}", report.passed());
+    println!("  }}");
+    println!("}}");
+
+    if !report.passed() {
+        eprintln!("SCALING GATE FAILED:");
+        for f in &report.failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "scaling gate passed: radix retention {:.3} at {} cores \
+         (bonsai {:.3}, linux {:.3}), {:.3} remote lines/op",
+        report.radix_retention,
+        report.max_cores,
+        report.bonsai_retention,
+        report.linux_retention,
+        report.radix_remote_per_op
+    );
+}

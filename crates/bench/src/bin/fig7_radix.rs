@@ -102,12 +102,11 @@ fn run(readers: usize, writers: usize, dur: u64) -> Point {
             }
         },
     );
-    let rel = std::sync::atomic::Ordering::Relaxed;
     Point {
         tput: point.units as f64 * 1e9 / point.virt_ns as f64,
-        hint_hits: tree.stats().hint_hits.load(rel),
-        hint_misses: tree.stats().hint_misses.load(rel),
-        guard_spills: tree.stats().guard_spills.load(rel),
+        hint_hits: tree.stats().hint_hits(),
+        hint_misses: tree.stats().hint_misses(),
+        guard_spills: tree.stats().guard_spills(),
     }
 }
 

@@ -83,14 +83,8 @@ pub fn tree_fault_point(leaf_hints: bool, iters: u64) -> FastpathPoint {
         );
         *g.page_value_mut().expect("mapped") += 1;
     }
-    let hits0 = tree
-        .stats()
-        .hint_hits
-        .load(std::sync::atomic::Ordering::Relaxed);
-    let misses0 = tree
-        .stats()
-        .hint_misses
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let hits0 = tree.stats().hint_hits();
+    let misses0 = tree.stats().hint_misses();
     let allocs0 = sim::stats().cores[0].heap_allocs;
     let t0 = sim::clock(0);
     for i in 0..iters {
@@ -102,16 +96,8 @@ pub fn tree_fault_point(leaf_hints: bool, iters: u64) -> FastpathPoint {
     let stats = guard.finish();
     let point = FastpathPoint {
         virt_ns_per_fault: (t1 - t0) as f64 / iters as f64,
-        hint_hits: tree
-            .stats()
-            .hint_hits
-            .load(std::sync::atomic::Ordering::Relaxed)
-            - hits0,
-        hint_misses: tree
-            .stats()
-            .hint_misses
-            .load(std::sync::atomic::Ordering::Relaxed)
-            - misses0,
+        hint_hits: tree.stats().hint_hits() - hits0,
+        hint_misses: tree.stats().hint_misses() - misses0,
         heap_allocs: stats.cores[0].heap_allocs - allocs0,
     };
     drop(tree);

@@ -24,6 +24,7 @@ use rvm_sync::{sim, CostModel, SimStats};
 
 pub mod fastpath;
 pub mod layouts;
+pub mod scale;
 pub mod workloads;
 
 // The VM systems under test live behind the backend layer; the harness

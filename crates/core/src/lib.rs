@@ -169,11 +169,8 @@ mod tests {
         vm.mmap(0, aligned, 512 * PAGE_SIZE, Prot::RW, Backing::Anon)
             .unwrap();
         let ts = vm.tree_stats();
-        assert_eq!(ts.leaf_nodes.load(std::sync::atomic::Ordering::Relaxed), 0);
-        assert_eq!(
-            ts.folded_values.load(std::sync::atomic::Ordering::Relaxed),
-            1
-        );
+        assert_eq!(ts.leaf_nodes(), 0);
+        assert_eq!(ts.folded_values(), 1);
     }
 
     #[test]

@@ -22,12 +22,12 @@
 //! refault) and `fork` with copy-on-write anonymous memory, both built on
 //! the same range-locking plan.
 
-use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
 use std::sync::Arc;
 
 use rvm_hw::{
-    vpn_of, AccessKind, Asid, Backing, Machine, Mmu, MmuKind, PerCoreMmu, Prot, Pte, SharedMmu,
-    SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult, VmSystem, Vpn, VA_LIMIT,
+    vpn_of, AccessKind, Asid, Backing, Machine, Mmu, MmuKind, PerCoreMmu, Prot, Pte,
+    ShardedOpStats, SharedMmu, SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult,
+    VmSystem, Vpn, VA_LIMIT,
 };
 use rvm_radix::{LockMode, RadixConfig, RadixTree, Removed, VPN_LIMIT};
 use rvm_refcache::{RcPtr, Refcache};
@@ -65,15 +65,6 @@ impl Default for RadixVmConfig {
 /// [`VmSystem`] reports through the trait's `op_stats` method.
 pub type VmOpStats = rvm_hw::OpStats;
 
-#[derive(Default)]
-struct OpStatCells {
-    mmaps: AtomicU64,
-    munmaps: AtomicU64,
-    faults_alloc: AtomicU64,
-    faults_fill: AtomicU64,
-    faults_cow: AtomicU64,
-}
-
 /// A RadixVM address space.
 pub struct RadixVm {
     machine: Arc<Machine>,
@@ -83,7 +74,9 @@ pub struct RadixVm {
     asid: Asid,
     attached: AtomicCoreSet,
     cfg: RadixVmConfig,
-    stats: OpStatCells,
+    /// Sharded per-core op counters (one padded cell per core, so the op
+    /// path never contends on a statistics line).
+    stats: ShardedOpStats,
 }
 
 impl RadixVm {
@@ -113,13 +106,13 @@ impl RadixVm {
         );
         Arc::new(RadixVm {
             asid: machine.alloc_asid(),
+            stats: ShardedOpStats::new(machine.ncores()),
             machine,
             cache,
             tree,
             mmu,
             attached: AtomicCoreSet::new(),
             cfg,
-            stats: OpStatCells::default(),
         })
     }
 
@@ -135,13 +128,7 @@ impl RadixVm {
 
     /// Operation counters.
     pub fn op_stats(&self) -> VmOpStats {
-        VmOpStats {
-            mmaps: self.stats.mmaps.load(StdOrdering::Relaxed),
-            munmaps: self.stats.munmaps.load(StdOrdering::Relaxed),
-            faults_alloc: self.stats.faults_alloc.load(StdOrdering::Relaxed),
-            faults_fill: self.stats.faults_fill.load(StdOrdering::Relaxed),
-            faults_cow: self.stats.faults_cow.load(StdOrdering::Relaxed),
-        }
+        self.stats.snapshot()
     }
 
     /// Radix-tree statistics (node counts, expansions, collapses).
@@ -278,7 +265,7 @@ impl VmSystem for RadixVm {
     ) -> VmResult<Vaddr> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
-        self.stats.mmaps.fetch_add(1, StdOrdering::Relaxed);
+        self.stats.mmap(core);
         // Anchor file offsets to the VPN so every page's metadata is
         // identical and the mapping folds (§3.2).
         let backing = match backing {
@@ -300,7 +287,7 @@ impl VmSystem for RadixVm {
     fn munmap(&self, core: usize, addr: Vaddr, len: u64) -> VmResult<()> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
-        self.stats.munmaps.fetch_add(1, StdOrdering::Relaxed);
+        self.stats.munmap(core);
         let mut guard = self
             .tree
             .lock_range(core, lo, lo + n, LockMode::ExpandFolded);
@@ -314,6 +301,9 @@ impl VmSystem for RadixVm {
             return Err(VmError::BadRange);
         }
         sim::charge_op_base();
+        // Attach tracking is read-before-write: `AtomicCoreSet::insert`
+        // tests membership first, so a warm fault's attach check is a
+        // shared read, never an exclusive store (DESIGN.md §6).
         self.attached.insert(core);
         let vpn = vpn_of(va);
         let mut guard = self
@@ -325,7 +315,7 @@ impl VmSystem for RadixVm {
         if self.mmu.kind() == MmuKind::Shared {
             let pte = self.mmu.walk(core, vpn);
             if pte.present() && (kind == AccessKind::Read || pte.writable()) {
-                self.stats.faults_fill.fetch_add(1, StdOrdering::Relaxed);
+                self.stats.fault_fill(core);
                 let tr = Translation {
                     pfn: pte.pfn(),
                     gen: self.machine.pool().generation(pte.pfn()),
@@ -343,7 +333,7 @@ impl VmSystem for RadixVm {
         }
         // Copy-on-write resolution for write faults.
         if kind == AccessKind::Write && meta.kind == PageKind::Cow {
-            self.stats.faults_cow.fetch_add(1, StdOrdering::Relaxed);
+            self.stats.fault_cow(core);
             let pool = self.machine.pool();
             let old = meta.phys.take();
             let new_pfn = pool.alloc(core);
@@ -378,11 +368,11 @@ impl VmSystem for RadixVm {
         }
         let phys = match meta.phys {
             Some(p) => {
-                self.stats.faults_fill.fetch_add(1, StdOrdering::Relaxed);
+                self.stats.fault_fill(core);
                 p
             }
             None => {
-                self.stats.faults_alloc.fetch_add(1, StdOrdering::Relaxed);
+                self.stats.fault_alloc(core);
                 let pool = self.machine.pool();
                 let pfn = pool.alloc(core);
                 let page = self.cache.alloc(1, PhysPage::new(pfn, pool.clone()));
@@ -394,7 +384,12 @@ impl VmSystem for RadixVm {
         let pfn = unsafe { phys.as_ref() }.pfn();
         // Copy-on-write pages map read-only until resolved.
         let writable = meta.prot.writable() && meta.kind != PageKind::Cow;
-        meta.coreset.insert(core);
+        // Only a core's *first* fault of the page records it: a repeat
+        // fault must not dirty the metadata's cache line (the shootdown
+        // set is read under the same slot lock, so the test is exact).
+        if !meta.coreset.contains(core) {
+            meta.coreset.insert(core);
+        }
         let tr = Translation {
             pfn,
             gen: self.machine.pool().generation(pfn),
@@ -460,6 +455,10 @@ impl VmSystem for RadixVm {
 
     fn quiesce(&self) {
         self.cache.quiesce();
+        // Refcache's epoch drain above released physical pages into the
+        // frame pool's outbound magazines; return them home so frame
+        // accounting is exact after quiesce.
+        self.machine.pool().flush_magazines();
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

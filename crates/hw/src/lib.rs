@@ -22,11 +22,11 @@
 //! resulting silent use-after-free into a detectable
 //! [`VmError::StaleTranslation`].
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use rvm_mem::{FramePool, Pfn, FRAME_SIZE};
-use rvm_sync::{sim, CachePadded, CoreSet, SpinLock};
+use rvm_sync::{sim, CachePadded, CoreSet, ShardedStats, SpinLock};
 
 pub mod mmu;
 pub mod pagetable;
@@ -202,6 +202,74 @@ pub struct OpStats {
     pub faults_cow: u64,
 }
 
+/// Per-core sharded operation counters for [`VmSystem::op_stats`].
+///
+/// Every backend embeds one and bumps it on each operation with the
+/// operating core's id: the bump lands in that core's cache-line-padded
+/// cell, so counting costs no cross-core traffic even when every core
+/// runs the op loop flat out (sum-on-read; DESIGN.md §6). Totals are
+/// exact once the address space is idle — the conformance suite asserts
+/// no count is ever lost.
+pub struct ShardedOpStats {
+    cells: ShardedStats<5>,
+}
+
+impl ShardedOpStats {
+    const F_MMAPS: usize = 0;
+    const F_MUNMAPS: usize = 1;
+    const F_FAULTS_ALLOC: usize = 2;
+    const F_FAULTS_FILL: usize = 3;
+    const F_FAULTS_COW: usize = 4;
+
+    /// Creates a block striped for `ncores` cores.
+    pub fn new(ncores: usize) -> Self {
+        ShardedOpStats {
+            cells: ShardedStats::new(ncores),
+        }
+    }
+
+    /// Counts one mmap by `core`.
+    #[inline]
+    pub fn mmap(&self, core: usize) {
+        self.cells.add(core, Self::F_MMAPS, 1);
+    }
+
+    /// Counts one munmap by `core`.
+    #[inline]
+    pub fn munmap(&self, core: usize) {
+        self.cells.add(core, Self::F_MUNMAPS, 1);
+    }
+
+    /// Counts one page-allocating fault by `core`.
+    #[inline]
+    pub fn fault_alloc(&self, core: usize) {
+        self.cells.add(core, Self::F_FAULTS_ALLOC, 1);
+    }
+
+    /// Counts one fill-only fault by `core`.
+    #[inline]
+    pub fn fault_fill(&self, core: usize) {
+        self.cells.add(core, Self::F_FAULTS_FILL, 1);
+    }
+
+    /// Counts one copy-on-write resolution by `core`.
+    #[inline]
+    pub fn fault_cow(&self, core: usize) {
+        self.cells.add(core, Self::F_FAULTS_COW, 1);
+    }
+
+    /// Sums the cells into an [`OpStats`] snapshot.
+    pub fn snapshot(&self) -> OpStats {
+        OpStats {
+            mmaps: self.cells.sum(Self::F_MMAPS),
+            munmaps: self.cells.sum(Self::F_MUNMAPS),
+            faults_alloc: self.cells.sum(Self::F_FAULTS_ALLOC),
+            faults_fill: self.cells.sum(Self::F_FAULTS_FILL),
+            faults_cow: self.cells.sum(Self::F_FAULTS_COW),
+        }
+    }
+}
+
 /// A virtual memory system managing one address space.
 ///
 /// Implemented by `rvm_core::RadixVm` and the baselines; constructed
@@ -316,15 +384,13 @@ pub struct MachineStats {
     pub stale_detected: u64,
 }
 
-#[derive(Default)]
-struct MachineStatCells {
-    tlb_hits: AtomicU64,
-    tlb_misses: AtomicU64,
-    shootdown_rounds: AtomicU64,
-    shootdown_ipis: AtomicU64,
-    shootdowns_suppressed: AtomicU64,
-    stale_detected: AtomicU64,
-}
+/// Field indices into the machine's sharded stats block.
+const F_TLB_HITS: usize = 0;
+const F_TLB_MISSES: usize = 1;
+const F_SHOOTDOWN_ROUNDS: usize = 2;
+const F_SHOOTDOWN_IPIS: usize = 3;
+const F_SHOOTDOWNS_SUPPRESSED: usize = 4;
+const F_STALE_DETECTED: usize = 5;
 
 /// Bound on fault-retry iterations in [`Machine::access`] before the
 /// machine declares a livelock (indicates a VM-system bug).
@@ -336,7 +402,10 @@ pub struct Machine {
     pool: Arc<FramePool>,
     tlbs: Vec<CachePadded<SpinLock<Tlb>>>,
     next_asid: AtomicU32,
-    stats: MachineStatCells,
+    /// Event counters sharded per core: the access path bumps TLB
+    /// hit/miss counts on *every* user memory access, so these must never
+    /// share a cache line across cores (sum-on-read; DESIGN.md §6).
+    stats: ShardedStats<6>,
 }
 
 impl Machine {
@@ -353,11 +422,11 @@ impl Machine {
             .map(|_| CachePadded::new(SpinLock::new(Tlb::new(cfg.tlb_entries))))
             .collect();
         Arc::new(Machine {
+            stats: ShardedStats::new(cfg.ncores),
             cfg,
             pool,
             tlbs,
             next_asid: AtomicU32::new(1),
-            stats: MachineStatCells::default(),
         })
     }
 
@@ -384,12 +453,12 @@ impl Machine {
     /// Snapshot of machine counters.
     pub fn stats(&self) -> MachineStats {
         MachineStats {
-            tlb_hits: self.stats.tlb_hits.load(Ordering::Relaxed),
-            tlb_misses: self.stats.tlb_misses.load(Ordering::Relaxed),
-            shootdown_rounds: self.stats.shootdown_rounds.load(Ordering::Relaxed),
-            shootdown_ipis: self.stats.shootdown_ipis.load(Ordering::Relaxed),
-            shootdowns_suppressed: self.stats.shootdowns_suppressed.load(Ordering::Relaxed),
-            stale_detected: self.stats.stale_detected.load(Ordering::Relaxed),
+            tlb_hits: self.stats.sum(F_TLB_HITS),
+            tlb_misses: self.stats.sum(F_TLB_MISSES),
+            shootdown_rounds: self.stats.sum(F_SHOOTDOWN_ROUNDS),
+            shootdown_ipis: self.stats.sum(F_SHOOTDOWN_IPIS),
+            shootdowns_suppressed: self.stats.sum(F_SHOOTDOWNS_SUPPRESSED),
+            stale_detected: self.stats.sum(F_STALE_DETECTED),
         }
     }
 
@@ -437,17 +506,17 @@ impl Machine {
                             // instead of repeating the report.
                             tlb.invalidate_page(asid, vpn);
                             drop(tlb);
-                            self.stats.stale_detected.fetch_add(1, Ordering::Relaxed);
+                            self.stats.add(core, F_STALE_DETECTED, 1);
                             return Err(VmError::StaleTranslation);
                         }
-                        self.stats.tlb_hits.fetch_add(1, Ordering::Relaxed);
+                        self.stats.add(core, F_TLB_HITS, 1);
                         return Ok(f(&self.pool, e.pfn, offset));
                     }
                     // Write through a read-only entry: fall through to a
                     // fault (the VM may upgrade, e.g. copy-on-write).
                 }
             }
-            self.stats.tlb_misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.add(core, F_TLB_MISSES, 1);
             let tr = vm.pagefault(core, va, kind)?;
             // Complete the access through the translation the fault
             // handler produced, even if a concurrent munmap has already
@@ -517,18 +586,16 @@ impl Machine {
         }
         if !self.cfg.shootdown_enabled {
             self.stats
-                .shootdowns_suppressed
-                .fetch_add(remote.len() as u64, Ordering::Relaxed);
+                .add(sender, F_SHOOTDOWNS_SUPPRESSED, remote.len() as u64);
             return 0;
         }
         sim::ipi_round(remote);
         for t in remote.iter() {
             self.tlbs[t].lock().invalidate_range(asid, start_vpn, n);
         }
-        self.stats.shootdown_rounds.fetch_add(1, Ordering::Relaxed);
+        self.stats.add(sender, F_SHOOTDOWN_ROUNDS, 1);
         self.stats
-            .shootdown_ipis
-            .fetch_add(remote.len() as u64, Ordering::Relaxed);
+            .add(sender, F_SHOOTDOWN_IPIS, remote.len() as u64);
         remote.len()
     }
 

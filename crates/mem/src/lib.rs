@@ -26,7 +26,7 @@
 
 use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, Ordering};
 
-use rvm_sync::{sim, CachePadded, SpinLock};
+use rvm_sync::{sim, CachePadded, ShardedStats, SpinLock};
 
 /// Size of a physical frame / virtual page in bytes.
 pub const FRAME_SIZE: usize = 4096;
@@ -67,24 +67,41 @@ pub struct PoolStats {
     pub fresh: u64,
     /// Allocations served from a free list.
     pub reused: u64,
-    /// Frees pushed to a remote (home) core's list.
+    /// Frees destined for a remote home core (batched via magazines).
     pub remote_frees: u64,
     /// Frees pushed to the local core's list.
     pub local_frees: u64,
+    /// Outbound-magazine flushes (each returns a whole batch of remote
+    /// frees to their home lists).
+    pub magazine_flushes: u64,
 }
 
-#[derive(Default)]
-struct StatCells {
-    fresh: AtomicU64,
-    reused: AtomicU64,
-    remote_frees: AtomicU64,
-    local_frees: AtomicU64,
-}
+/// Field indices into the sharded stats block.
+const F_FRESH: usize = 0;
+const F_REUSED: usize = 1;
+const F_REMOTE_FREES: usize = 2;
+const F_LOCAL_FREES: usize = 3;
+const F_MAG_FLUSHES: usize = 4;
+
+/// Remote frees a core accumulates before flushing its outbound magazine
+/// to the home cores' lists. Large enough to amortize the home list's
+/// cache-line transfer across a batch, small enough that parked frames
+/// are a negligible slice of the pool.
+pub const MAGAZINE_SIZE: usize = 64;
+
+/// One core's outbound magazine: remote frees tagged with their home.
+type Magazine = Vec<(u16, Pfn)>;
 
 /// The machine-wide physical frame pool.
 pub struct FramePool {
     ncores: usize,
     free_lists: Vec<CachePadded<SpinLock<Vec<Pfn>>>>,
+    /// Per-core outbound magazines: remote frees park here (tagged with
+    /// their home core) and return home in batches, so a stream of
+    /// remote frees costs one home-list cache-line transfer per
+    /// [`MAGAZINE_SIZE`] pages instead of one per page (§5.3's
+    /// "synchronization to return freed pages to their home nodes").
+    magazines: Vec<CachePadded<SpinLock<Magazine>>>,
     /// Chunk pointer table: `chunk_ptrs[i]` points at a leaked
     /// `[FrameMeta; CHUNK_FRAMES]` slice, published with `Release` after
     /// initialization and reclaimed in `Drop`.
@@ -95,7 +112,8 @@ pub struct FramePool {
     /// modeled kernel state): a real kernel's frame table is statically
     /// sized, so this counter is deliberately uninstrumented.
     nframes: AtomicU64,
-    stats: StatCells,
+    /// Counters sharded per core (sum-on-read; DESIGN.md §6).
+    stats: ShardedStats<5>,
 }
 
 impl FramePool {
@@ -111,10 +129,13 @@ impl FramePool {
             free_lists: (0..ncores)
                 .map(|_| CachePadded::new(SpinLock::new(Vec::new())))
                 .collect(),
+            magazines: (0..ncores)
+                .map(|_| CachePadded::new(SpinLock::new(Vec::with_capacity(MAGAZINE_SIZE))))
+                .collect(),
             chunk_ptrs,
             grow_lock: SpinLock::new(()),
             nframes: AtomicU64::new(0),
-            stats: StatCells::default(),
+            stats: ShardedStats::new(ncores),
         }
     }
 
@@ -131,10 +152,11 @@ impl FramePool {
     /// Snapshot of the pool's statistics.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            fresh: self.stats.fresh.load(Ordering::Relaxed),
-            reused: self.stats.reused.load(Ordering::Relaxed),
-            remote_frees: self.stats.remote_frees.load(Ordering::Relaxed),
-            local_frees: self.stats.local_frees.load(Ordering::Relaxed),
+            fresh: self.stats.sum(F_FRESH),
+            reused: self.stats.sum(F_REUSED),
+            remote_frees: self.stats.sum(F_REMOTE_FREES),
+            local_frees: self.stats.sum(F_LOCAL_FREES),
+            magazine_flushes: self.stats.sum(F_MAG_FLUSHES),
         }
     }
 
@@ -162,7 +184,7 @@ impl FramePool {
         sim::charge_page_work();
         let reused = self.free_lists[core].lock().pop();
         if let Some(pfn) = reused {
-            self.stats.reused.fetch_add(1, Ordering::Relaxed);
+            self.stats.add(core, F_REUSED, 1);
             let meta = self.meta(pfn);
             // SAFETY: the frame was free (no mapping references it), so we
             // have exclusive access to its payload.
@@ -198,9 +220,7 @@ impl FramePool {
                 .store((n + REFILL_BATCH) as u64, Ordering::Release);
             first = n as Pfn;
         }
-        self.stats
-            .fresh
-            .fetch_add(REFILL_BATCH as u64, Ordering::Relaxed);
+        self.stats.add(core, F_FRESH, REFILL_BATCH as u64);
         // Adopt the batch: home every frame here (first touch), keep the
         // batch minus the returned frame on our own list.
         for i in 0..REFILL_BATCH {
@@ -217,18 +237,75 @@ impl FramePool {
         first
     }
 
-    /// Frees `pfn` from `core`, returning it to its home core's list and
-    /// bumping its generation so stale translations become detectable.
+    /// Frees `pfn` from `core`, bumping its generation so stale
+    /// translations become detectable.
+    ///
+    /// A frame homed on `core` goes straight back to the core's own list
+    /// (core-local). A remote-homed frame parks in `core`'s outbound
+    /// magazine and returns home when the magazine fills (or at
+    /// [`FramePool::flush_magazines`]); the generation was already bumped
+    /// and the caller has already completed any required TLB shootdown,
+    /// so parking only delays *reuse*, never safety (DESIGN.md §6).
     pub fn free(&self, core: usize, pfn: Pfn) {
         let meta = self.meta(pfn);
         meta.gen.fetch_add(1, Ordering::AcqRel);
         let home = meta.home.load(Ordering::Relaxed) as usize % self.ncores;
         if home == core {
-            self.stats.local_frees.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.stats.remote_frees.fetch_add(1, Ordering::Relaxed);
+            self.stats.add(core, F_LOCAL_FREES, 1);
+            self.free_lists[core].lock().push(pfn);
+            return;
         }
-        self.free_lists[home].lock().push(pfn);
+        self.stats.add(core, F_REMOTE_FREES, 1);
+        let mut mag = self.magazines[core].lock();
+        mag.push((home as u16, pfn));
+        if mag.len() >= MAGAZINE_SIZE {
+            self.flush_mag(core, &mut mag);
+        }
+    }
+
+    /// Drains a held magazine to the home cores' free lists: one home
+    /// list lock (one contended-line transfer) per contiguous run of
+    /// same-home frames, instead of one per page.
+    fn flush_mag(&self, core: usize, mag: &mut Magazine) {
+        if mag.is_empty() {
+            return;
+        }
+        self.stats.add(core, F_MAG_FLUSHES, 1);
+        mag.sort_unstable_by_key(|&(home, _)| home);
+        let mut i = 0;
+        while i < mag.len() {
+            let home = mag[i].0;
+            let mut j = i;
+            while j < mag.len() && mag[j].0 == home {
+                j += 1;
+            }
+            let mut list = self.free_lists[home as usize].lock();
+            for &(_, pfn) in &mag[i..j] {
+                list.push(pfn);
+            }
+            i = j;
+        }
+        mag.clear();
+    }
+
+    /// Flushes `core`'s outbound magazine, making its parked remote
+    /// frees allocatable on their home cores.
+    pub fn flush_magazine(&self, core: usize) {
+        let mut mag = self.magazines[core].lock();
+        self.flush_mag(core, &mut mag);
+    }
+
+    /// Flushes every core's outbound magazine (quiesce / orderly
+    /// shutdown; frame accounting is exact afterwards).
+    pub fn flush_magazines(&self) {
+        for core in 0..self.ncores {
+            self.flush_magazine(core);
+        }
+    }
+
+    /// Frames currently parked in `core`'s outbound magazine (tests).
+    pub fn magazine_len(&self, core: usize) -> usize {
+        self.magazines[core].lock().len()
     }
 
     /// Current generation of `pfn`.
@@ -362,13 +439,88 @@ mod tests {
     fn home_return() {
         let pool = FramePool::new(2);
         let f = pool.alloc(0);
-        // Freed on core 1 → returns to core 0's list.
+        // Freed on core 1 → parks in core 1's outbound magazine.
         pool.free(1, f);
         assert_eq!(pool.stats().remote_frees, 1);
+        assert_eq!(pool.magazine_len(1), 1);
         let g = pool.alloc(1);
         assert_ne!(g, f, "core 1 must not see core 0's frame");
+        // Once the magazine flushes, the home core reuses the frame.
+        pool.flush_magazine(1);
+        assert_eq!(pool.magazine_len(1), 0);
         let h = pool.alloc(0);
-        assert_eq!(h, f, "home core reuses the frame");
+        assert_eq!(h, f, "home core reuses the frame after flush");
+    }
+
+    #[test]
+    fn magazine_flushes_at_capacity() {
+        let pool = FramePool::new(2);
+        let frames: Vec<Pfn> = (0..MAGAZINE_SIZE).map(|_| pool.alloc(0)).collect();
+        // Remote-free one short of the magazine size: everything parks.
+        for &f in &frames[..MAGAZINE_SIZE - 1] {
+            pool.free(1, f);
+        }
+        assert_eq!(pool.magazine_len(1), MAGAZINE_SIZE - 1);
+        assert_eq!(pool.stats().magazine_flushes, 0);
+        // The filling free flushes the whole batch home.
+        pool.free(1, frames[MAGAZINE_SIZE - 1]);
+        assert_eq!(pool.magazine_len(1), 0);
+        assert_eq!(pool.stats().magazine_flushes, 1);
+        assert_eq!(pool.stats().remote_frees, MAGAZINE_SIZE as u64);
+        // All frames are allocatable on the home core again.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..MAGAZINE_SIZE {
+            seen.insert(pool.alloc(0));
+        }
+        for f in frames {
+            assert!(seen.contains(&f), "frame {f} not reusable after flush");
+        }
+    }
+
+    #[test]
+    fn magazine_flush_groups_multiple_homes() {
+        let pool = FramePool::new(4);
+        // Frames homed on cores 1, 2, 3 all freed from core 0.
+        let mut by_home = Vec::new();
+        for home in 1..4usize {
+            let f = pool.alloc(home);
+            by_home.push((home, f));
+        }
+        for &(_, f) in &by_home {
+            pool.free(0, f);
+        }
+        assert_eq!(pool.magazine_len(0), 3);
+        pool.flush_magazine(0);
+        for (home, f) in by_home {
+            assert_eq!(pool.alloc(home), f, "home {home} got its frame back");
+        }
+    }
+
+    #[test]
+    fn remote_free_line_traffic_is_batched() {
+        // The simulator story: a stream of remote frees from one core
+        // costs one home-list transfer per magazine, not one per page.
+        let guard = rvm_sync::sim::install(2, rvm_sync::CostModel::default());
+        let pool = FramePool::new(2);
+        rvm_sync::sim::switch(0);
+        let frames: Vec<Pfn> = (0..(2 * MAGAZINE_SIZE)).map(|_| pool.alloc(0)).collect();
+        // Warm core 1's magazine structures with one full cycle.
+        rvm_sync::sim::switch(1);
+        for &f in &frames[..MAGAZINE_SIZE] {
+            pool.free(1, f);
+        }
+        let before = rvm_sync::sim::stats();
+        for &f in &frames[MAGAZINE_SIZE..] {
+            pool.free(1, f);
+        }
+        let after = rvm_sync::sim::stats();
+        let delta = after.cores[1].remote_transfers - before.cores[1].remote_transfers;
+        assert!(
+            delta <= 4,
+            "one magazine of remote frees cost {delta} line transfers \
+             (must be O(1) per batch, not per page)"
+        );
+        drop(guard);
     }
 
     #[test]

@@ -93,14 +93,11 @@ mod tests {
         }
         let st = t.stats();
         assert_eq!(
-            st.leaf_nodes.load(std::sync::atomic::Ordering::Relaxed),
+            st.leaf_nodes(),
             0,
             "folded mapping must not allocate leaves"
         );
-        assert_eq!(
-            st.folded_values.load(std::sync::atomic::Ordering::Relaxed),
-            1
-        );
+        assert_eq!(st.folded_values(), 1);
         assert_eq!(t.get(0, start), Some(9));
         assert_eq!(t.get(0, start + 511), Some(9));
         assert_eq!(t.get(0, start + 512), None);
@@ -117,7 +114,7 @@ mod tests {
         }
         let st = t.stats();
         assert_eq!(
-            st.folded_values.load(std::sync::atomic::Ordering::Relaxed),
+            st.folded_values(),
             1,
             "giant aligned mapping folds into a single slot"
         );
@@ -142,8 +139,8 @@ mod tests {
         assert_eq!(t.get(0, start + 10), None);
         assert_eq!(t.get(0, start + 11), Some(5));
         let st = t.stats();
-        assert_eq!(st.leaf_nodes.load(std::sync::atomic::Ordering::Relaxed), 1);
-        assert!(st.expansions.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+        assert_eq!(st.leaf_nodes(), 1);
+        assert!(st.expansions() >= 1);
     }
 
     #[test]
@@ -257,12 +254,7 @@ mod tests {
         t.cache().quiesce();
         // Only the root should remain.
         assert_eq!(t.cache().live_objects(), 1, "empty nodes collapsed");
-        assert!(
-            t.stats()
-                .nodes_collapsed
-                .load(std::sync::atomic::Ordering::Relaxed)
-                >= 3
-        );
+        assert!(t.stats().nodes_collapsed() >= 3);
         // The tree still works after collapse.
         {
             let mut g = t.lock_range(0, 100, 110, LockMode::ExpandAll);
@@ -309,18 +301,12 @@ mod tests {
         // One flush marks the leaf dying (count reached zero)...
         t.cache().maintain(0);
         // ...but a new mmap revives it instead of re-allocating.
-        let nodes_before = t
-            .stats()
-            .leaf_nodes
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let nodes_before = t.stats().leaf_nodes();
         {
             let mut g = t.lock_range(0, 101, 102, LockMode::ExpandAll);
             g.replace(&2);
         }
-        let nodes_after = t
-            .stats()
-            .leaf_nodes
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let nodes_after = t.stats().leaf_nodes();
         assert_eq!(nodes_before, nodes_after, "node revived, not reallocated");
         t.cache().quiesce();
         assert_eq!(t.get(0, 101), Some(2));

@@ -24,13 +24,12 @@
 //! freeing CAS atomically empties the parent slot.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
 use std::sync::Arc;
 
 use rvm_refcache::weak::{DYING_BIT, LOCK_BIT, PTR_MASK, TAG_SHIFT};
 use rvm_refcache::{Managed, RcPtr, ReleaseCtx};
 use rvm_sync::atomic::Ordering;
-use rvm_sync::Atomic64;
+use rvm_sync::{Atomic64, ShardedStats};
 
 /// Bits of VPN consumed per level.
 pub const LEVEL_BITS: usize = 9;
@@ -87,30 +86,106 @@ pub fn index_at_level(vpn: u64, level: usize) -> usize {
     ((vpn >> shift) as usize) & (FANOUT - 1)
 }
 
+/// Field indices into the sharded [`TreeStats`] block.
+pub(crate) const F_INTERIOR_NODES: usize = 0;
+pub(crate) const F_LEAF_NODES: usize = 1;
+pub(crate) const F_FOLDED_VALUES: usize = 2;
+pub(crate) const F_EXPANSIONS: usize = 3;
+pub(crate) const F_LEAF_VALUES: usize = 4;
+pub(crate) const F_NODES_COLLAPSED: usize = 5;
+pub(crate) const F_HINT_HITS: usize = 6;
+pub(crate) const F_HINT_MISSES: usize = 7;
+pub(crate) const F_GUARD_SPILLS: usize = 8;
+
 /// Live-object statistics shared by a tree and its nodes.
-#[derive(Default)]
+///
+/// Every counter is sharded per core ([`ShardedStats`]): hot-path bumps
+/// (hint hits on every fault) write only the operating core's padded
+/// cell, so disjoint-range operations never contend on statistics lines.
+/// Readers sum the cells — a monotonic total, not a snapshot (DESIGN.md
+/// §6); live counts (nodes, values) are exact whenever writers are
+/// quiescent, e.g. under a test's exclusive access.
 pub struct TreeStats {
+    cells: ShardedStats<9>,
+}
+
+impl TreeStats {
+    /// Creates a stats block striped for `ncores` cores.
+    pub fn new(ncores: usize) -> Self {
+        TreeStats {
+            cells: ShardedStats::new(ncores),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, core: usize, field: usize, n: u64) {
+        self.cells.add(core, field, n);
+    }
+
+    #[inline]
+    pub(crate) fn sub(&self, core: usize, field: usize, n: u64) {
+        self.cells.sub(core, field, n);
+    }
+
+    /// Bump variants for call sites with no core id in scope (node
+    /// construction and teardown — off the steady-state hot path).
+    #[inline]
+    pub(crate) fn add_here(&self, field: usize, n: u64) {
+        self.cells.add_here(field, n);
+    }
+
+    #[inline]
+    pub(crate) fn sub_here(&self, field: usize, n: u64) {
+        self.cells.sub_here(field, n);
+    }
+
     /// Live interior nodes (root included).
-    pub interior_nodes: AtomicU64,
+    pub fn interior_nodes(&self) -> u64 {
+        self.cells.sum(F_INTERIOR_NODES)
+    }
+
     /// Live leaf nodes.
-    pub leaf_nodes: AtomicU64,
+    pub fn leaf_nodes(&self) -> u64 {
+        self.cells.sum(F_LEAF_NODES)
+    }
+
     /// Live folded values.
-    pub folded_values: AtomicU64,
+    pub fn folded_values(&self) -> u64 {
+        self.cells.sum(F_FOLDED_VALUES)
+    }
+
     /// Expansions performed (folded or empty slot → child node).
-    pub expansions: AtomicU64,
+    pub fn expansions(&self) -> u64 {
+        self.cells.sum(F_EXPANSIONS)
+    }
+
     /// Values currently stored in leaf slots.
-    pub leaf_values: AtomicU64,
+    pub fn leaf_values(&self) -> u64 {
+        self.cells.sum(F_LEAF_VALUES)
+    }
+
     /// Nodes freed by Refcache collapse.
-    pub nodes_collapsed: AtomicU64,
+    pub fn nodes_collapsed(&self) -> u64 {
+        self.cells.sum(F_NODES_COLLAPSED)
+    }
+
     /// Single-page operations served by the per-core leaf hint cache
     /// (the fault fast path: no descent, no per-level pins).
-    pub hint_hits: AtomicU64,
+    pub fn hint_hits(&self) -> u64 {
+        self.cells.sum(F_HINT_HITS)
+    }
+
     /// Single-page operations that fell back to a full descent because
     /// the hint was absent, stale, or covered a different block.
-    pub hint_misses: AtomicU64,
+    pub fn hint_misses(&self) -> u64 {
+        self.cells.sum(F_HINT_MISSES)
+    }
+
     /// Range guards whose unit/pin storage spilled from its inline
     /// capacity to the heap (only large multi-block operations should).
-    pub guard_spills: AtomicU64,
+    pub fn guard_spills(&self) -> u64 {
+        self.cells.sum(F_GUARD_SPILLS)
+    }
 }
 
 /// One leaf slot: a status word (lock, present) plus inline storage.
@@ -159,7 +234,7 @@ impl<V: Send + Sync + 'static> Node<V> {
         stats: Arc<TreeStats>,
         init_word: impl Fn(usize) -> u64,
     ) -> Node<V> {
-        stats.interior_nodes.fetch_add(1, StdOrdering::Relaxed);
+        stats.add_here(F_INTERIOR_NODES, 1);
         Node {
             level,
             base_vpn,
@@ -177,12 +252,12 @@ impl<V: Send + Sync + 'static> Node<V> {
         stats: Arc<TreeStats>,
         mut init: impl FnMut(usize) -> (u64, Option<V>),
     ) -> Node<V> {
-        stats.leaf_nodes.fetch_add(1, StdOrdering::Relaxed);
+        stats.add_here(F_LEAF_NODES, 1);
         let slots: Box<[LeafSlot<V>]> = (0..FANOUT)
             .map(|i| {
                 let (status, value) = init(i);
                 if value.is_some() {
-                    stats.leaf_values.fetch_add(1, StdOrdering::Relaxed);
+                    stats.add_here(F_LEAF_VALUES, 1);
                 }
                 LeafSlot {
                     status: Atomic64::new(status),
@@ -243,9 +318,7 @@ impl<V: Send + Sync + 'static> Managed for Node<V> {
         // Freed by Refcache: all slots are empty and no traversals pin us.
         // The freeing CAS already emptied our parent's slot; surrender the
         // used-slot reference it represented.
-        self.stats
-            .nodes_collapsed
-            .fetch_add(1, StdOrdering::Relaxed);
+        self.stats.add(ctx.core, F_NODES_COLLAPSED, 1);
         if let Some((parent, _idx)) = self.parent {
             ctx.cache.dec(ctx.core, parent);
         }
@@ -256,11 +329,11 @@ impl<V: Send + Sync + 'static> Drop for Node<V> {
     fn drop(&mut self) {
         match &mut self.slots {
             Slots::Interior(slots) => {
-                self.stats.interior_nodes.fetch_sub(1, StdOrdering::Relaxed);
+                self.stats.sub_here(F_INTERIOR_NODES, 1);
                 for s in slots.iter() {
                     let w = s.load(Ordering::Acquire);
                     if slot_tag(w) == TAG_FOLDED {
-                        self.stats.folded_values.fetch_sub(1, StdOrdering::Relaxed);
+                        self.stats.sub_here(F_FOLDED_VALUES, 1);
                         // SAFETY: FOLDED slots own their boxed value; we
                         // have exclusive access in Drop.
                         unsafe { drop(Box::from_raw(slot_ptr(w) as *mut V)) };
@@ -276,14 +349,14 @@ impl<V: Send + Sync + 'static> Drop for Node<V> {
                 }
             }
             Slots::Leaf(slots) => {
-                self.stats.leaf_nodes.fetch_sub(1, StdOrdering::Relaxed);
+                self.stats.sub_here(F_LEAF_NODES, 1);
                 let mut live = 0;
                 for s in slots.iter_mut() {
                     if s.value.get_mut().take().is_some() {
                         live += 1;
                     }
                 }
-                self.stats.leaf_values.fetch_sub(live, StdOrdering::Relaxed);
+                self.stats.sub_here(F_LEAF_VALUES, live);
             }
         }
     }

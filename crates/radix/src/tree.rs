@@ -43,7 +43,6 @@
 //!   the hint's pin is surrendered at every Refcache flush so collapse is
 //!   delayed by at most one epoch. See DESIGN.md §5 for the invariants.
 
-use std::sync::atomic::Ordering as StdOrdering;
 use std::sync::Arc;
 
 use rvm_refcache::weak::LOCK_BIT;
@@ -53,8 +52,9 @@ use rvm_sync::{CachePadded, InlineVec, SpinLock};
 
 use crate::node::{
     index_at_level, lock_interior_slot, lock_leaf_slot, pack_slot, slot_ptr, slot_tag,
-    unlock_interior_slot, unlock_leaf_slot, Node, Slots, TreeStats, FANOUT, LEAF_PRESENT, LEVELS,
-    TAG_CHILD, TAG_EMPTY, TAG_FOLDED,
+    unlock_interior_slot, unlock_leaf_slot, Node, Slots, TreeStats, FANOUT, F_EXPANSIONS,
+    F_FOLDED_VALUES, F_GUARD_SPILLS, F_HINT_HITS, F_HINT_MISSES, F_LEAF_VALUES, LEAF_PRESENT,
+    LEVELS, TAG_CHILD, TAG_EMPTY, TAG_FOLDED,
 };
 
 /// Virtual page number (36 bits used).
@@ -224,7 +224,7 @@ unsafe impl<V: RadixValue> Sync for RadixTree<V> {}
 impl<V: RadixValue> RadixTree<V> {
     /// Creates an empty tree whose node lifetimes are managed by `cache`.
     pub fn new(cache: Arc<Refcache>, cfg: RadixConfig) -> Self {
-        let stats = Arc::new(TreeStats::default());
+        let stats = Arc::new(TreeStats::new(cache.ncores()));
         // The root is pinned forever with its initial count of 1.
         let root = cache.alloc(1, Node::new_interior(0, 0, None, stats.clone(), |_| 0));
         let hints = Arc::new(HintTable::new(cache.ncores()));
@@ -258,9 +258,9 @@ impl<V: RadixValue> RadixTree<V> {
     /// (Table 2 accounting).
     pub fn space_bytes(&self) -> u64 {
         let hdr = 96u64; // node header + Refcache header, rounded
-        let interior = self.stats.interior_nodes.load(StdOrdering::Relaxed);
-        let leaf = self.stats.leaf_nodes.load(StdOrdering::Relaxed);
-        let folded = self.stats.folded_values.load(StdOrdering::Relaxed);
+        let interior = self.stats.interior_nodes();
+        let leaf = self.stats.leaf_nodes();
+        let folded = self.stats.folded_values();
         let leaf_slot = 8 + std::mem::size_of::<Option<V>>() as u64;
         interior * (FANOUT as u64 * 8 + hdr)
             + leaf * (FANOUT as u64 * leaf_slot + hdr)
@@ -305,12 +305,12 @@ impl<V: RadixValue> RadixTree<V> {
                 // hint's own pin guarantees liveness until we are done.
                 self.cache.inc(core, node);
                 drop(slot);
-                self.stats.hint_hits.fetch_add(1, StdOrdering::Relaxed);
+                self.stats.add(core, F_HINT_HITS, 1);
                 return Some(node);
             }
         }
         drop(slot);
-        self.stats.hint_misses.fetch_add(1, StdOrdering::Relaxed);
+        self.stats.add(core, F_HINT_MISSES, 1);
         None
     }
 
@@ -511,14 +511,14 @@ impl<V: RadixValue> RadixTree<V> {
         let was_folded = slot_tag(locked_word) == TAG_FOLDED;
         // Take ownership of the folded template, if any.
         let template: Option<Box<V>> = if was_folded {
-            self.stats.folded_values.fetch_sub(1, StdOrdering::Relaxed);
+            self.stats.sub(core, F_FOLDED_VALUES, 1);
             // SAFETY: FOLDED slots own their boxed value; the slot lock is
             // held, so no one else can free or replace it.
             Some(unsafe { Box::from_raw(slot_ptr(locked_word) as *mut V) })
         } else {
             None
         };
-        self.stats.expansions.fetch_add(1, StdOrdering::Relaxed);
+        self.stats.add(core, F_EXPANSIONS, 1);
         let permanent = if self.cfg.collapse { 0 } else { 1 };
         let child = if child_level == LEVELS - 1 {
             let node = Node::new_leaf(
@@ -547,9 +547,7 @@ impl<V: RadixValue> RadixTree<V> {
                 },
             );
             if template.is_some() {
-                self.stats
-                    .folded_values
-                    .fetch_add(FANOUT as u64, StdOrdering::Relaxed);
+                self.stats.add(core, F_FOLDED_VALUES, FANOUT as u64);
             }
             let used = if template.is_some() { FANOUT as i64 } else { 0 };
             self.cache.alloc(used + 1 + permanent, node)
@@ -657,12 +655,12 @@ impl<V: RadixValue> RadixTree<V> {
                         .status
                         .load(Ordering::Acquire);
                     drop(slot);
-                    self.stats.hint_hits.fetch_add(1, StdOrdering::Relaxed);
+                    self.stats.add(core, F_HINT_HITS, 1);
                     return st & LEAF_PRESENT != 0;
                 }
             }
             drop(slot);
-            self.stats.hint_misses.fetch_add(1, StdOrdering::Relaxed);
+            self.stats.add(core, F_HINT_MISSES, 1);
         }
         let mut node_ptr = self.root;
         let mut pin: Option<RcPtr<Node<V>>> = None;
@@ -869,7 +867,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
                             // SAFETY: we hold the slot lock.
                             let val = unsafe { (*slot.value.get()).take() };
                             slot.status.fetch_and(!LEAF_PRESENT, Ordering::AcqRel);
-                            stats.leaf_values.fetch_sub(1, StdOrdering::Relaxed);
+                            stats.sub(core, F_LEAF_VALUES, 1);
                             cache.dec(core, *node);
                             if let Some(v) = val {
                                 out.push(Removed::Page(n.base_vpn + idx as u64, v));
@@ -886,7 +884,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
                         // SAFETY: lock held; FOLDED slot owns the box.
                         let boxed = unsafe { Box::from_raw(slot_ptr(w) as *mut V) };
                         slot.store(LOCK_BIT, Ordering::Release);
-                        stats.folded_values.fetch_sub(1, StdOrdering::Relaxed);
+                        stats.sub(core, F_FOLDED_VALUES, 1);
                         cache.dec(core, *node);
                         out.push(Removed::Block {
                             start: n.base_vpn + *idx as u64 * n.slot_span(),
@@ -935,7 +933,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
                             // SAFETY: we hold the slot lock.
                             unsafe { *slot.value.get() = Some(value.clone()) };
                             slot.status.fetch_or(LEAF_PRESENT, Ordering::AcqRel);
-                            stats.leaf_values.fetch_add(1, StdOrdering::Relaxed);
+                            stats.add(core, F_LEAF_VALUES, 1);
                             cache.inc(core, *node);
                         }
                     }
@@ -964,7 +962,7 @@ impl<V: RadixValue> RangeGuard<'_, V> {
                             pack_slot(Box::into_raw(boxed) as usize, TAG_FOLDED) | LOCK_BIT,
                             Ordering::Release,
                         );
-                        stats.folded_values.fetch_add(1, StdOrdering::Relaxed);
+                        stats.add(core, F_FOLDED_VALUES, 1);
                         cache.inc(core, *node);
                     }
                 }
@@ -1096,10 +1094,7 @@ impl<V: RadixValue> Drop for RangeGuard<'_, V> {
             self.tree.cache.dec(self.core, *pin);
         }
         if self.units.spilled() || self.pins.spilled() {
-            self.tree
-                .stats
-                .guard_spills
-                .fetch_add(1, StdOrdering::Relaxed);
+            self.tree.stats.add(self.core, F_GUARD_SPILLS, 1);
         }
     }
 }

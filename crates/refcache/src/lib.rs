@@ -44,7 +44,7 @@ use std::collections::VecDeque;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use rvm_sync::{sim, Atomic64, CachePadded, Mutex, RwLock, SpinLock};
+use rvm_sync::{sim, Atomic64, CachePadded, Mutex, RwLock, ShardedStats, SpinLock};
 
 pub mod counters;
 pub mod obj;
@@ -110,15 +110,13 @@ pub struct RefcacheStats {
     pub epoch: u64,
 }
 
-#[derive(Default)]
-struct StatCells {
-    allocs: AtomicU64,
-    frees: AtomicU64,
-    conflicts: AtomicU64,
-    flushes: AtomicU64,
-    dirty_zeros: AtomicU64,
-    revivals: AtomicU64,
-}
+/// Field indices into the sharded stats block.
+const F_ALLOCS: usize = 0;
+const F_FREES: usize = 1;
+const F_CONFLICTS: usize = 2;
+const F_FLUSHES: usize = 3;
+const F_DIRTY_ZEROS: usize = 4;
+const F_REVIVALS: usize = 5;
 
 /// A callback invoked at the start of every [`Refcache::flush`], before
 /// any delta is applied. Data structures use flush hooks to surrender
@@ -145,7 +143,9 @@ pub struct Refcache {
     /// simulator-instrumented, so the common no-hook case stays free).
     hook_count: AtomicU64,
     next_hook_id: AtomicU64,
-    stats: StatCells,
+    /// Counters sharded per core: `alloc`/`dec`-rate events bump only the
+    /// operating core's padded cell (sum-on-read; DESIGN.md §6).
+    stats: ShardedStats<6>,
 }
 
 impl Refcache {
@@ -176,7 +176,7 @@ impl Refcache {
             hooks: RwLock::new(Vec::new()),
             hook_count: AtomicU64::new(0),
             next_hook_id: AtomicU64::new(1),
-            stats: StatCells::default(),
+            stats: ShardedStats::new(ncores),
         }
     }
 
@@ -193,19 +193,24 @@ impl Refcache {
     /// Snapshot of the cache's counters.
     pub fn stats(&self) -> RefcacheStats {
         RefcacheStats {
-            allocs: self.stats.allocs.load(Ordering::Relaxed),
-            frees: self.stats.frees.load(Ordering::Relaxed),
-            conflicts: self.stats.conflicts.load(Ordering::Relaxed),
-            flushes: self.stats.flushes.load(Ordering::Relaxed),
-            dirty_zeros: self.stats.dirty_zeros.load(Ordering::Relaxed),
-            revivals: self.stats.revivals.load(Ordering::Relaxed),
+            allocs: self.stats.sum(F_ALLOCS),
+            frees: self.stats.sum(F_FREES),
+            conflicts: self.stats.sum(F_CONFLICTS),
+            flushes: self.stats.sum(F_FLUSHES),
+            dirty_zeros: self.stats.sum(F_DIRTY_ZEROS),
+            revivals: self.stats.sum(F_REVIVALS),
             epoch: self.epoch(),
         }
     }
 
     /// Number of live managed objects (allocated minus freed).
     pub fn live_objects(&self) -> u64 {
-        self.stats.allocs.load(Ordering::Relaxed) - self.stats.frees.load(Ordering::Relaxed)
+        // Wrapping: a reader racing writers can observe a free before the
+        // matching alloc (sharded sums are not snapshots, DESIGN.md §6);
+        // the value is exact at quiescence.
+        self.stats
+            .sum(F_ALLOCS)
+            .wrapping_sub(self.stats.sum(F_FREES))
     }
 
     /// Registers a [`FlushHook`] invoked at the start of every flush.
@@ -247,7 +252,7 @@ impl Refcache {
             },
             obj,
         });
-        self.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_here(F_ALLOCS, 1);
         let raw = Box::into_raw(boxed);
         // SAFETY: `Box::into_raw` never returns null.
         RcPtr {
@@ -275,7 +280,7 @@ impl Refcache {
             return;
         }
         if slot.obj != 0 {
-            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+            self.stats.add(core, F_CONFLICTS, 1);
             if slot.delta != 0 {
                 // SAFETY: a cached delta implies the object has not been
                 // freed (see the module-level freeing-safety argument).
@@ -353,7 +358,7 @@ impl Refcache {
         }
         let mut cc = self.cores[core].lock();
         let epoch = self.epoch();
-        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.stats.add(core, F_FLUSHES, 1);
         for i in 0..cc.slots.len() {
             let slot = cc.slots[i];
             if slot.obj != 0 {
@@ -400,6 +405,7 @@ impl Refcache {
                 let mut st = hdr.state.lock();
                 if st.refcnt != 0 {
                     // Came back to life; clear review state and dying.
+                    self.stats.add(core, F_REVIVALS, 1);
                     st.on_review = false;
                     st.dirty = false;
                     let weak = hdr.weak.load(Ordering::Acquire);
@@ -430,7 +436,7 @@ impl Refcache {
                 } else {
                     // Dirty zero or lost the race with a revive/lock:
                     // examine again two epochs from now.
-                    self.stats.dirty_zeros.fetch_add(1, Ordering::Relaxed);
+                    self.stats.add(core, F_DIRTY_ZEROS, 1);
                     st.dirty = false;
                     if weak != 0 {
                         // SAFETY: weak word outlives the object.
@@ -445,7 +451,7 @@ impl Refcache {
         // re-enter the cache (e.g. dec of a parent node).
         let ctx = ReleaseCtx { cache: self, core };
         for obj in to_free {
-            self.stats.frees.fetch_add(1, Ordering::Relaxed);
+            self.stats.add(core, F_FREES, 1);
             let hdr = obj.as_ptr();
             // SAFETY: review confirmed a clean true zero and cleared the
             // weak reference, so this is the sole owner; `drop_fn` matches
@@ -554,7 +560,7 @@ impl Refcache {
     /// [`Refcache::quiesce`] first), no review-queue entries, and no weak
     /// reference uses can occur afterwards.
     pub unsafe fn free_untracked<T>(&self, obj: RcPtr<T>) {
-        self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_here(F_FREES, 1);
         drop(Box::from_raw(obj.raw.as_ptr()));
     }
 

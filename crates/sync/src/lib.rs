@@ -32,6 +32,7 @@ pub mod inline_vec;
 pub mod lock;
 pub mod model;
 pub mod pad;
+pub mod shard;
 pub mod sim;
 
 pub use atomic::{Atomic64, AtomicPtr64};
@@ -39,6 +40,7 @@ pub use inline_vec::InlineVec;
 pub use lock::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, SpinLock};
 pub use model::CostModel;
 pub use pad::CachePadded;
+pub use shard::{ShardedCounter, ShardedStats};
 pub use sim::{SimGuard, SimStats};
 
 /// Maximum number of simulated cores supported by bitmask-based core sets.

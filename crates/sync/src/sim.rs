@@ -49,6 +49,9 @@ struct Line {
     /// Virtual time until which the line's home node is busy serving a
     /// transfer; transfers queue behind this.
     busy_until: u64,
+    /// Remote transfers served by this line (diagnostics; see
+    /// [`top_remote_lines`]).
+    transfers: u64,
 }
 
 /// Virtual-time state of one lock (mutex or rwlock).
@@ -191,6 +194,7 @@ impl SimCtx {
             owner: NO_OWNER,
             sharers: 0,
             busy_until: 0,
+            transfers: 0,
         })
     }
 
@@ -219,12 +223,14 @@ impl SimCtx {
             line.busy_until = start + m_service;
             line.sharers |= bit;
             line.owner = NO_OWNER;
+            line.transfers += 1;
             self.clocks[c] = start + m_remote;
             self.stats[c].remote_transfers += 1;
         } else {
             // Shared elsewhere: fetch a copy; shared sourcing is served in
             // parallel (no home-node serialization).
             line.sharers |= bit;
+            line.transfers += 1;
             self.clocks[c] = clock + m_remote;
             self.stats[c].remote_transfers += 1;
         }
@@ -262,6 +268,7 @@ impl SimCtx {
             line.busy_until = start + m_service;
             line.owner = c as u32;
             line.sharers = bit;
+            line.transfers += 1;
             self.clocks[c] = start + cost;
             self.stats[c].remote_transfers += 1;
             self.stats[c].invalidations += others;
@@ -507,6 +514,24 @@ pub fn lock_release(addr: usize, kind: LockKind) {
 #[inline]
 pub fn ipi_round(targets: CoreSet) {
     with_ctx(|s| s.ipi_round(targets));
+}
+
+/// Returns the `n` cache lines with the most remote transfers, as
+/// `(line address, transfers)` (diagnostics: finds the shared lines that
+/// flatten a scaling curve).
+pub fn top_remote_lines(n: usize) -> Vec<(u64, u64)> {
+    with_ctx(|s| {
+        let mut v: Vec<(u64, u64)> = s
+            .lines
+            .iter()
+            .filter(|(_, l)| l.transfers > 0)
+            .map(|(addr, l)| (*addr << 6, l.transfers))
+            .collect();
+        v.sort_by_key(|x| std::cmp::Reverse(x.1));
+        v.truncate(n);
+        v
+    })
+    .unwrap_or_default()
 }
 
 /// Returns the `n` locks with the largest accumulated wait (diagnostics).

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_fastpath.json, the fault-fast-path perf record:
-# virtual-time cost of repeated same-block single-page faults (leaf
-# hints on vs off), the hint hit rate, and a wall-clock 1-core
-# fault-fill loop. Run from the repository root; commit the refreshed
-# file so successive PRs have a perf trajectory to compare against.
+# Regenerates the checked-in perf records so successive PRs have a
+# trajectory to compare against:
+#
+#   BENCH_fastpath.json — single-core fault fast path: virtual-time cost
+#     of repeated same-block single-page faults (leaf hints on vs off),
+#     hint hit rate, and a wall-clock 1-core fault-fill loop.
+#   BENCH_scale.json    — multicore disjoint-ops sweep (Fig. 7): ops/sec
+#     and per-core retention for every backend on 1..16 simulated cores,
+#     remote cache-line transfers and shootdown IPIs per op, plus the
+#     scaling-gate verdict (bench_scale exits non-zero on regression).
+#
+# Run from the repository root; commit the refreshed files.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release -p rvm_bench --bin bench_fastpath > BENCH_fastpath.json
 echo "wrote $(pwd)/BENCH_fastpath.json:" >&2
 cat BENCH_fastpath.json
+
+cargo run --release -p rvm_bench --bin bench_scale > BENCH_scale.json
+echo "wrote $(pwd)/BENCH_scale.json:" >&2
+cat BENCH_scale.json

@@ -193,6 +193,57 @@ fn names_and_metadata_consistent() {
 }
 
 #[test]
+fn op_stats_exact_under_concurrent_disjoint_ops() {
+    // Operation counters are sharded per core (one padded cell each);
+    // this is the lost-update check: four cores hammering disjoint
+    // ranges in parallel must produce *exact* totals — a counter that
+    // dropped or double-counted a relaxed increment would show here.
+    const THREADS: u64 = 4;
+    const ITERS: u64 = 50;
+    const PAGES: u64 = 4;
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(THREADS as usize);
+        let vm = build(&machine, kind);
+        for c in 0..THREADS as usize {
+            vm.attach_core(c);
+        }
+        let mut handles = Vec::new();
+        for core in 0..THREADS as usize {
+            let machine = machine.clone();
+            let vm = vm.clone();
+            handles.push(std::thread::spawn(move || {
+                let base = BASE + core as u64 * (1 << 30);
+                for _ in 0..ITERS {
+                    vm.mmap(core, base, PAGES * PAGE_SIZE, Prot::RW, Backing::Anon)
+                        .unwrap();
+                    for p in 0..PAGES {
+                        machine
+                            .write_u64(core, &*vm, base + p * PAGE_SIZE, p)
+                            .unwrap();
+                    }
+                    vm.munmap(core, base, PAGES * PAGE_SIZE).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = vm.op_stats();
+        assert_eq!(st.mmaps, THREADS * ITERS, "{kind}: lost mmap counts");
+        assert_eq!(st.munmaps, THREADS * ITERS, "{kind}: lost munmap counts");
+        // Disjoint ranges: every touch of a freshly mapped page is
+        // exactly one fault (no install races, no retries).
+        assert_eq!(
+            st.faults_alloc + st.faults_fill + st.faults_cow,
+            THREADS * ITERS * PAGES,
+            "{kind}: lost fault counts"
+        );
+        assert_eq!(st.faults_cow, 0, "{kind}: spurious CoW faults");
+        vm.quiesce();
+    }
+}
+
+#[test]
 fn frames_return_to_pool_after_unmap() {
     // After a full map/touch/unmap cycle and quiesce, every allocated
     // frame is back in the pool — no backend leaks physical memory.
