@@ -162,6 +162,7 @@ impl VmSystem for ToyVm {
                 vpn,
                 pfn: tr.pfn,
                 gen: tr.gen,
+                span: 1,
                 writable: tr.writable,
                 valid: true,
             },

@@ -398,6 +398,7 @@ impl VmSystem for BonsaiVm {
                 vpn,
                 pfn: tr.pfn,
                 gen: tr.gen,
+                span: 1,
                 writable: tr.writable,
                 valid: true,
             },

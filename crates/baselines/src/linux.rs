@@ -56,7 +56,10 @@ impl LinuxVm {
     fn unmap_pages(&self, core: usize, lo: Vpn, n: u64) {
         let pool = self.machine.pool();
         let mut freed = Vec::new();
-        self.mmu.table().clear_range(lo, n, |_vpn, pte| {
+        self.mmu.table().clear_range(lo, n, |_vpn, pages, pte| {
+            // This backend installs only 4 KiB PTEs; the span-reporting
+            // callback keeps the frame release exact if that changes.
+            debug_assert_eq!(pages, 1);
             freed.push(pte.pfn());
         });
         if freed.is_empty() {
@@ -185,6 +188,7 @@ impl VmSystem for LinuxVm {
                 vpn,
                 pfn: tr.pfn,
                 gen: tr.gen,
+                span: 1,
                 writable: tr.writable,
                 valid: true,
             },

@@ -1,0 +1,97 @@
+//! Emits the huge-mapping (superpage) record (`BENCH_huge.json`) to
+//! stdout and enforces the variable-granularity gate.
+//!
+//! Every backend populates an aligned multi-block anonymous mapping
+//! twice — with and without the `MapFlags::HUGE` hint — on the
+//! deterministic simulator. The record keeps, per backend and mode,
+//! faults-to-populate, superpage installs/demotions, index and
+//! page-table bytes, and populate throughput. The gate (hinted RadixVM
+//! takes ≥ 8× fewer faults and strictly less index memory than its own
+//! 4 KiB path, and actually installs superpages) exits non-zero on
+//! regression, so the CI smoke step fails loudly.
+//!
+//! Usage: `cargo run --release -p rvm_bench --bin bench_huge [--quick]`
+//! (or `scripts/bench_record.sh`, which redirects into the checked-in
+//! JSON).
+
+use rvm_bench::huge::{check_gate, huge_blocks, populate_point, HugePoint, HUGE_FAULT_RATIO_FLOOR};
+use rvm_bench::BackendKind;
+
+fn print_point(p: &HugePoint, last: bool) {
+    let mode = if p.hinted { "huge" } else { "4k" };
+    println!(
+        "      {{\"mode\": \"{mode}\", \"faults\": {}, \"superpage_installs\": {}, \
+         \"superpage_demotions\": {}, \"index_bytes\": {}, \"pagetable_bytes\": {}, \
+         \"pages_per_sec\": {:.0}}}{}",
+        p.faults,
+        p.superpage_installs,
+        p.superpage_demotions,
+        p.index_bytes,
+        p.pagetable_bytes,
+        p.pages_per_sec(),
+        if last { "" } else { "," }
+    );
+}
+
+fn main() {
+    let blocks = huge_blocks();
+    let mut sweeps: Vec<(BackendKind, HugePoint, HugePoint)> = Vec::new();
+    for kind in BackendKind::ALL {
+        eprintln!("populating {blocks} blocks on {kind} (huge + 4k)...");
+        let huge = populate_point(kind, true, blocks);
+        let four_k = populate_point(kind, false, blocks);
+        eprintln!(
+            "  {kind:>20}: huge {} faults / {} idx B, 4k {} faults / {} idx B",
+            huge.faults, huge.index_bytes, four_k.faults, four_k.index_bytes
+        );
+        sweeps.push((kind, huge, four_k));
+    }
+    let radix = sweeps
+        .iter()
+        .find(|(k, _, _)| *k == BackendKind::Radix)
+        .unwrap();
+    let report = check_gate(&radix.1, &radix.2);
+
+    println!("{{");
+    println!("  \"schema\": 1,");
+    println!("  \"bench\": \"huge\",");
+    println!(
+        "  \"workload\": \"populate {blocks} aligned 2 MiB anonymous blocks, huge hint vs 4 KiB\","
+    );
+    println!("  \"blocks\": {blocks},");
+    println!("  \"backends\": {{");
+    for (i, (kind, huge, four_k)) in sweeps.iter().enumerate() {
+        println!("    \"{}\": [", kind.name());
+        print_point(huge, false);
+        print_point(four_k, true);
+        println!("    ]{}", if i + 1 == sweeps.len() { "" } else { "," });
+    }
+    println!("  }},");
+    println!("  \"gate\": {{");
+    println!("    \"fault_ratio_floor\": {HUGE_FAULT_RATIO_FLOOR},");
+    println!("    \"fault_ratio\": {:.1},", report.fault_ratio);
+    println!("    \"faults_huge\": {},", report.faults_huge);
+    println!("    \"faults_4k\": {},", report.faults_4k);
+    println!("    \"index_bytes_huge\": {},", report.index_bytes_huge);
+    println!("    \"index_bytes_4k\": {},", report.index_bytes_4k);
+    println!("    \"superpage_installs\": {},", report.superpage_installs);
+    println!("    \"passed\": {}", report.passed());
+    println!("  }}");
+    println!("}}");
+
+    if !report.passed() {
+        eprintln!("HUGE-MAPPING GATE FAILED:");
+        for f in &report.failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "huge-mapping gate passed: {:.0}x fewer faults ({} vs {}), index {} B vs {} B",
+        report.fault_ratio,
+        report.faults_huge,
+        report.faults_4k,
+        report.index_bytes_huge,
+        report.index_bytes_4k
+    );
+}

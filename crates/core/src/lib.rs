@@ -35,7 +35,7 @@
 pub mod meta;
 pub mod vm;
 
-pub use meta::{PageKind, PageMeta, PhysPage};
+pub use meta::{PageKind, PageMeta, PhysBlock, PhysPage};
 pub use vm::{RadixVm, RadixVmConfig, VmOpStats};
 
 #[cfg(test)]
@@ -478,5 +478,212 @@ mod tests {
         }
         let st = machine.pool().stats();
         assert_eq!(st.local_frees + st.remote_frees, 32, "drop reclaims frames");
+    }
+
+    // --- Superpage (variable-granularity) tests: DESIGN.md §7 ---
+
+    use rvm_hw::{MapFlags, BLOCK_PAGES};
+
+    /// Bytes of one superpage block.
+    const BLOCK_BYTES: u64 = BLOCK_PAGES * PAGE_SIZE;
+
+    fn huge_map(vm: &RadixVm, core: usize, addr: u64, blocks: u64) {
+        vm.mmap_flags(
+            core,
+            addr,
+            blocks * BLOCK_BYTES,
+            Prot::RW,
+            Backing::Anon,
+            MapFlags::HUGE,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn huge_hint_populates_whole_block_with_one_fault() {
+        let (m, vm) = setup(1);
+        huge_map(&vm, 0, BASE, 1);
+        for p in 0..BLOCK_PAGES {
+            m.write_u64(0, &*vm, BASE + p * PAGE_SIZE, p + 1).unwrap();
+        }
+        let st = vm.op_stats();
+        assert_eq!(
+            st.faults_alloc + st.faults_fill + st.faults_cow,
+            1,
+            "populating a hinted block must take exactly one fault"
+        );
+        assert_eq!(st.superpage_installs, 1);
+        assert_eq!(st.superpage_demotions, 0);
+        // One contiguous frame block, one Refcache object worth of
+        // backing — and the mapping metadata stays folded.
+        assert_eq!(m.pool().stats().block_allocs, 1);
+        assert_eq!(vm.tree_stats().leaf_nodes(), 0, "fold survives faults");
+        assert_eq!(vm.tree_stats().folded_values(), 1);
+        for p in (0..BLOCK_PAGES).step_by(37) {
+            assert_eq!(m.read_u64(0, &*vm, BASE + p * PAGE_SIZE).unwrap(), p + 1);
+        }
+        // Full-block unmap releases the whole block through Refcache.
+        vm.munmap(0, BASE, BLOCK_BYTES).unwrap();
+        assert!(m.read_u64(0, &*vm, BASE).is_err());
+        vm.quiesce();
+        assert_eq!(m.pool().stats().block_frees, 1);
+    }
+
+    #[test]
+    fn unhinted_folded_mapping_stays_4k() {
+        let (m, vm) = setup(1);
+        vm.mmap(0, BASE, BLOCK_BYTES, Prot::RW, Backing::Anon)
+            .unwrap();
+        for p in 0..8 {
+            m.write_u64(0, &*vm, BASE + p * PAGE_SIZE, p).unwrap();
+        }
+        let st = vm.op_stats();
+        assert_eq!(st.superpage_installs, 0, "no hint, no superpage");
+        assert_eq!(st.faults_alloc, 8);
+    }
+
+    #[test]
+    fn partial_munmap_demotes_and_preserves_survivors() {
+        let (m, vm) = setup(1);
+        huge_map(&vm, 0, BASE, 1);
+        for p in 0..BLOCK_PAGES {
+            m.write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0xAA00 + p)
+                .unwrap();
+        }
+        // Unmap the first 64 pages: the superpage must demote, not lose
+        // the other 448 translations or their contents.
+        vm.munmap(0, BASE, 64 * PAGE_SIZE).unwrap();
+        let st = vm.op_stats();
+        assert_eq!(st.superpage_demotions, 1);
+        for p in 0..64 {
+            assert_eq!(
+                m.read_u64(0, &*vm, BASE + p * PAGE_SIZE),
+                Err(VmError::NoMapping),
+                "page {p} survived partial unmap"
+            );
+        }
+        let misses_before = m.stats().tlb_misses;
+        for p in 64..BLOCK_PAGES {
+            assert_eq!(
+                m.read_u64(0, &*vm, BASE + p * PAGE_SIZE).unwrap(),
+                0xAA00 + p,
+                "page {p} lost by demotion"
+            );
+        }
+        // The span TLB entry was shot down, so each survivor misses
+        // exactly once — and refills from the shattered PTE as a fill
+        // fault, never a re-allocation.
+        assert_eq!(
+            m.stats().tlb_misses - misses_before,
+            BLOCK_PAGES - 64,
+            "survivors must refault exactly once each"
+        );
+        assert_eq!(
+            vm.op_stats().faults_alloc,
+            1,
+            "no re-allocation after demote"
+        );
+        // The block cannot free until its last page is unmapped.
+        vm.quiesce();
+        assert_eq!(m.pool().stats().block_frees, 0);
+        vm.munmap(0, BASE + 64 * PAGE_SIZE, BLOCK_BYTES - 64 * PAGE_SIZE)
+            .unwrap();
+        vm.quiesce();
+        assert_eq!(m.pool().stats().block_frees, 1, "block freed exactly once");
+        assert_eq!(m.stats().stale_detected, 0);
+    }
+
+    #[test]
+    fn whole_block_mprotect_keeps_superpage() {
+        let (m, vm) = setup(1);
+        huge_map(&vm, 0, BASE, 1);
+        m.write_u64(0, &*vm, BASE, 5).unwrap();
+        vm.mprotect(0, BASE, BLOCK_BYTES, Prot::READ).unwrap();
+        assert_eq!(m.write_u64(0, &*vm, BASE, 6), Err(VmError::ProtViolation));
+        assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 5);
+        let st = vm.op_stats();
+        assert_eq!(st.superpage_demotions, 0, "aligned mprotect keeps the fold");
+        // The refault after the revoke re-installed the block PTE.
+        assert!(st.superpage_installs >= 1);
+        assert_eq!(vm.tree_stats().leaf_nodes(), 0);
+    }
+
+    #[test]
+    fn fork_cow_demotes_on_write() {
+        let (m, vm) = setup(2);
+        huge_map(&vm, 0, BASE, 1);
+        for p in 0..4 {
+            m.write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0xF0 + p)
+                .unwrap();
+        }
+        let child = RadixVm::fork(&vm, 0);
+        child.attach_core(1);
+        // Child reads the shared block read-only (superpage fill).
+        assert_eq!(m.read_u64(1, &*child, BASE).unwrap(), 0xF0);
+        // Child write: demotes the child's fold and copies one page.
+        m.write_u64(1, &*child, BASE, 999).unwrap();
+        assert_eq!(m.read_u64(1, &*child, BASE).unwrap(), 999);
+        assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 0xF0, "parent intact");
+        // Parent write to another page demotes the parent's fold too;
+        // both stay correct.
+        m.write_u64(0, &*vm, BASE + PAGE_SIZE, 111).unwrap();
+        assert_eq!(m.read_u64(1, &*child, BASE + PAGE_SIZE).unwrap(), 0xF1);
+        assert_eq!(m.stats().stale_detected, 0);
+        assert!(child.op_stats().faults_cow >= 1);
+    }
+
+    #[test]
+    fn shared_pt_fills_span_from_other_cores_install() {
+        let machine = Machine::new(2);
+        let vm = RadixVm::new(
+            machine.clone(),
+            RadixVmConfig {
+                mmu: MmuKind::Shared,
+                ..Default::default()
+            },
+        );
+        vm.attach_core(0);
+        vm.attach_core(1);
+        huge_map(&vm, 0, BASE, 1);
+        m_touch(&machine, &vm, 0);
+        // Core 1's first access hits the shared block PTE: one fill
+        // fault covers the whole span.
+        let misses_before = machine.stats().tlb_misses;
+        for p in 0..16 {
+            machine.read_u64(1, &*vm, BASE + p * PAGE_SIZE).unwrap();
+        }
+        assert_eq!(
+            machine.stats().tlb_misses,
+            misses_before + 1,
+            "span fill must cover the block"
+        );
+        fn m_touch(m: &Machine, vm: &RadixVm, core: usize) {
+            m.write_u64(core, vm, BASE, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn mmap_over_superpage_replaces_cleanly() {
+        let (m, vm) = setup(1);
+        huge_map(&vm, 0, BASE, 1);
+        m.write_u64(0, &*vm, BASE, 42).unwrap();
+        // Re-map a sub-range 4 KiB style over the populated superpage.
+        vm.mmap(
+            0,
+            BASE + 8 * PAGE_SIZE,
+            4 * PAGE_SIZE,
+            Prot::RW,
+            Backing::Anon,
+        )
+        .unwrap();
+        assert_eq!(vm.op_stats().superpage_demotions, 1);
+        assert_eq!(m.read_u64(0, &*vm, BASE + 8 * PAGE_SIZE).unwrap(), 0);
+        assert_eq!(m.read_u64(0, &*vm, BASE).unwrap(), 42, "outside survives");
+        // Unmap everything; the block must still free exactly once.
+        vm.munmap(0, BASE, BLOCK_BYTES).unwrap();
+        vm.quiesce();
+        let st = m.pool().stats();
+        assert_eq!(st.block_frees, 1);
+        assert_eq!(m.stats().stale_detected, 0);
     }
 }

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use rvm_hw::{Backing, Prot};
-use rvm_mem::{FramePool, Pfn};
+use rvm_mem::{FramePool, Pfn, BLOCK_ORDER};
 use rvm_refcache::{Managed, RcPtr, ReleaseCtx};
 use rvm_sync::CoreSet;
 
@@ -49,6 +49,40 @@ impl Managed for PhysPage {
     }
 }
 
+/// A Refcache-managed physically contiguous frame block backing one
+/// superpage (2 MiB) mapping.
+///
+/// One `PhysBlock` object stands in for 512 per-page `PhysPage` objects:
+/// while the mapping stays folded, its single reference is held by the
+/// folded block value, so a superpage's entire fault lifecycle costs one
+/// Refcache object — directly attacking the per-fault `PhysPage`
+/// allocation residual (DESIGN.md §6). After demotion each surviving
+/// page's metadata holds one reference; the block returns to the pool
+/// whole when the last page is unmapped.
+pub struct PhysBlock {
+    base: Pfn,
+    pool: Arc<FramePool>,
+}
+
+impl PhysBlock {
+    /// Wraps the contiguous block at `base` (allocated from `pool` with
+    /// [`BLOCK_ORDER`]).
+    pub fn new(base: Pfn, pool: Arc<FramePool>) -> Self {
+        PhysBlock { base, pool }
+    }
+
+    /// Base frame of the block.
+    pub fn base(&self) -> Pfn {
+        self.base
+    }
+}
+
+impl Managed for PhysBlock {
+    fn on_release(&mut self, ctx: &ReleaseCtx<'_>) {
+        self.pool.free_block(ctx.core, self.base, BLOCK_ORDER);
+    }
+}
+
 /// How the page's contents are produced and whether writes must copy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PageKind {
@@ -74,15 +108,28 @@ pub struct PageMeta {
     pub prot: Prot,
     /// Plain or copy-on-write.
     pub kind: PageKind,
-    /// The physical page, once faulted. The `RcPtr` is an owning logical
-    /// reference counted in Refcache.
+    /// The physical page, once faulted at 4 KiB granularity. The `RcPtr`
+    /// is an owning logical reference counted in Refcache.
     ///
-    /// Invariant: folded (block) metadata never has `phys` set — a fault
-    /// expands to leaf granularity first — so cloning templates never
-    /// duplicates a reference.
+    /// Invariant: folded (block) metadata never has `phys` set — a 4 KiB
+    /// fault expands to leaf granularity first — so cloning templates
+    /// never duplicates a reference.
     pub phys: Option<RcPtr<PhysPage>>,
+    /// The contiguous superpage block backing this page, once a
+    /// superpage fault populated it. On a *folded* value this is block
+    /// state: one reference for the whole block. On an *expanded*
+    /// (demoted) per-page value it is per-page state: one reference per
+    /// page, adopted by the demotion protocol under the expansion's
+    /// born-held slot locks (DESIGN.md §7) — the only place a fold with
+    /// fault state may legally expand.
+    pub block: Option<RcPtr<PhysBlock>>,
+    /// Huge-page hint from `mmap` ([`rvm_hw::MapFlags::HUGE`]): aligned
+    /// folded blocks of this mapping may be populated by one superpage
+    /// PTE. Template state (identical for every page), so it folds.
+    pub huge: bool,
     /// Cores that faulted this page into their per-core page tables (the
-    /// targeted-shootdown set). Mutated only under the page's slot lock.
+    /// targeted-shootdown set). For a folded block value: the cores that
+    /// installed the block PTE. Mutated only under the slot lock.
     pub coreset: CoreSet,
 }
 
@@ -94,8 +141,27 @@ impl PageMeta {
             prot,
             kind: PageKind::Plain,
             phys: None,
+            block: None,
+            huge: false,
             coreset: CoreSet::EMPTY,
         }
+    }
+
+    /// The frame backing `vpn` under this metadata, if faulted: the
+    /// per-page frame, or the member frame of the superpage block
+    /// (blocks are virtually aligned, so the offset is `vpn`'s low
+    /// bits).
+    pub fn frame_for(&self, vpn: u64) -> Option<Pfn> {
+        if let Some(p) = self.phys {
+            // SAFETY: the metadata owns a reference to the page.
+            return Some(unsafe { p.as_ref() }.pfn());
+        }
+        if let Some(b) = self.block {
+            let off = (vpn & ((1u64 << BLOCK_ORDER) - 1)) as Pfn;
+            // SAFETY: the metadata owns a reference to the block.
+            return Some(unsafe { b.as_ref() }.base() + off);
+        }
+        None
     }
 }
 

@@ -25,16 +25,17 @@
 use std::sync::Arc;
 
 use rvm_hw::{
-    vpn_of, AccessKind, Asid, Backing, Machine, Mmu, MmuKind, PerCoreMmu, Prot, Pte,
+    vpn_of, AccessKind, Asid, Backing, Machine, MapFlags, Mmu, MmuKind, PerCoreMmu, Prot, Pte,
     ShardedOpStats, SharedMmu, SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult,
-    VmSystem, Vpn, VA_LIMIT,
+    VmSystem, Vpn, BLOCK_PAGES, VA_LIMIT,
 };
-use rvm_radix::{LockMode, RadixConfig, RadixTree, Removed, VPN_LIMIT};
+use rvm_mem::{Pfn, BLOCK_ORDER};
+use rvm_radix::{LockMode, RadixConfig, RadixTree, RangeGuard, Removed, VPN_LIMIT};
 use rvm_refcache::{RcPtr, Refcache};
 use rvm_sync::atomic::AtomicCoreSet;
 use rvm_sync::{sim, CoreSet};
 
-use crate::meta::{PageKind, PageMeta, PhysPage};
+use crate::meta::{PageKind, PageMeta, PhysBlock, PhysPage};
 
 /// Configuration of a [`RadixVm`] address space.
 #[derive(Clone, Debug)]
@@ -56,6 +57,16 @@ impl Default for RadixVmConfig {
             collapse: true,
             leaf_hints: true,
         }
+    }
+}
+
+/// Appends `(start, pages)` to a list of contiguous VPN runs, merging
+/// with the previous run when adjacent (shootdown/page-table batching;
+/// entries may span whole blocks, so runs are page-count-aware).
+fn push_run(runs: &mut Vec<(Vpn, u64)>, start: Vpn, pages: u64) {
+    match runs.last_mut() {
+        Some((s, l)) if *s + *l == start => *l += pages,
+        _ => runs.push((start, pages)),
     }
 }
 
@@ -148,22 +159,43 @@ impl RadixVm {
     fn finish_unmap(&self, core: usize, lo: Vpn, n: u64, removed: Vec<Removed<PageMeta>>) {
         let mut tracked = CoreSet::EMPTY;
         let mut phys: Vec<RcPtr<PhysPage>> = Vec::new();
+        let mut blocks: Vec<RcPtr<PhysBlock>> = Vec::new();
         let mut runs: Vec<(Vpn, u64)> = Vec::new();
         for r in &removed {
-            if let Removed::Page(vpn, m) = r {
-                if m.phys.is_some() || !m.coreset.is_empty() {
-                    tracked = tracked.union(m.coreset);
-                    match runs.last_mut() {
-                        Some((start, len)) if *start + *len == *vpn => *len += 1,
-                        _ => runs.push((*vpn, 1)),
+            match r {
+                Removed::Page(vpn, m) => {
+                    if m.phys.is_some() || m.block.is_some() || !m.coreset.is_empty() {
+                        tracked = tracked.union(m.coreset);
+                        push_run(&mut runs, *vpn, 1);
+                    }
+                    if let Some(p) = m.phys {
+                        phys.push(p);
+                    }
+                    // A demoted page owns one reference on its backing
+                    // block; the block frees when the last page drops.
+                    if let Some(b) = m.block {
+                        blocks.push(b);
                     }
                 }
-                if let Some(p) = m.phys {
-                    phys.push(p);
+                Removed::Block {
+                    start,
+                    pages,
+                    value: m,
+                } => {
+                    // Folded blocks carry fault state only once a
+                    // superpage populated them: one block PTE per core in
+                    // the coreset, one span TLB entry each, one frame
+                    // block (invariant in `PageMeta`; `phys` never).
+                    debug_assert!(m.phys.is_none());
+                    if m.block.is_some() || !m.coreset.is_empty() {
+                        tracked = tracked.union(m.coreset);
+                        push_run(&mut runs, *start, *pages);
+                    }
+                    if let Some(b) = m.block {
+                        blocks.push(b);
+                    }
                 }
             }
-            // Folded blocks have no fault state: no PTEs, no TLB entries,
-            // no physical pages (invariant in `PageMeta`).
         }
         if !runs.is_empty() {
             let attached = self.attached.load();
@@ -175,6 +207,39 @@ impl RadixVm {
         }
         for p in phys {
             self.cache.dec(core, p);
+        }
+        for b in blocks {
+            self.cache.dec(core, b);
+        }
+    }
+
+    /// Completes superpage demotion after a range lock expanded folded
+    /// block values (DESIGN.md §7). The fold owned **one** reference on
+    /// its [`PhysBlock`]; expansion cloned the pointer into every page of
+    /// the block, so each clone beyond the first adopts one reference —
+    /// legal exactly here because expansion leaves every slot of the new
+    /// leaf born-locked until this guard drops, so no other core can
+    /// observe (or release) an unadopted copy. The block PTE is then
+    /// shattered into 4 KiB PTEs in every tracked table and the span TLB
+    /// entries are shot down, all under the same guard.
+    fn demote_expanded(&self, core: usize, guard: &mut RangeGuard<'_, PageMeta>) {
+        let mut blocks: Vec<(Vpn, RcPtr<PhysBlock>, CoreSet, u64)> = Vec::new();
+        guard.for_each_expanded_value_mut(|vpn, m| {
+            if let Some(b) = m.block {
+                match blocks.iter_mut().find(|e| e.1 == b) {
+                    Some(e) => e.3 += 1,
+                    None => blocks.push((vpn & !(BLOCK_PAGES - 1), b, m.coreset, 1)),
+                }
+            }
+        });
+        for (start, b, tracked, npages) in blocks {
+            for _ in 1..npages {
+                self.cache.inc(core, b);
+            }
+            let targets = self.mmu.demote(start, tracked, self.attached.load());
+            self.machine
+                .shootdown(core, self.asid, start, BLOCK_PAGES, targets);
+            self.stats.superpage_demote(core);
         }
     }
 
@@ -192,22 +257,25 @@ impl RadixVm {
                 .tree
                 .lock_range(core, 0, VPN_LIMIT, LockMode::ExpandFolded);
             g.for_each_entry_mut(|vpn, pages, m| {
-                if m.phys.is_some() && m.prot.writable() {
+                if (m.phys.is_some() || m.block.is_some()) && m.prot.writable() {
                     m.kind = PageKind::Cow;
                 }
                 if let Some(p) = m.phys {
                     // The child's copy of the metadata owns one reference.
                     self.cache.inc(core, p);
                 }
+                if let Some(b) = m.block {
+                    // Folded superpage: the child's folded copy owns one
+                    // block reference (a write fault in either address
+                    // space demotes and copies per page).
+                    self.cache.inc(core, b);
+                }
                 if !m.coreset.is_empty() {
                     // Parent translations must be revoked so future parent
                     // writes take the copy-on-write fault.
                     revoke_set = revoke_set.union(m.coreset);
                     m.coreset = CoreSet::EMPTY;
-                    match revoke_runs.last_mut() {
-                        Some((start, len)) if *start + *len == vpn => *len += pages,
-                        _ => revoke_runs.push((vpn, pages)),
-                    }
+                    push_run(&mut revoke_runs, vpn, pages);
                 }
                 entries.push((vpn, pages, m.clone()));
             });
@@ -263,6 +331,18 @@ impl VmSystem for RadixVm {
         prot: Prot,
         backing: Backing,
     ) -> VmResult<Vaddr> {
+        self.mmap_flags(core, addr, len, prot, backing, MapFlags::NONE)
+    }
+
+    fn mmap_flags(
+        &self,
+        core: usize,
+        addr: Vaddr,
+        len: u64,
+        prot: Prot,
+        backing: Backing,
+        flags: MapFlags,
+    ) -> VmResult<Vaddr> {
         sim::charge_op_base();
         let (lo, n) = rvm_hw::check_range(addr, len)?;
         self.stats.mmap(core);
@@ -275,8 +355,13 @@ impl VmSystem for RadixVm {
             },
             b => b,
         };
-        let template = PageMeta::new(backing, prot);
+        let mut template = PageMeta::new(backing, prot);
+        // The huge hint is template state: it folds with the mapping and
+        // makes aligned folded blocks superpage-eligible at fault time.
+        template.huge = flags.huge();
         let mut guard = self.tree.lock_range(core, lo, lo + n, LockMode::ExpandAll);
+        // Mapping over part of an existing superpage demotes it first.
+        self.demote_expanded(core, &mut guard);
         let displaced = guard.replace(&template);
         if !displaced.is_empty() {
             self.finish_unmap(core, lo, n, displaced);
@@ -291,6 +376,10 @@ impl VmSystem for RadixVm {
         let mut guard = self
             .tree
             .lock_range(core, lo, lo + n, LockMode::ExpandFolded);
+        // Partial unmap of a superpage demotes it (shatter + span
+        // shootdown) before the per-page removal below; a full-block
+        // unmap keeps the fold and releases the block in finish_unmap.
+        self.demote_expanded(core, &mut guard);
         let removed = guard.clear();
         self.finish_unmap(core, lo, n, removed);
         Ok(())
@@ -306,9 +395,13 @@ impl VmSystem for RadixVm {
         // shared read, never an exclusive store (DESIGN.md §6).
         self.attached.insert(core);
         let vpn = vpn_of(va);
+        // Fold-preserving lock: if the page lives under an intact folded
+        // block, the block's single slot is locked instead of expanding
+        // it — the superpage fault path (DESIGN.md §7). Leaf-resolved
+        // pages behave exactly as in ExpandFolded mode.
         let mut guard = self
             .tree
-            .lock_range(core, vpn, vpn + 1, LockMode::ExpandFolded);
+            .lock_range(core, vpn, vpn + 1, LockMode::ExpandToBlock);
         // Shared-table configuration: a PTE installed by another core is
         // filled by hardware without kernel involvement; model that as a
         // cheap walk that bypasses the metadata entirely.
@@ -316,14 +409,37 @@ impl VmSystem for RadixVm {
             let pte = self.mmu.walk(core, vpn);
             if pte.present() && (kind == AccessKind::Read || pte.writable()) {
                 self.stats.fault_fill(core);
+                let pool = self.machine.pool();
                 let tr = Translation {
                     pfn: pte.pfn(),
-                    gen: self.machine.pool().generation(pte.pfn()),
+                    gen: pool.generation(pte.pfn()),
                     writable: pte.writable(),
                 };
-                self.fill(core, vpn, tr);
+                if pte.block() {
+                    // Another core populated the superpage: fill the
+                    // whole span so this core stops faulting on it.
+                    let base_vpn = vpn & !(BLOCK_PAGES - 1);
+                    let base_pfn = pte.pfn() - (vpn - base_vpn) as Pfn;
+                    self.fill_span(core, base_vpn, base_pfn, pte.writable());
+                } else {
+                    self.fill(core, vpn, tr);
+                }
                 return Ok(tr);
             }
+        }
+        match self.block_fault(core, vpn, kind, &mut guard) {
+            BlockPath::Resolved(r) => return r,
+            BlockPath::Demote => {
+                // The fold needs per-page state (not superpage-eligible,
+                // or a copy-on-write write): expand it and run the
+                // demotion protocol, then fault at 4 KiB granularity.
+                drop(guard);
+                guard = self
+                    .tree
+                    .lock_range(core, vpn, vpn + 1, LockMode::ExpandFolded);
+                self.demote_expanded(core, &mut guard);
+            }
+            BlockPath::Leaf => {}
         }
         let meta = guard.page_value_mut().ok_or(VmError::NoMapping)?;
         match kind {
@@ -331,19 +447,22 @@ impl VmSystem for RadixVm {
             AccessKind::Write if !meta.prot.writable() => return Err(VmError::ProtViolation),
             _ => {}
         }
-        // Copy-on-write resolution for write faults.
+        // Copy-on-write resolution for write faults. The shared source
+        // may be a per-page frame or a member of a (demoted) superpage
+        // block; either way the page gets a private 4 KiB copy and drops
+        // its reference on the shared object.
         if kind == AccessKind::Write && meta.kind == PageKind::Cow {
             self.stats.fault_cow(core);
             let pool = self.machine.pool();
-            let old = meta.phys.take();
+            let src = meta.frame_for(vpn);
+            let old_page = meta.phys.take();
+            let old_block = meta.block.take();
             let new_pfn = pool.alloc(core);
-            if let Some(old_ref) = old {
-                // SAFETY: the metadata held a reference until `take`, and
-                // we have not yet decremented it.
-                let old_pfn = unsafe { old_ref.as_ref() }.pfn();
+            if let Some(old_pfn) = src {
                 // Copy the old contents into the private page.
-                // SAFETY: both frames are live (old holds a ref; new was
-                // just allocated) and FRAME_SIZE-bounded.
+                // SAFETY: both frames are live (the taken refs are not
+                // yet decremented; new was just allocated) and
+                // FRAME_SIZE-bounded.
                 unsafe {
                     std::ptr::copy_nonoverlapping(
                         pool.frame_ptr(old_pfn),
@@ -360,16 +479,21 @@ impl VmSystem for RadixVm {
                     let targets = self.mmu.unmap_range(vpn, 1, tracked, self.attached.load());
                     self.machine.shootdown(core, self.asid, vpn, 1, targets);
                 }
-                self.cache.dec(core, old_ref);
+            }
+            if let Some(p) = old_page {
+                self.cache.dec(core, p);
+            }
+            if let Some(b) = old_block {
+                self.cache.dec(core, b);
             }
             let page = self.cache.alloc(1, PhysPage::new(new_pfn, pool.clone()));
             meta.phys = Some(page);
             meta.kind = PageKind::Plain;
         }
-        let phys = match meta.phys {
-            Some(p) => {
+        let pfn = match meta.frame_for(vpn) {
+            Some(pfn) => {
                 self.stats.fault_fill(core);
-                p
+                pfn
             }
             None => {
                 self.stats.fault_alloc(core);
@@ -377,11 +501,9 @@ impl VmSystem for RadixVm {
                 let pfn = pool.alloc(core);
                 let page = self.cache.alloc(1, PhysPage::new(pfn, pool.clone()));
                 meta.phys = Some(page);
-                page
+                pfn
             }
         };
-        // SAFETY: the metadata owns a reference to the page.
-        let pfn = unsafe { phys.as_ref() }.pfn();
         // Copy-on-write pages map read-only until resolved.
         let writable = meta.prot.writable() && meta.kind != PageKind::Cow;
         // Only a core's *first* fault of the page records it: a repeat
@@ -409,6 +531,10 @@ impl VmSystem for RadixVm {
         let mut guard = self
             .tree
             .lock_range(core, lo, lo + n, LockMode::ExpandFolded);
+        // Partial mprotect of a superpage demotes it; a whole-block
+        // mprotect keeps the fold (the revoke below clears the block PTE
+        // and the next fault re-installs it with the new protection).
+        self.demote_expanded(core, &mut guard);
         let mut tracked = CoreSet::EMPTY;
         let mut runs: Vec<(Vpn, u64)> = Vec::new();
         let mut mapped_pages = 0u64;
@@ -418,10 +544,7 @@ impl VmSystem for RadixVm {
             if !m.coreset.is_empty() {
                 tracked = tracked.union(m.coreset);
                 m.coreset = CoreSet::EMPTY;
-                match runs.last_mut() {
-                    Some((start, len)) if *start + *len == vpn => *len += pages,
-                    _ => runs.push((vpn, pages)),
-                }
+                push_run(&mut runs, vpn, pages);
             }
         });
         if mapped_pages == 0 {
@@ -473,6 +596,16 @@ impl VmSystem for RadixVm {
     }
 }
 
+/// Outcome of the block-granularity stage of a page fault.
+enum BlockPath {
+    /// The fault completed (or errored) at block granularity.
+    Resolved(VmResult<Translation>),
+    /// The fold must be expanded and demoted; retry at 4 KiB.
+    Demote,
+    /// The page resolved to a leaf (or empty block): 4 KiB path.
+    Leaf,
+}
+
 impl RadixVm {
     /// Installs a TLB entry for this address space.
     fn fill(&self, core: usize, vpn: Vpn, tr: Translation) {
@@ -483,10 +616,99 @@ impl RadixVm {
                 vpn,
                 pfn: tr.pfn,
                 gen: tr.gen,
+                span: 1,
                 writable: tr.writable,
                 valid: true,
             },
         );
+    }
+
+    /// Installs a span (superpage) TLB entry covering the whole block.
+    fn fill_span(&self, core: usize, base_vpn: Vpn, base_pfn: Pfn, writable: bool) {
+        self.machine.tlb_fill(
+            core,
+            TlbEntry {
+                asid: self.asid,
+                vpn: base_vpn,
+                pfn: base_pfn,
+                gen: self.machine.pool().generation(base_pfn),
+                span: BLOCK_PAGES,
+                writable,
+                valid: true,
+            },
+        );
+    }
+
+    /// The fold-aware stage of [`RadixVm::pagefault`]: when `guard`
+    /// holds an intact folded block, try to serve the fault with **one**
+    /// superpage PTE backed by **one** contiguous frame block and **one**
+    /// Refcache object.
+    ///
+    /// Eligibility: the fold spans exactly one hardware block, the
+    /// mapping is anonymous, carries the huge hint (or was already
+    /// populated as a superpage), and the access is not a copy-on-write
+    /// write. Ineligible folds demote ([`BlockPath::Demote`]).
+    fn block_fault(
+        &self,
+        core: usize,
+        vpn: Vpn,
+        kind: AccessKind,
+        guard: &mut RangeGuard<'_, PageMeta>,
+    ) -> BlockPath {
+        let Some((start, pages, meta)) = guard.block_entry_mut() else {
+            return BlockPath::Leaf;
+        };
+        match kind {
+            AccessKind::Read if !meta.prot.readable() => {
+                return BlockPath::Resolved(Err(VmError::ProtViolation))
+            }
+            AccessKind::Write if !meta.prot.writable() => {
+                return BlockPath::Resolved(Err(VmError::ProtViolation))
+            }
+            _ => {}
+        }
+        let eligible = pages == BLOCK_PAGES
+            && (meta.block.is_some()
+                || (meta.huge && meta.kind == PageKind::Plain && meta.backing == Backing::Anon));
+        let cow_write = kind == AccessKind::Write && meta.kind == PageKind::Cow;
+        if !eligible || cow_write {
+            return BlockPath::Demote;
+        }
+        let pool = self.machine.pool();
+        let base = match meta.block {
+            Some(b) => {
+                self.stats.fault_fill(core);
+                // SAFETY: the folded metadata owns a reference.
+                unsafe { b.as_ref() }.base()
+            }
+            None => {
+                // Populate: one contiguous frame block, one Refcache
+                // object for its whole lifetime (vs. 512 `PhysPage`s).
+                self.stats.fault_alloc(core);
+                let base = pool.alloc_block(core, BLOCK_ORDER);
+                let blk = self.cache.alloc(1, PhysBlock::new(base, pool.clone()));
+                meta.block = Some(blk);
+                base
+            }
+        };
+        // Copy-on-write blocks (post-fork) map read-only until a write
+        // demotes and copies per page.
+        let writable = meta.prot.writable() && meta.kind != PageKind::Cow;
+        if !meta.coreset.contains(core) {
+            meta.coreset.insert(core);
+            self.stats.superpage_install(core);
+        }
+        self.mmu
+            .map_block(core, start, Pte::new_block(base, writable));
+        let pfn = base + (vpn - start) as Pfn;
+        let tr = Translation {
+            pfn,
+            gen: pool.generation(pfn),
+            writable,
+        };
+        // Span fill before the slot lock releases, as in the 4 KiB path.
+        self.fill_span(core, start, base, writable);
+        BlockPath::Resolved(Ok(tr))
     }
 }
 

@@ -33,7 +33,7 @@ pub mod pagetable;
 pub mod tlb;
 
 pub use mmu::{Mmu, MmuKind, PerCoreMmu, SharedMmu};
-pub use pagetable::{PageTable, Pte};
+pub use pagetable::{PageTable, Pte, BLOCK_PAGES};
 pub use tlb::{Tlb, TlbEntry};
 
 /// Virtual address.
@@ -98,6 +98,27 @@ impl Prot {
     #[inline]
     pub fn writable(self) -> bool {
         self.0 & 2 != 0
+    }
+}
+
+/// Mapping flags: advisory hints a [`VmSystem::mmap_flags`] caller may
+/// pass. Hints are semantics-preserving — a backend may honor or ignore
+/// them; reads, protections, and errors are identical either way.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MapFlags(pub u8);
+
+impl MapFlags {
+    /// No hints.
+    pub const NONE: MapFlags = MapFlags(0);
+    /// Huge-page hint (`MAP_HUGETLB`-style): aligned [`BLOCK_PAGES`]
+    /// blocks of the mapping are candidates for one superpage PTE backed
+    /// by a physically contiguous frame block.
+    pub const HUGE: MapFlags = MapFlags(1);
+
+    /// Returns true if the huge-page hint is set.
+    #[inline]
+    pub fn huge(self) -> bool {
+        self.0 & 1 != 0
     }
 }
 
@@ -200,6 +221,11 @@ pub struct OpStats {
     pub faults_fill: u64,
     /// Copy-on-write resolutions.
     pub faults_cow: u64,
+    /// Superpage (block) PTE installs — faults that populated or filled
+    /// a whole block with one entry.
+    pub superpage_installs: u64,
+    /// Superpage demotions (block PTE shattered into 4 KiB PTEs).
+    pub superpage_demotions: u64,
 }
 
 /// Per-core sharded operation counters for [`VmSystem::op_stats`].
@@ -211,7 +237,7 @@ pub struct OpStats {
 /// exact once the address space is idle — the conformance suite asserts
 /// no count is ever lost.
 pub struct ShardedOpStats {
-    cells: ShardedStats<5>,
+    cells: ShardedStats<7>,
 }
 
 impl ShardedOpStats {
@@ -220,6 +246,8 @@ impl ShardedOpStats {
     const F_FAULTS_ALLOC: usize = 2;
     const F_FAULTS_FILL: usize = 3;
     const F_FAULTS_COW: usize = 4;
+    const F_SUPERPAGE_INSTALLS: usize = 5;
+    const F_SUPERPAGE_DEMOTIONS: usize = 6;
 
     /// Creates a block striped for `ncores` cores.
     pub fn new(ncores: usize) -> Self {
@@ -258,6 +286,18 @@ impl ShardedOpStats {
         self.cells.add(core, Self::F_FAULTS_COW, 1);
     }
 
+    /// Counts one superpage PTE install by `core`.
+    #[inline]
+    pub fn superpage_install(&self, core: usize) {
+        self.cells.add(core, Self::F_SUPERPAGE_INSTALLS, 1);
+    }
+
+    /// Counts one superpage demotion by `core`.
+    #[inline]
+    pub fn superpage_demote(&self, core: usize) {
+        self.cells.add(core, Self::F_SUPERPAGE_DEMOTIONS, 1);
+    }
+
     /// Sums the cells into an [`OpStats`] snapshot.
     pub fn snapshot(&self) -> OpStats {
         OpStats {
@@ -266,6 +306,8 @@ impl ShardedOpStats {
             faults_alloc: self.cells.sum(Self::F_FAULTS_ALLOC),
             faults_fill: self.cells.sum(Self::F_FAULTS_FILL),
             faults_cow: self.cells.sum(Self::F_FAULTS_COW),
+            superpage_installs: self.cells.sum(Self::F_SUPERPAGE_INSTALLS),
+            superpage_demotions: self.cells.sum(Self::F_SUPERPAGE_DEMOTIONS),
         }
     }
 }
@@ -298,6 +340,23 @@ pub trait VmSystem: Send + Sync {
         prot: Prot,
         backing: Backing,
     ) -> VmResult<Vaddr>;
+
+    /// [`VmSystem::mmap`] with advisory [`MapFlags`] (huge-page hint).
+    /// Hints are semantics-preserving: the default implementation drops
+    /// them, so every backend accepts the call; backends with
+    /// variable-granularity support override it.
+    fn mmap_flags(
+        &self,
+        core: usize,
+        addr: Vaddr,
+        len: u64,
+        prot: Prot,
+        backing: Backing,
+        flags: MapFlags,
+    ) -> VmResult<Vaddr> {
+        let _ = flags;
+        self.mmap(core, addr, len, prot, backing)
+    }
 
     /// Unmaps `[addr, addr + len)`: clears metadata and page tables,
     /// shoots down TLBs, and releases physical pages.
@@ -353,6 +412,8 @@ pub struct MachineConfig {
     /// Whether accesses validate frame generations (use-after-free
     /// detection; negligible cost, recommended on).
     pub check_generations: bool,
+    /// Frame-homing policy of the machine's pool (NUMA knob).
+    pub homing: rvm_mem::HomingPolicy,
 }
 
 impl MachineConfig {
@@ -363,6 +424,7 @@ impl MachineConfig {
             tlb_entries: 1024,
             shootdown_enabled: true,
             check_generations: true,
+            homing: rvm_mem::HomingPolicy::FirstTouch,
         }
     }
 }
@@ -417,7 +479,7 @@ impl Machine {
     /// Creates a machine with the given configuration.
     pub fn with_config(cfg: MachineConfig) -> Arc<Machine> {
         assert!(cfg.ncores >= 1 && cfg.ncores <= rvm_sync::MAX_CORES);
-        let pool = Arc::new(FramePool::new(cfg.ncores));
+        let pool = Arc::new(FramePool::with_policy(cfg.ncores, cfg.homing));
         let tlbs = (0..cfg.ncores)
             .map(|_| CachePadded::new(SpinLock::new(Tlb::new(cfg.tlb_entries))))
             .collect();
@@ -500,6 +562,10 @@ impl Machine {
                 let mut tlb = self.tlbs[core].lock();
                 if let Some(e) = tlb.lookup(asid, vpn) {
                     if kind == AccessKind::Read || e.writable {
+                        // A span entry's gen is the base frame's; block
+                        // frames free only as a unit, so it proxies the
+                        // whole block. The member frame is the base plus
+                        // the page's offset within the span.
                         if self.cfg.check_generations && self.pool.generation(e.pfn) != e.gen {
                             // Report the use-after-unmap and evict the
                             // poisoned entry so later accesses refault
@@ -510,7 +576,8 @@ impl Machine {
                             return Err(VmError::StaleTranslation);
                         }
                         self.stats.add(core, F_TLB_HITS, 1);
-                        return Ok(f(&self.pool, e.pfn, offset));
+                        let pfn = e.pfn + (vpn - e.vpn) as Pfn;
+                        return Ok(f(&self.pool, pfn, offset));
                     }
                     // Write through a read-only entry: fall through to a
                     // fault (the VM may upgrade, e.g. copy-on-write).
@@ -672,6 +739,7 @@ mod tests {
                     vpn,
                     pfn: tr.pfn,
                     gen: tr.gen,
+                    span: 1,
                     writable: tr.writable,
                     valid: true,
                 },

@@ -30,14 +30,26 @@ pub trait Mmu: Send + Sync {
     /// Installs a translation visible to `core`.
     fn map(&self, core: usize, vpn: Vpn, pte: Pte);
 
+    /// Installs a block (superpage) translation visible to `core`,
+    /// covering the whole aligned block containing `base_vpn`.
+    fn map_block(&self, core: usize, base_vpn: Vpn, pte: Pte);
+
     /// Walks the table(s) as `core`'s MMU would.
     fn walk(&self, core: usize, vpn: Vpn) -> Pte;
 
     /// Clears `[start, start+n)` from the tables and returns the set of
     /// cores whose TLBs must be shot down. `tracked` is the set of cores
     /// the metadata observed faulting pages of the range; `attached` is
-    /// every core using the address space.
+    /// every core using the address space. Block PTEs overlapping the
+    /// range are cleared whole (demote first to keep survivors).
     fn unmap_range(&self, start: Vpn, n: u64, tracked: CoreSet, attached: CoreSet) -> CoreSet;
+
+    /// Demotes the block translation covering `base_vpn`: every table
+    /// that holds a block PTE for it is shattered in place into 4 KiB
+    /// PTEs, preserving the translations. Returns the cores whose span
+    /// TLB entries must be shot down (`tracked` for per-core tables,
+    /// `attached` for a shared one).
+    fn demote(&self, base_vpn: Vpn, tracked: CoreSet, attached: CoreSet) -> CoreSet;
 
     /// Total bytes of page-table memory currently allocated.
     fn table_bytes(&self) -> u64;
@@ -71,13 +83,24 @@ impl Mmu for PerCoreMmu {
         self.tables[core].set(vpn, pte);
     }
 
+    fn map_block(&self, core: usize, base_vpn: Vpn, pte: Pte) {
+        self.tables[core].set_block(base_vpn, pte);
+    }
+
     fn walk(&self, core: usize, vpn: Vpn) -> Pte {
         self.tables[core].get(vpn)
     }
 
     fn unmap_range(&self, start: Vpn, n: u64, tracked: CoreSet, _attached: CoreSet) -> CoreSet {
         for core in tracked.iter() {
-            self.tables[core].clear_range(start, n, |_, _| {});
+            self.tables[core].clear_range(start, n, |_, _, _| {});
+        }
+        tracked
+    }
+
+    fn demote(&self, base_vpn: Vpn, tracked: CoreSet, _attached: CoreSet) -> CoreSet {
+        for core in tracked.iter() {
+            self.tables[core].shatter_block(base_vpn);
         }
         tracked
     }
@@ -121,14 +144,24 @@ impl Mmu for SharedMmu {
         self.table.set(vpn, pte);
     }
 
+    fn map_block(&self, _core: usize, base_vpn: Vpn, pte: Pte) {
+        self.table.set_block(base_vpn, pte);
+    }
+
     fn walk(&self, _core: usize, vpn: Vpn) -> Pte {
         self.table.get(vpn)
     }
 
     fn unmap_range(&self, start: Vpn, n: u64, _tracked: CoreSet, attached: CoreSet) -> CoreSet {
-        self.table.clear_range(start, n, |_, _| {});
+        self.table.clear_range(start, n, |_, _, _| {});
         // Without per-core tracking, the kernel must conservatively shoot
         // down every core using the address space.
+        attached
+    }
+
+    fn demote(&self, base_vpn: Vpn, _tracked: CoreSet, attached: CoreSet) -> CoreSet {
+        self.table.shatter_block(base_vpn);
+        // Every attached core may hold the span entry.
         attached
     }
 
@@ -174,6 +207,42 @@ mod tests {
         let targets = mmu.unmap_range(100, 1, CoreSet::single(0), CoreSet::first_n(8));
         assert_eq!(targets.len(), 8, "broadcast to every attached core");
         assert!(!mmu.walk(0, 100).present());
+    }
+
+    #[test]
+    fn block_map_and_demote_follow_tracking() {
+        use crate::pagetable::BLOCK_PAGES;
+        let mmu = PerCoreMmu::new(4);
+        let base = BLOCK_PAGES * 2;
+        mmu.map_block(1, base, Pte::new_block(100, true));
+        assert_eq!(mmu.walk(1, base + 17).pfn(), 117);
+        assert!(mmu.walk(1, base + 17).block());
+        assert!(!mmu.walk(0, base).present(), "other cores unaffected");
+        // Demote shatters only tracked cores' tables and returns them.
+        let targets = mmu.demote(base, CoreSet::single(1), CoreSet::first_n(4));
+        assert_eq!(targets, CoreSet::single(1));
+        let p = mmu.walk(1, base + 17);
+        assert!(p.present() && !p.block(), "translation preserved as 4 KiB");
+        assert_eq!(p.pfn(), 117);
+        // Shared tables demote in place and broadcast.
+        let sh = SharedMmu::new();
+        sh.map_block(0, base, Pte::new_block(500, false));
+        assert_eq!(sh.walk(3, base + 3).pfn(), 503);
+        let targets = sh.demote(base, CoreSet::single(0), CoreSet::first_n(8));
+        assert_eq!(targets.len(), 8);
+        assert!(!sh.walk(2, base + 3).block());
+    }
+
+    #[test]
+    fn unmap_range_clears_blocks_whole() {
+        use crate::pagetable::BLOCK_PAGES;
+        let mmu = PerCoreMmu::new(2);
+        let base = BLOCK_PAGES * 4;
+        mmu.map_block(0, base, Pte::new_block(0, true));
+        // Partial unmap clears the whole block entry (callers demote
+        // first when survivors matter).
+        mmu.unmap_range(base + 10, 5, CoreSet::single(0), CoreSet::first_n(2));
+        assert!(!mmu.walk(0, base).present());
     }
 
     #[test]

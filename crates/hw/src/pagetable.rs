@@ -6,6 +6,21 @@
 //! PTEs. All slots are instrumented atomics: on a *shared* page table,
 //! concurrent faults installing PTEs contend on real cache lines, which is
 //! part of what Figure 9 measures.
+//!
+//! # Variable granularity
+//!
+//! A slot at the last *interior* level may hold a **block PTE** instead of
+//! a child pointer — the x86 PS-bit superpage: one entry maps a whole
+//! 512-page (2 MiB) aligned block to a physically contiguous frame block.
+//! The walk stops at a block entry ([`PageTable::get`] synthesizes the
+//! member frame's translation), [`PageTable::set_block`] /
+//! [`PageTable::clear_block`] install and remove them, and
+//! [`PageTable::shatter_block`] demotes one in place into a leaf node of
+//! 512 ordinary PTEs (the paper-adjacent demotion path: partial munmap of
+//! a superpage must not lose the surviving 4 KiB translations).
+//! Encoding: a block PTE is distinguished from a child pointer by
+//! [`Pte::BLOCK`] (bit 2), which is always clear in an aligned pointer
+//! tagged with [`CHILD_TAG`] (bit 0).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,9 +36,20 @@ pub const NODE_SLOTS: usize = 1 << LEVEL_BITS;
 /// Number of levels (36-bit VPN / 9).
 pub const LEVELS: usize = VPN_BITS / LEVEL_BITS;
 
+/// Pages covered by one block PTE (an entry at the last interior level).
+pub const BLOCK_PAGES: u64 = NODE_SLOTS as u64;
+
+// A block PTE's frame block must be exactly as large as the page span
+// its table slot covers; a drift between the pool's block order and the
+// table fanout would map unrelated frames.
+const _: () = assert!(1u64 << rvm_mem::BLOCK_ORDER == BLOCK_PAGES);
+
 /// A page table entry.
 ///
-/// Encoding: `[pfn:32 | reserved | W | P]`.
+/// Encoding: `[pfn:32 | reserved | B | W | P]`. `B` ([`Pte::BLOCK`], the
+/// x86 PS bit) marks an entry installed at the last interior level that
+/// maps a whole [`BLOCK_PAGES`]-page block; its `pfn` is the base of a
+/// physically contiguous frame block.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Pte(pub u64);
 
@@ -32,10 +58,21 @@ impl Pte {
     pub const EMPTY: Pte = Pte(0);
     const PRESENT: u64 = 1 << 0;
     const WRITABLE: u64 = 1 << 1;
+    /// Block ("page size") bit: the entry is an interior-level leaf
+    /// covering [`BLOCK_PAGES`] pages. Doubles as the discriminant
+    /// between block PTEs and [`CHILD_TAG`]-tagged child pointers in
+    /// interior slots (aligned pointers never have bit 2 set).
+    pub const BLOCK: u64 = 1 << 2;
 
     /// Builds a present PTE.
     pub fn new(pfn: Pfn, writable: bool) -> Pte {
         Pte(((pfn as u64) << 32) | Self::PRESENT | if writable { Self::WRITABLE } else { 0 })
+    }
+
+    /// Builds a present block PTE whose `pfn` is the base of a
+    /// contiguous [`BLOCK_PAGES`]-frame block.
+    pub fn new_block(pfn: Pfn, writable: bool) -> Pte {
+        Pte(Self::new(pfn, writable).0 | Self::BLOCK)
     }
 
     /// Returns true if the entry is present.
@@ -50,11 +87,34 @@ impl Pte {
         self.0 & Self::WRITABLE != 0
     }
 
-    /// The mapped frame.
+    /// Returns true if the entry is a block (superpage) entry.
+    #[inline]
+    pub fn block(self) -> bool {
+        self.0 & Self::BLOCK != 0
+    }
+
+    /// Pages this entry translates.
+    #[inline]
+    pub fn span(self) -> u64 {
+        if self.block() {
+            BLOCK_PAGES
+        } else {
+            1
+        }
+    }
+
+    /// The mapped frame (a block entry's base frame).
     #[inline]
     pub fn pfn(self) -> Pfn {
         (self.0 >> 32) as Pfn
     }
+}
+
+/// Returns true when an interior slot word holds a block PTE rather than
+/// a child pointer.
+#[inline]
+fn is_block_word(v: u64) -> bool {
+    v & Pte::BLOCK != 0
 }
 
 /// One 512-slot page-table node.
@@ -97,45 +157,108 @@ impl PageTable {
         ((vpn >> shift) as usize) & (NODE_SLOTS - 1)
     }
 
-    /// Walks to the leaf node containing `vpn`, optionally allocating
-    /// missing interior nodes.
-    fn walk(&self, vpn: Vpn, create: bool) -> Option<&PtNode> {
-        let mut node: &PtNode = &self.root;
-        for level in 0..LEVELS - 1 {
-            let idx = Self::index(vpn, level);
-            let slot = &node.slots[idx];
-            let mut v = slot.load(Ordering::Acquire);
-            if v == 0 {
-                if !create {
-                    return None;
+    /// Allocates (or finds) the child published in `slot`, returning it.
+    fn child_or_create<'a>(&'a self, slot: &'a Atomic64, create: bool) -> Option<&'a PtNode> {
+        let mut v = slot.load(Ordering::Acquire);
+        if v == 0 {
+            if !create {
+                return None;
+            }
+            let fresh = PtNode::new();
+            let ptr = Box::into_raw(fresh) as u64 | CHILD_TAG;
+            match slot.compare_exchange(0, ptr, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.nodes.fetch_add(1, Ordering::Relaxed);
+                    v = ptr;
                 }
-                let fresh = PtNode::new();
-                let ptr = Box::into_raw(fresh) as u64 | CHILD_TAG;
-                match slot.compare_exchange(0, ptr, Ordering::AcqRel, Ordering::Acquire) {
-                    Ok(_) => {
-                        self.nodes.fetch_add(1, Ordering::Relaxed);
-                        v = ptr;
-                    }
-                    Err(cur) => {
-                        // Lost the install race; free ours, use theirs.
-                        // SAFETY: the pointer came from Box::into_raw just
-                        // above and was never published.
-                        unsafe { drop(Box::from_raw((ptr & !CHILD_TAG) as *mut PtNode)) };
-                        v = cur;
-                    }
+                Err(cur) => {
+                    // Lost the install race; free ours, use theirs.
+                    // SAFETY: the pointer came from Box::into_raw just
+                    // above and was never published.
+                    unsafe { drop(Box::from_raw((ptr & !CHILD_TAG) as *mut PtNode)) };
+                    v = cur;
                 }
             }
-            debug_assert_ne!(v & CHILD_TAG, 0);
-            // SAFETY: non-zero interior slots always hold a child pointer
-            // published by the CAS above; children are only freed in
-            // `Drop`, which requires `&mut self`.
-            node = unsafe { &*((v & !CHILD_TAG) as *const PtNode) };
+        }
+        debug_assert_ne!(v & CHILD_TAG, 0);
+        debug_assert!(!is_block_word(v));
+        // SAFETY: non-zero non-block interior slots always hold a child
+        // pointer published by the CAS above; children are only freed in
+        // `Drop` (which requires `&mut self`) or under the VA-range lock
+        // contract of `set_block`.
+        Some(unsafe { &*((v & !CHILD_TAG) as *const PtNode) })
+    }
+
+    /// Walks the interior levels above the block level, returning the
+    /// node whose slots cover [`BLOCK_PAGES`] pages each (the level block
+    /// PTEs live at), optionally allocating missing interior nodes.
+    fn block_level_node(&self, vpn: Vpn, create: bool) -> Option<&PtNode> {
+        let mut node: &PtNode = &self.root;
+        for level in 0..LEVELS - 2 {
+            let slot = &node.slots[Self::index(vpn, level)];
+            node = self.child_or_create(slot, create)?;
         }
         Some(node)
     }
 
-    /// Installs `pte` for `vpn`, returning the previous entry.
+    /// The slot at the block level covering `vpn` (holds a child pointer,
+    /// a block PTE, or zero).
+    fn block_slot(&self, vpn: Vpn, create: bool) -> Option<&Atomic64> {
+        self.block_level_node(vpn, create)
+            .map(|n| &n.slots[Self::index(vpn, LEVELS - 2)])
+    }
+
+    /// Walks to the leaf node containing `vpn`, optionally allocating
+    /// missing interior nodes. A block PTE covering `vpn` is shattered
+    /// in place when `create` is set (the caller is about to install a
+    /// 4 KiB entry), otherwise the walk reports `None` — use
+    /// [`PageTable::get`] for block-aware reads.
+    fn walk(&self, vpn: Vpn, create: bool) -> Option<&PtNode> {
+        let slot = self.block_slot(vpn, create)?;
+        loop {
+            let v = slot.load(Ordering::Acquire);
+            if is_block_word(v) {
+                if !create {
+                    return None;
+                }
+                self.shatter_word(slot, v);
+                continue;
+            }
+            return self.child_or_create(slot, create);
+        }
+    }
+
+    /// Replaces the block PTE word `v` in `slot` with a leaf node holding
+    /// the 512 equivalent 4 KiB PTEs. Returns true if this call did the
+    /// shatter (false: someone else changed the slot first).
+    fn shatter_word(&self, slot: &Atomic64, v: u64) -> bool {
+        debug_assert!(is_block_word(v));
+        let pte = Pte(v);
+        let leaf = PtNode::new();
+        for (i, s) in leaf.slots.iter().enumerate() {
+            s.store(
+                Pte::new(pte.pfn() + i as Pfn, pte.writable()).0,
+                Ordering::Relaxed,
+            );
+        }
+        let ptr = Box::into_raw(leaf) as u64 | CHILD_TAG;
+        match slot.compare_exchange(v, ptr, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                self.nodes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // SAFETY: never published.
+                unsafe { drop(Box::from_raw((ptr & !CHILD_TAG) as *mut PtNode)) };
+                false
+            }
+        }
+    }
+
+    /// Installs `pte` for `vpn`, returning the previous entry. A block
+    /// PTE covering `vpn` is shattered first.
     pub fn set(&self, vpn: Vpn, pte: Pte) -> Pte {
+        debug_assert!(!pte.block(), "use set_block for block PTEs");
         let leaf = self.walk(vpn, true).expect("walk(create) cannot fail");
         let idx = Self::index(vpn, LEVELS - 1);
         Pte(leaf.slots[idx].swap(pte.0, Ordering::AcqRel))
@@ -151,28 +274,124 @@ impl PageTable {
             .map_err(Pte)
     }
 
-    /// Reads the entry for `vpn` (non-allocating).
-    pub fn get(&self, vpn: Vpn) -> Pte {
-        match self.walk(vpn, false) {
-            None => Pte::EMPTY,
-            Some(leaf) => Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].load(Ordering::Acquire)),
+    /// Installs a block PTE covering the [`BLOCK_PAGES`]-aligned block
+    /// containing `vpn`. Any existing leaf node for the block (its 4 KiB
+    /// entries were cleared by the caller's unmap) is freed.
+    ///
+    /// Contract: the caller holds the VA-range lock for the whole block,
+    /// excluding concurrent walks of this range in shared-table
+    /// configurations (the radix slot lock provides exactly this).
+    pub fn set_block(&self, vpn: Vpn, pte: Pte) {
+        debug_assert!(pte.block());
+        let slot = self
+            .block_slot(vpn, true)
+            .expect("block_slot(create) cannot fail");
+        let old = slot.swap(pte.0, Ordering::AcqRel);
+        if old != 0 && !is_block_word(old) {
+            // Displaced a (cleared) leaf node: reclaim it.
+            // SAFETY: the word held an exclusively owned leaf pointer;
+            // the caller's range lock excludes concurrent walkers.
+            unsafe { drop(Box::from_raw((old & !CHILD_TAG) as *mut PtNode)) };
+            self.nodes.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
-    /// Clears the entry for `vpn`, returning the previous entry.
+    /// Demotes a block PTE covering `vpn` into a leaf node of 512
+    /// ordinary PTEs, in place. No-op if no block entry covers `vpn`.
+    /// Returns true when a block was shattered.
+    pub fn shatter_block(&self, vpn: Vpn) -> bool {
+        let Some(slot) = self.block_slot(vpn, false) else {
+            return false;
+        };
+        let v = slot.load(Ordering::Acquire);
+        is_block_word(v) && self.shatter_word(slot, v)
+    }
+
+    /// Reads the entry for `vpn` (non-allocating). Under a block PTE the
+    /// member frame's translation is synthesized, with [`Pte::BLOCK`]
+    /// kept set so callers can recognize the granularity.
+    pub fn get(&self, vpn: Vpn) -> Pte {
+        let Some(slot) = self.block_slot(vpn, false) else {
+            return Pte::EMPTY;
+        };
+        let v = slot.load(Ordering::Acquire);
+        if is_block_word(v) {
+            let pte = Pte(v);
+            let off = (vpn & (BLOCK_PAGES - 1)) as Pfn;
+            return Pte(((pte.pfn() + off) as u64) << 32 | (pte.0 & 0xFFFF_FFFF));
+        }
+        if v == 0 {
+            return Pte::EMPTY;
+        }
+        // SAFETY: non-block non-zero words are published child pointers.
+        let leaf = unsafe { &*((v & !CHILD_TAG) as *const PtNode) };
+        Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].load(Ordering::Acquire))
+    }
+
+    /// Clears the entry for `vpn`, returning the previous entry. A block
+    /// PTE covering `vpn` is shattered first so only the one page's
+    /// translation is removed.
     pub fn clear(&self, vpn: Vpn) -> Pte {
         match self.walk(vpn, false) {
-            None => Pte::EMPTY,
+            None => {
+                // Either absent or covered by a block PTE: shatter and
+                // retry once so the single page can be cleared.
+                if self.shatter_block(vpn) {
+                    self.clear(vpn)
+                } else {
+                    Pte::EMPTY
+                }
+            }
             Some(leaf) => Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].swap(0, Ordering::AcqRel)),
         }
     }
 
-    /// Clears `[start, start + n)`, invoking `f` for each present entry.
-    pub fn clear_range(&self, start: Vpn, n: u64, mut f: impl FnMut(Vpn, Pte)) {
-        for vpn in start..start + n {
-            let old = self.clear(vpn);
-            if old.present() {
-                f(vpn, old);
+    /// Clears `[start, start + n)`, invoking `f(vpn, pages, pte)` for
+    /// each present entry with the number of pages it spanned — 1 for
+    /// leaf PTEs, [`BLOCK_PAGES`] for block PTEs, so frame-release paths
+    /// can account whole blocks exactly once.
+    ///
+    /// A block PTE overlapping the range is cleared *whole* and reported
+    /// with its full span and base VPN (even when the range covers only
+    /// part of it); callers that need surviving 4 KiB translations must
+    /// demote first via [`PageTable::shatter_block`].
+    pub fn clear_range(&self, start: Vpn, n: u64, mut f: impl FnMut(Vpn, u64, Pte)) {
+        let end = start + n;
+        let mut vpn = start;
+        while vpn < end {
+            let block_base = vpn & !(BLOCK_PAGES - 1);
+            let block_end = block_base + BLOCK_PAGES;
+            let Some(slot) = self.block_slot(vpn, false) else {
+                vpn = block_end.min(end);
+                continue;
+            };
+            let v = slot.load(Ordering::Acquire);
+            if is_block_word(v) {
+                if slot
+                    .compare_exchange(v, 0, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    f(block_base, BLOCK_PAGES, Pte(v));
+                }
+                // Changed under us (or cleared): either way re-examine.
+                if slot.load(Ordering::Acquire) == 0 {
+                    vpn = block_end.min(end);
+                }
+                continue;
+            }
+            if v == 0 {
+                vpn = block_end.min(end);
+                continue;
+            }
+            // SAFETY: published child pointer (see `child_or_create`).
+            let leaf = unsafe { &*((v & !CHILD_TAG) as *const PtNode) };
+            let stop = block_end.min(end);
+            while vpn < stop {
+                let old = Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].swap(0, Ordering::AcqRel));
+                if old.present() {
+                    f(vpn, 1, old);
+                }
+                vpn += 1;
             }
         }
     }
@@ -203,7 +422,8 @@ impl Drop for PageTable {
             }
             for slot in node.slots.iter() {
                 let v = slot.load(Ordering::Acquire);
-                if v != 0 {
+                // Block PTEs are values, not child pointers: skip them.
+                if v != 0 && !is_block_word(v) {
                     // SAFETY: interior slots hold exclusively owned child
                     // boxes; `&mut self` guarantees no concurrent walkers.
                     let child = unsafe { Box::from_raw((v & !CHILD_TAG) as *mut PtNode) };
@@ -266,10 +486,112 @@ mod tests {
             pt.set(vpn, Pte::new(vpn as Pfn, true));
         }
         let mut seen = Vec::new();
-        pt.clear_range(5, 20, |vpn, pte| seen.push((vpn, pte.pfn())));
+        pt.clear_range(5, 20, |vpn, pages, pte| {
+            assert_eq!(pages, 1);
+            seen.push((vpn, pte.pfn()));
+        });
         assert_eq!(seen.len(), 10);
         assert_eq!(seen[0], (10, 10));
         assert!(!pt.get(15).present());
+    }
+
+    #[test]
+    fn block_pte_roundtrip() {
+        let pt = PageTable::new();
+        let base: Vpn = 512 * 3;
+        pt.set_block(base + 7, Pte::new_block(1000, true));
+        // Every member page translates to base + offset.
+        for off in [0u64, 1, 100, 511] {
+            let p = pt.get(base + off);
+            assert!(p.present() && p.block(), "offset {off}");
+            assert_eq!(p.pfn(), 1000 + off as Pfn);
+            assert!(p.writable());
+        }
+        assert!(!pt.get(base - 1).present());
+        assert!(!pt.get(base + 512).present());
+        let mut seen = Vec::new();
+        pt.clear_range(base, BLOCK_PAGES, |vpn, pages, pte| {
+            seen.push((vpn, pages, pte));
+        });
+        let (vpn, pages, old) = seen[0];
+        assert_eq!(seen.len(), 1);
+        assert_eq!((vpn, pages), (base, BLOCK_PAGES));
+        assert!(old.block());
+        assert_eq!(old.pfn(), 1000);
+        assert_eq!(old.span(), BLOCK_PAGES);
+        assert!(!pt.get(base).present());
+    }
+
+    #[test]
+    fn block_install_allocates_no_leaf() {
+        let pt = PageTable::new();
+        pt.set_block(0, Pte::new_block(0, false));
+        let with_block = pt.node_count();
+        // A 4 KiB install of the same range would need one more node
+        // (the leaf); the block entry terminates the walk early.
+        let pt2 = PageTable::new();
+        pt2.set(0, Pte::new(0, false));
+        assert!(pt2.node_count() > with_block, "block entry must be cheaper");
+    }
+
+    #[test]
+    fn shatter_preserves_translations() {
+        let pt = PageTable::new();
+        let base: Vpn = 512 * 5;
+        pt.set_block(base, Pte::new_block(2000, true));
+        assert!(pt.shatter_block(base + 3));
+        assert!(!pt.shatter_block(base), "second shatter is a no-op");
+        for off in [0u64, 9, 511] {
+            let p = pt.get(base + off);
+            assert!(p.present() && !p.block(), "offset {off} lost");
+            assert_eq!(p.pfn(), 2000 + off as Pfn);
+            assert!(p.writable());
+        }
+        // Clearing a single page after shatter leaves the others.
+        let old = pt.clear(base + 9);
+        assert_eq!(old.pfn(), 2009);
+        assert!(pt.get(base + 10).present());
+        assert!(!pt.get(base + 9).present());
+    }
+
+    #[test]
+    fn set_over_block_shatters_implicitly() {
+        let pt = PageTable::new();
+        let base: Vpn = 1024;
+        pt.set_block(base, Pte::new_block(3000, false));
+        // A 4 KiB install inside the block demotes it rather than
+        // corrupting the interior slot.
+        let old = pt.set(base + 2, Pte::new(77, true));
+        assert_eq!(old.pfn(), 3002, "displaced the synthesized member PTE");
+        assert_eq!(pt.get(base + 2).pfn(), 77);
+        assert_eq!(pt.get(base + 1).pfn(), 3001);
+    }
+
+    #[test]
+    fn clear_range_reports_block_span_once() {
+        let pt = PageTable::new();
+        let base: Vpn = 512 * 8;
+        pt.set_block(base, Pte::new_block(4000, true));
+        pt.set(base - 1, Pte::new(9, false));
+        let mut seen = Vec::new();
+        // Range partially overlaps the block: the whole block entry is
+        // cleared and reported exactly once with its full span.
+        pt.clear_range(base - 1, 10, |vpn, pages, pte| {
+            seen.push((vpn, pages, pte.pfn()));
+        });
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (base - 1, 1, 9));
+        assert_eq!(seen[1], (base, BLOCK_PAGES, 4000));
+        assert!(!pt.get(base + 100).present());
+    }
+
+    #[test]
+    fn blocks_freed_on_drop() {
+        // Drop must not confuse block PTEs with child pointers.
+        let pt = PageTable::new();
+        pt.set_block(0, Pte::new_block(1, true));
+        pt.set(512, Pte::new(2, true));
+        drop(pt);
     }
 
     #[test]

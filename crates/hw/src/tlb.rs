@@ -8,23 +8,46 @@
 
 use rvm_mem::Pfn;
 
+use crate::pagetable::BLOCK_PAGES;
 use crate::{Asid, Vpn};
 
 /// One TLB entry.
+///
+/// `span` is the number of pages the entry translates: 1 for ordinary
+/// fills, [`BLOCK_PAGES`] for superpage fills (whose `vpn` is the block
+/// base and `pfn` the base of the contiguous frame block). A lookup
+/// inside the span resolves to `pfn + (vpn - entry.vpn)`.
 #[derive(Clone, Copy, Debug)]
 pub struct TlbEntry {
     /// Address-space identifier.
     pub asid: Asid,
-    /// Virtual page number (full tag).
+    /// Virtual page number (full tag; block base for span entries).
     pub vpn: Vpn,
-    /// Cached translation target.
+    /// Cached translation target (block base for span entries).
     pub pfn: Pfn,
-    /// Frame generation at fill time.
+    /// Frame generation at fill time (the base frame's, for spans; block
+    /// frames only ever free as a unit, so the base is a faithful proxy).
     pub gen: u64,
+    /// Pages translated (1 or [`BLOCK_PAGES`]).
+    pub span: u64,
     /// Write permission.
     pub writable: bool,
     /// Entry validity.
     pub valid: bool,
+}
+
+impl TlbEntry {
+    /// True when this entry translates `(asid, vpn)`.
+    #[inline]
+    fn covers(&self, asid: Asid, vpn: Vpn) -> bool {
+        self.valid && self.asid == asid && vpn >= self.vpn && vpn < self.vpn + self.span
+    }
+
+    /// True when this entry overlaps `[start, start + n)` of `asid`.
+    #[inline]
+    fn overlaps(&self, asid: Asid, start: Vpn, n: u64) -> bool {
+        self.valid && self.asid == asid && self.vpn < start + n && self.vpn + self.span > start
+    }
 }
 
 const INVALID: TlbEntry = TlbEntry {
@@ -32,6 +55,7 @@ const INVALID: TlbEntry = TlbEntry {
     vpn: 0,
     pfn: 0,
     gen: 0,
+    span: 1,
     writable: false,
     valid: false,
 };
@@ -57,16 +81,30 @@ impl Tlb {
         (vpn as usize) & self.mask
     }
 
-    /// Looks up a translation.
+    /// Looks up a translation. Probes the page's own slot first (4 KiB
+    /// entries), then the covering block base's slot (span entries) —
+    /// the software analogue of hardware's split 4K/2M TLB probe.
     #[inline]
     pub fn lookup(&self, asid: Asid, vpn: Vpn) -> Option<TlbEntry> {
         let e = self.entries[self.slot(vpn)];
-        (e.valid && e.asid == asid && e.vpn == vpn).then_some(e)
+        if e.covers(asid, vpn) {
+            return Some(e);
+        }
+        let base = vpn & !(BLOCK_PAGES - 1);
+        if base != vpn {
+            let e = self.entries[self.slot(base)];
+            if e.covers(asid, vpn) {
+                return Some(e);
+            }
+        }
+        None
     }
 
-    /// Fills (or replaces) the entry for `vpn`.
+    /// Fills (or replaces) the entry for `vpn` (span entries index by
+    /// their block base).
     #[inline]
     pub fn insert(&mut self, entry: TlbEntry) {
+        debug_assert!(entry.span == 1 || entry.vpn.is_multiple_of(entry.span));
         let idx = self.slot(entry.vpn);
         self.entries[idx] = TlbEntry {
             valid: true,
@@ -74,27 +112,51 @@ impl Tlb {
         };
     }
 
-    /// Invalidates a single page of an address space.
+    /// Invalidates any entry translating `(asid, vpn)` — a 4 KiB entry
+    /// or a span entry covering the page.
     pub fn invalidate_page(&mut self, asid: Asid, vpn: Vpn) {
         let idx = self.slot(vpn);
         let e = &mut self.entries[idx];
-        if e.valid && e.asid == asid && e.vpn == vpn {
+        if e.covers(asid, vpn) {
             e.valid = false;
+            return;
+        }
+        let base = vpn & !(BLOCK_PAGES - 1);
+        if base != vpn {
+            let idx = self.slot(base);
+            let e = &mut self.entries[idx];
+            if e.covers(asid, vpn) {
+                e.valid = false;
+            }
         }
     }
 
-    /// Invalidates `[start, start + n)` of an address space.
+    /// Invalidates every entry overlapping `[start, start + n)` of an
+    /// address space, span entries included.
     pub fn invalidate_range(&mut self, asid: Asid, start: Vpn, n: u64) {
         if n as usize >= self.entries.len() {
             // Cheaper to scan the whole TLB, like a full flush would be.
             for e in self.entries.iter_mut() {
-                if e.valid && e.asid == asid && e.vpn >= start && e.vpn < start + n {
+                if e.overlaps(asid, start, n) {
                     e.valid = false;
                 }
             }
-        } else {
-            for vpn in start..start + n {
-                self.invalidate_page(asid, vpn);
+            return;
+        }
+        // Span entries overlapping the range sit at their block bases,
+        // which may precede `start`: probe each candidate base.
+        let mut base = start & !(BLOCK_PAGES - 1);
+        while base < start + n {
+            let e = &mut self.entries[self.slot(base)];
+            if e.span > 1 && e.overlaps(asid, start, n) {
+                e.valid = false;
+            }
+            base += BLOCK_PAGES;
+        }
+        for vpn in start..start + n {
+            let e = &mut self.entries[self.slot(vpn)];
+            if e.span == 1 && e.covers(asid, vpn) {
+                e.valid = false;
             }
         }
     }
@@ -129,8 +191,16 @@ mod tests {
             vpn,
             pfn,
             gen: 1,
+            span: 1,
             writable: true,
             valid: true,
+        }
+    }
+
+    fn span_entry(asid: Asid, base: Vpn, pfn: Pfn) -> TlbEntry {
+        TlbEntry {
+            span: BLOCK_PAGES,
+            ..entry(asid, base, pfn)
         }
     }
 
@@ -168,6 +238,44 @@ mod tests {
         // Large ranges fall back to the scan path.
         t.invalidate_range(1, 0, 1 << 20);
         assert_eq!(t.valid_count(), 0);
+    }
+
+    #[test]
+    fn span_entry_covers_whole_block() {
+        let mut t = Tlb::new(64);
+        let base = BLOCK_PAGES * 3;
+        t.insert(span_entry(1, base, 5000));
+        // Any page of the block hits, through the base-slot probe.
+        for off in [0u64, 1, 63, 64, 100, 511] {
+            let e = t
+                .lookup(1, base + off)
+                .unwrap_or_else(|| panic!("off {off}"));
+            assert_eq!(e.pfn + (base + off - e.vpn) as Pfn, 5000 + off as Pfn);
+        }
+        assert!(t.lookup(1, base - 1).is_none());
+        assert!(t.lookup(1, base + BLOCK_PAGES).is_none());
+        assert!(t.lookup(2, base + 4).is_none(), "other asid");
+        // A 4 KiB entry in a conflicting slot coexists until evicted.
+        t.insert(entry(1, base + 7, 9));
+        assert_eq!(t.lookup(1, base + 7).unwrap().pfn, 9);
+        assert!(t.lookup(1, base + 8).is_some(), "span survives");
+    }
+
+    #[test]
+    fn invalidate_range_kills_overlapping_span() {
+        let mut t = Tlb::new(64);
+        let base = BLOCK_PAGES * 2;
+        t.insert(span_entry(1, base, 1000));
+        // Range strictly inside the block, not touching the base page.
+        t.invalidate_range(1, base + 100, 4);
+        assert!(t.lookup(1, base).is_none(), "span must die on overlap");
+        // Disjoint range leaves a fresh span alone.
+        t.insert(span_entry(1, base, 1000));
+        t.invalidate_range(1, base + BLOCK_PAGES, 16);
+        assert!(t.lookup(1, base + 5).is_some());
+        // invalidate_page inside the span kills it too.
+        t.invalidate_page(1, base + 300);
+        assert!(t.lookup(1, base + 5).is_none());
     }
 
     #[test]

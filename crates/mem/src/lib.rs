@@ -31,6 +31,12 @@ use rvm_sync::{sim, CachePadded, ShardedStats, SpinLock};
 /// Size of a physical frame / virtual page in bytes.
 pub const FRAME_SIZE: usize = 4096;
 
+/// log2 of the frames in a superpage-backing block (2 MiB / 4 KiB).
+pub const BLOCK_ORDER: u8 = 9;
+
+/// Frames in one contiguous block ([`FramePool::alloc_block`]).
+pub const BLOCK_PAGES: usize = 1 << BLOCK_ORDER;
+
 /// Physical frame number.
 pub type Pfn = u32;
 
@@ -60,6 +66,21 @@ struct FrameMeta {
     mapcount: rvm_sync::Atomic64,
 }
 
+/// Where a freshly created frame is homed (which core's free list it
+/// returns to when freed). The paper's evaluation machines are NUMA; the
+/// policy knob models the kernel's page-homing choice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HomingPolicy {
+    /// Frames are homed on the core that first allocated them (the
+    /// kernel's default local-allocation policy).
+    #[default]
+    FirstTouch,
+    /// Fresh batches are homed round-robin across all cores (interleaved
+    /// allocation: spreads free-list return traffic instead of
+    /// concentrating it on the allocating core).
+    RoundRobin,
+}
+
 /// Allocation statistics.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PoolStats {
@@ -74,6 +95,13 @@ pub struct PoolStats {
     /// Outbound-magazine flushes (each returns a whole batch of remote
     /// frees to their home lists).
     pub magazine_flushes: u64,
+    /// Contiguous blocks handed out by [`FramePool::alloc_block`].
+    pub block_allocs: u64,
+    /// Contiguous blocks returned by [`FramePool::free_block`].
+    pub block_frees: u64,
+    /// Blocks currently parked in the reservation pool (a gauge, read at
+    /// snapshot time — hugetlb-style `reserve`/`release` accounting).
+    pub blocks_reserved: u64,
 }
 
 /// Field indices into the sharded stats block.
@@ -82,6 +110,8 @@ const F_REUSED: usize = 1;
 const F_REMOTE_FREES: usize = 2;
 const F_LOCAL_FREES: usize = 3;
 const F_MAG_FLUSHES: usize = 4;
+const F_BLOCK_ALLOCS: usize = 5;
+const F_BLOCK_FREES: usize = 6;
 
 /// Remote frees a core accumulates before flushing its outbound magazine
 /// to the home cores' lists. Large enough to amortize the home list's
@@ -92,10 +122,23 @@ pub const MAGAZINE_SIZE: usize = 64;
 /// One core's outbound magazine: remote frees tagged with their home.
 type Magazine = Vec<(u16, Pfn)>;
 
+/// A free-list of contiguous blocks, as `(order, base)` pairs.
+type BlockList = Vec<(u8, Pfn)>;
+
 /// The machine-wide physical frame pool.
 pub struct FramePool {
     ncores: usize,
+    /// Homing policy for fresh frames (see [`HomingPolicy`]).
+    policy: HomingPolicy,
+    /// Round-robin cursor for [`HomingPolicy::RoundRobin`] batch homing.
+    rr_next: AtomicU64,
     free_lists: Vec<CachePadded<SpinLock<Vec<Pfn>>>>,
+    /// Per-core free lists of contiguous blocks. Blocks are few and
+    /// large, so the short linear scan for a matching order is noise.
+    block_lists: Vec<CachePadded<SpinLock<BlockList>>>,
+    /// Hugetlb-style reservation pool: pre-created blocks parked until
+    /// drawn by `alloc_block` or returned by `release`.
+    reserved: SpinLock<BlockList>,
     /// Per-core outbound magazines: remote frees park here (tagged with
     /// their home core) and return home in batches, so a stream of
     /// remote frees costs one home-list cache-line transfer per
@@ -113,12 +156,18 @@ pub struct FramePool {
     /// sized, so this counter is deliberately uninstrumented.
     nframes: AtomicU64,
     /// Counters sharded per core (sum-on-read; DESIGN.md §6).
-    stats: ShardedStats<5>,
+    stats: ShardedStats<7>,
 }
 
 impl FramePool {
-    /// Creates a pool serving `ncores` cores.
+    /// Creates a pool serving `ncores` cores with first-touch homing.
     pub fn new(ncores: usize) -> Self {
+        Self::with_policy(ncores, HomingPolicy::FirstTouch)
+    }
+
+    /// Creates a pool serving `ncores` cores with the given homing
+    /// policy.
+    pub fn with_policy(ncores: usize, policy: HomingPolicy) -> Self {
         assert!((1..=rvm_sync::MAX_CORES).contains(&ncores));
         let chunk_ptrs = (0..MAX_CHUNKS)
             .map(|_| AtomicPtr::new(std::ptr::null_mut()))
@@ -126,9 +175,15 @@ impl FramePool {
             .into_boxed_slice();
         FramePool {
             ncores,
+            policy,
+            rr_next: AtomicU64::new(0),
             free_lists: (0..ncores)
                 .map(|_| CachePadded::new(SpinLock::new(Vec::new())))
                 .collect(),
+            block_lists: (0..ncores)
+                .map(|_| CachePadded::new(SpinLock::new(Vec::new())))
+                .collect(),
+            reserved: SpinLock::new(Vec::new()),
             magazines: (0..ncores)
                 .map(|_| CachePadded::new(SpinLock::new(Vec::with_capacity(MAGAZINE_SIZE))))
                 .collect(),
@@ -144,6 +199,21 @@ impl FramePool {
         self.ncores
     }
 
+    /// The pool's homing policy.
+    pub fn policy(&self) -> HomingPolicy {
+        self.policy
+    }
+
+    /// Home core for the next fresh batch allocated on `core`.
+    fn next_home(&self, core: usize) -> usize {
+        match self.policy {
+            HomingPolicy::FirstTouch => core,
+            HomingPolicy::RoundRobin => {
+                self.rr_next.fetch_add(1, Ordering::Relaxed) as usize % self.ncores
+            }
+        }
+    }
+
     /// Total frames ever created.
     pub fn total_frames(&self) -> usize {
         self.nframes.load(Ordering::Acquire) as usize
@@ -157,6 +227,9 @@ impl FramePool {
             remote_frees: self.stats.sum(F_REMOTE_FREES),
             local_frees: self.stats.sum(F_LOCAL_FREES),
             magazine_flushes: self.stats.sum(F_MAG_FLUSHES),
+            block_allocs: self.stats.sum(F_BLOCK_ALLOCS),
+            block_frees: self.stats.sum(F_BLOCK_FREES),
+            blocks_reserved: self.reserved.lock().len() as u64,
         }
     }
 
@@ -195,11 +268,28 @@ impl FramePool {
         }
         // Refill: create REFILL_BATCH fresh frames under the growth lock.
         const REFILL_BATCH: usize = 64;
+        let home = self.next_home(core);
+        let first = self.grow_contiguous(core, home, REFILL_BATCH);
+        // Adopt the batch: keep it minus the returned frame on our own
+        // list (the homing policy only governs where frees return to).
+        {
+            let mut list = self.free_lists[core].lock();
+            for i in (1..REFILL_BATCH).rev() {
+                list.push(first + i as Pfn);
+            }
+        }
+        first
+    }
+
+    /// Creates `count` fresh, physically contiguous frames homed on
+    /// `home`, returning the first PFN. Serialized by the growth lock;
+    /// `core` only attributes the statistics.
+    fn grow_contiguous(&self, core: usize, home: usize, count: usize) -> Pfn {
         let first;
         {
             let _g = self.grow_lock.lock();
             let n = self.nframes.load(Ordering::Acquire) as usize;
-            for i in 0..REFILL_BATCH {
+            for i in 0..count {
                 let idx = n + i;
                 if idx.is_multiple_of(CHUNK_FRAMES) {
                     let chunk_idx = idx / CHUNK_FRAMES;
@@ -207,7 +297,7 @@ impl FramePool {
                     let chunk: Vec<FrameMeta> = (0..CHUNK_FRAMES)
                         .map(|_| FrameMeta {
                             data: Box::new([0u8; FRAME_SIZE]),
-                            home: AtomicU16::new(core as u16),
+                            home: AtomicU16::new(home as u16),
                             gen: AtomicU64::new(1),
                             mapcount: rvm_sync::Atomic64::new(0),
                         })
@@ -216,25 +306,120 @@ impl FramePool {
                     self.chunk_ptrs[chunk_idx].store(leaked.as_mut_ptr(), Ordering::Release);
                 }
             }
-            self.nframes
-                .store((n + REFILL_BATCH) as u64, Ordering::Release);
+            self.nframes.store((n + count) as u64, Ordering::Release);
             first = n as Pfn;
         }
-        self.stats.add(core, F_FRESH, REFILL_BATCH as u64);
-        // Adopt the batch: home every frame here (first touch), keep the
-        // batch minus the returned frame on our own list.
-        for i in 0..REFILL_BATCH {
+        self.stats.add(core, F_FRESH, count as u64);
+        for i in 0..count {
             self.meta(first + i as Pfn)
                 .home
-                .store(core as u16, Ordering::Relaxed);
-        }
-        {
-            let mut list = self.free_lists[core].lock();
-            for i in (1..REFILL_BATCH).rev() {
-                list.push(first + i as Pfn);
-            }
+                .store(home as u16, Ordering::Relaxed);
         }
         first
+    }
+
+    /// Allocates a zeroed, physically contiguous block of `1 << order`
+    /// frames on `core`, returning the base PFN. Frames of a live block
+    /// are never freed individually; the whole block returns through
+    /// [`FramePool::free_block`].
+    ///
+    /// Prefers the core's own block list, then the reservation pool,
+    /// then fresh growth. Charges the simulator for zeroing the block.
+    pub fn alloc_block(&self, core: usize, order: u8) -> Pfn {
+        assert!(order <= BLOCK_ORDER, "unsupported block order {order}");
+        let pages = 1usize << order;
+        for _ in 0..pages {
+            sim::charge_page_work();
+        }
+        let recycled = {
+            let mut list = self.block_lists[core].lock();
+            list.iter()
+                .position(|&(o, _)| o == order)
+                .map(|i| list.swap_remove(i).1)
+        };
+        let recycled = recycled.or_else(|| {
+            let mut res = self.reserved.lock();
+            res.iter()
+                .position(|&(o, _)| o == order)
+                .map(|i| res.swap_remove(i).1)
+        });
+        let base = match recycled {
+            Some(base) => {
+                self.stats.add(core, F_REUSED, pages as u64);
+                for i in 0..pages {
+                    let meta = self.meta(base + i as Pfn);
+                    // SAFETY: the block was free (no mapping references
+                    // any of its frames), so access is exclusive.
+                    unsafe {
+                        std::ptr::write_bytes(meta.data.as_ptr() as *mut u8, 0, FRAME_SIZE);
+                    }
+                }
+                base
+            }
+            None => self.grow_contiguous(core, self.next_home(core), pages),
+        };
+        self.stats.add(core, F_BLOCK_ALLOCS, 1);
+        base
+    }
+
+    /// Frees the contiguous block at `base` (allocated with the same
+    /// `order`), bumping every member frame's generation so stale block
+    /// translations become detectable. The block returns whole to its
+    /// home core's block list.
+    pub fn free_block(&self, core: usize, base: Pfn, order: u8) {
+        let pages = 1usize << order;
+        for i in 0..pages {
+            self.meta(base + i as Pfn)
+                .gen
+                .fetch_add(1, Ordering::AcqRel);
+        }
+        let home = self.meta(base).home.load(Ordering::Relaxed) as usize % self.ncores;
+        self.stats.add(core, F_BLOCK_FREES, 1);
+        if home == core {
+            self.stats.add(core, F_LOCAL_FREES, pages as u64);
+        } else {
+            // One home-list lock per 512 frames: already better batched
+            // than the single-frame magazines, so return it directly.
+            self.stats.add(core, F_REMOTE_FREES, pages as u64);
+        }
+        self.block_lists[home].lock().push((order, base));
+    }
+
+    /// Hugetlb-style reservation: pre-creates `n_blocks` contiguous
+    /// blocks of `1 << order` frames and parks them in the reservation
+    /// pool, guaranteeing later `alloc_block` calls cannot fail for lack
+    /// of contiguity. Surfaced as [`PoolStats::blocks_reserved`].
+    pub fn reserve(&self, core: usize, n_blocks: usize, order: u8) {
+        assert!(order <= BLOCK_ORDER, "unsupported block order {order}");
+        let mut fresh = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            fresh.push((
+                order,
+                self.grow_contiguous(core, self.next_home(core), 1usize << order),
+            ));
+        }
+        self.reserved.lock().extend(fresh);
+    }
+
+    /// Returns up to `n_blocks` reserved blocks of `order` to `core`'s
+    /// general block free list (un-reserving them).
+    pub fn release(&self, core: usize, n_blocks: usize, order: u8) {
+        let mut moved = Vec::new();
+        {
+            let mut res = self.reserved.lock();
+            for _ in 0..n_blocks {
+                match res.iter().position(|&(o, _)| o == order) {
+                    Some(i) => moved.push(res.swap_remove(i)),
+                    None => break,
+                }
+            }
+        }
+        self.block_lists[core].lock().extend(moved);
+    }
+
+    /// Blocks currently parked in the reservation pool.
+    pub fn reserved_blocks(&self) -> usize {
+        self.reserved.lock().len()
     }
 
     /// Frees `pfn` from `core`, bumping its generation so stale
@@ -610,5 +795,85 @@ mod tests {
         let pool = FramePool::new(1);
         let f = pool.alloc(0);
         pool.write_u64(f, FRAME_SIZE - 4, 1);
+    }
+
+    #[test]
+    fn block_alloc_is_contiguous_zeroed_and_reusable() {
+        let pool = FramePool::new(2);
+        let base = pool.alloc_block(0, BLOCK_ORDER);
+        // Contiguous and writable across the whole block.
+        for i in 0..BLOCK_PAGES {
+            let pfn = base + i as Pfn;
+            assert_eq!(pool.read_u64(pfn, 0), 0, "frame {i} not zeroed");
+            pool.write_u64(pfn, 0, i as u64);
+        }
+        let gens: Vec<u64> = (0..BLOCK_PAGES)
+            .map(|i| pool.generation(base + i as Pfn))
+            .collect();
+        pool.free_block(0, base, BLOCK_ORDER);
+        // Every member frame's generation bumped (stale block TLB
+        // entries become detectable).
+        for (i, g) in gens.iter().enumerate() {
+            assert_eq!(pool.generation(base + i as Pfn), g + 1, "frame {i}");
+        }
+        // The block is reused whole, re-zeroed.
+        let again = pool.alloc_block(0, BLOCK_ORDER);
+        assert_eq!(again, base, "home core reuses the freed block");
+        assert_eq!(pool.read_u64(again, 0), 0);
+        let st = pool.stats();
+        assert_eq!(st.block_allocs, 2);
+        assert_eq!(st.block_frees, 1);
+    }
+
+    #[test]
+    fn block_free_returns_home() {
+        let pool = FramePool::new(2);
+        let base = pool.alloc_block(0, BLOCK_ORDER);
+        // Freed from core 1: returns whole to core 0's block list.
+        pool.free_block(1, base, BLOCK_ORDER);
+        assert_eq!(pool.stats().remote_frees, BLOCK_PAGES as u64);
+        let other = pool.alloc_block(1, BLOCK_ORDER);
+        assert_ne!(other, base, "core 1 must not see core 0's block");
+        assert_eq!(pool.alloc_block(0, BLOCK_ORDER), base);
+    }
+
+    #[test]
+    fn reservation_accounting() {
+        let pool = FramePool::new(1);
+        pool.reserve(0, 3, BLOCK_ORDER);
+        assert_eq!(pool.stats().blocks_reserved, 3);
+        assert_eq!(pool.reserved_blocks(), 3);
+        // An allocation draws from the reservation before growing.
+        let frames_before = pool.total_frames();
+        let b = pool.alloc_block(0, BLOCK_ORDER);
+        assert_eq!(pool.total_frames(), frames_before, "drew from reserve");
+        assert_eq!(pool.stats().blocks_reserved, 2);
+        pool.free_block(0, b, BLOCK_ORDER);
+        // Release moves the rest to the general block list.
+        pool.release(0, 2, BLOCK_ORDER);
+        assert_eq!(pool.stats().blocks_reserved, 0);
+        assert_eq!(pool.total_frames(), frames_before);
+        pool.alloc_block(0, BLOCK_ORDER);
+        assert_eq!(pool.total_frames(), frames_before, "released block reused");
+    }
+
+    #[test]
+    fn round_robin_homing_spreads_batches() {
+        let pool = FramePool::with_policy(4, HomingPolicy::RoundRobin);
+        assert_eq!(pool.policy(), HomingPolicy::RoundRobin);
+        // All growth happens on core 0; homes must still rotate.
+        let mut homes = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let b = pool.alloc_block(0, BLOCK_ORDER);
+            homes.insert(pool.home(b));
+        }
+        assert!(
+            homes.len() == 4,
+            "round-robin homing must cover all cores, got {homes:?}"
+        );
+        // First-touch keeps everything local.
+        let ft = FramePool::new(4);
+        let b = ft.alloc_block(2, BLOCK_ORDER);
+        assert_eq!(ft.home(b), 2);
     }
 }

@@ -122,6 +122,95 @@ mod tests {
     }
 
     #[test]
+    fn expand_to_block_preserves_bottom_fold() {
+        let t = tree(1);
+        let start = 512 * 11;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&8);
+        }
+        // A single-page lock in ExpandToBlock mode must lock the folded
+        // slot whole instead of expanding it.
+        {
+            let mut g = t.lock_range(0, start + 37, start + 38, LockMode::ExpandToBlock);
+            let (lo, pages, v) = g.block_entry_mut().expect("fold preserved");
+            assert_eq!((lo, pages), (start, 512));
+            assert_eq!(*v, 8);
+            *v = 9; // fault-time state lands in the single block value
+        }
+        assert_eq!(t.stats().leaf_nodes(), 0, "no expansion happened");
+        assert_eq!(t.get(0, start + 500), Some(9), "all pages see the edit");
+        // Once leaves exist, the same mode resolves to the leaf slot.
+        {
+            let mut g = t.lock_range(0, start + 1, start + 2, LockMode::ExpandFolded);
+            g.clear();
+        }
+        {
+            let mut g = t.lock_range(0, start + 37, start + 38, LockMode::ExpandToBlock);
+            assert!(g.block_entry_mut().is_none());
+            assert_eq!(g.page_value_mut(), Some(&mut 9));
+        }
+    }
+
+    #[test]
+    fn expand_to_block_descends_through_high_folds() {
+        let t = tree(1);
+        // Folds at level 1 (512 * 512 pages): ExpandToBlock must expand
+        // the high fold down to the bottom interior level, then stop.
+        let span = 512 * 512;
+        {
+            let mut g = t.lock_range(0, 0, span, LockMode::ExpandAll);
+            g.replace(&3);
+        }
+        {
+            let mut g = t.lock_range(0, 700, 701, LockMode::ExpandToBlock);
+            let (lo, pages, v) = g.block_entry_mut().expect("bottom fold");
+            assert_eq!((lo, pages), (512, 512));
+            assert_eq!(*v, 3);
+        }
+        assert_eq!(t.stats().leaf_nodes(), 0);
+        // An empty region locks as an empty block: no entry.
+        let mut g = t.lock_range(0, span + 5, span + 6, LockMode::ExpandToBlock);
+        assert!(g.block_entry_mut().is_none());
+        assert!(g.page_value_mut().is_none());
+    }
+
+    #[test]
+    fn expanded_values_visible_before_guard_drop() {
+        let t = tree(1);
+        let start = 512 * 21;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&4);
+        }
+        // Partial clear expands the fold; the whole expanded leaf (all
+        // 512 clones, in and out of range) is editable under the guard.
+        {
+            let mut g = t.lock_range(0, start + 5, start + 6, LockMode::ExpandFolded);
+            let mut seen = 0u64;
+            let mut lo = u64::MAX;
+            let mut hi = 0;
+            g.for_each_expanded_value_mut(|vpn, v| {
+                assert_eq!(*v, 4);
+                *v += 1;
+                seen += 1;
+                lo = lo.min(vpn);
+                hi = hi.max(vpn);
+            });
+            assert_eq!(seen, 512, "every clone of the template is visited");
+            assert_eq!((lo, hi), (start, start + 511));
+            g.clear();
+        }
+        assert_eq!(t.get(0, start + 4), Some(5));
+        assert_eq!(t.get(0, start + 5), None);
+        // A lock that expanded nothing visits nothing.
+        let mut g = t.lock_range(0, start + 7, start + 8, LockMode::ExpandFolded);
+        let mut seen = 0;
+        g.for_each_expanded_value_mut(|_, _| seen += 1);
+        assert_eq!(seen, 0);
+    }
+
+    #[test]
     fn partial_op_on_folded_expands() {
         let t = tree(1);
         let start = 512 * 3;

@@ -109,8 +109,13 @@ pub enum LockMode {
     /// slot unless the range covers the whole block (mmap).
     ExpandAll,
     /// Expand folded slots only; lock partially covered empty interior
-    /// slots as blocks (munmap, pagefault).
+    /// slots as blocks (munmap, mprotect, the 4 KiB pagefault).
     ExpandFolded,
+    /// Like [`LockMode::ExpandFolded`], but a folded slot at the *last
+    /// interior level* (spanning one [`FANOUT`]-page block) is locked as
+    /// a block instead of expanded — the superpage fault path: the fold
+    /// stays intact so one block value can govern one block PTE.
+    ExpandToBlock,
 }
 
 /// A value (or block value) displaced by [`RangeGuard::clear`] /
@@ -467,7 +472,7 @@ impl<V: RadixValue> RadixTree<V> {
                 let tag = slot_tag(v);
                 debug_assert_ne!(tag, TAG_CHILD);
                 let expand = match tag {
-                    TAG_FOLDED => !full,
+                    TAG_FOLDED => !full && (mode != LockMode::ExpandToBlock || level != LEVELS - 2),
                     TAG_EMPTY => !full && mode == LockMode::ExpandAll,
                     _ => unreachable!("invalid slot tag"),
                 };
@@ -1043,6 +1048,69 @@ impl<V: RadixValue> RangeGuard<'_, V> {
             }
         }
         None
+    }
+
+    /// For a guard holding a locked *folded* block slot (the
+    /// [`LockMode::ExpandToBlock`] fault path), returns the block's
+    /// first VPN, page span, and mutable access to its single governing
+    /// value. Returns `None` when the range resolved to leaves or an
+    /// empty block instead.
+    ///
+    /// The value's presence must not change through this reference.
+    pub fn block_entry_mut(&mut self) -> Option<(Vpn, u64, &mut V)> {
+        for unit in self.units.iter() {
+            match unit {
+                Unit::Block { node, idx, .. } => {
+                    let n = nref(*node);
+                    let slot = &n.interior()[*idx];
+                    let w = slot.load(Ordering::Acquire);
+                    debug_assert!(w & LOCK_BIT != 0, "interior slot not locked");
+                    if slot_tag(w) == TAG_FOLDED {
+                        let start = n.base_vpn + *idx as u64 * n.slot_span();
+                        // SAFETY: we hold the slot lock for the guard's
+                        // lifetime and hand out a borrow tied to it.
+                        return Some((start, n.slot_span(), unsafe {
+                            &mut *(slot_ptr(w) as *mut V)
+                        }));
+                    }
+                    return None;
+                }
+                Unit::LeafRange { .. } => return None,
+                Unit::WholeNode { .. } => {}
+            }
+        }
+        None
+    }
+
+    /// Applies `f(vpn, value)` to every present value of every *leaf*
+    /// node this lock operation created by expansion (whole-node units).
+    ///
+    /// Expanded leaves hold clones of the displaced folded template in
+    /// **all** their slots — including slots outside the requested range
+    /// — and every slot lock is born held until the guard drops, so the
+    /// caller has exclusive access to fix up clone-sensitive state (the
+    /// superpage demotion protocol adopts block references here before
+    /// any other core can observe the per-page copies).
+    pub fn for_each_expanded_value_mut(&mut self, mut f: impl FnMut(Vpn, &mut V)) {
+        for unit in self.units.iter() {
+            if let Unit::WholeNode { node } = unit {
+                let n = nref(*node);
+                if !n.is_leaf() {
+                    continue;
+                }
+                for (idx, slot) in n.leaf().iter().enumerate() {
+                    let st = slot.status.load(Ordering::Acquire);
+                    debug_assert!(st & LOCK_BIT != 0, "expanded slot not locked");
+                    if st & LEAF_PRESENT != 0 {
+                        // SAFETY: the slot lock is born held by this
+                        // guard's whole-node unit.
+                        if let Some(v) = unsafe { (*slot.value.get()).as_mut() } {
+                            f(n.base_vpn + idx as u64, v);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Number of distinct locked units (diagnostics).

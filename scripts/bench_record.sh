@@ -9,6 +9,11 @@
 #     and per-core retention for every backend on 1..16 simulated cores,
 #     remote cache-line transfers and shootdown IPIs per op, plus the
 #     scaling-gate verdict (bench_scale exits non-zero on regression).
+#   BENCH_huge.json     — huge-mapping (superpage) populate: faults,
+#     superpage installs/demotions, index and page-table bytes for every
+#     backend with and without the huge hint, plus the gate verdict
+#     (≥ 8x fewer faults, strictly smaller index; bench_huge exits
+#     non-zero on regression).
 #
 # Run from the repository root; commit the refreshed files.
 set -euo pipefail
@@ -21,3 +26,7 @@ cat BENCH_fastpath.json
 cargo run --release -p rvm_bench --bin bench_scale > BENCH_scale.json
 echo "wrote $(pwd)/BENCH_scale.json:" >&2
 cat BENCH_scale.json
+
+cargo run --release -p rvm_bench --bin bench_huge > BENCH_huge.json
+echo "wrote $(pwd)/BENCH_huge.json:" >&2
+cat BENCH_huge.json

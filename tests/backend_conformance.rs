@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use radixvm::backend::{build, BackendKind};
-use radixvm::hw::{Backing, Machine, Prot, VmError, VmSystem, PAGE_SIZE};
+use radixvm::hw::{Backing, Machine, MapFlags, Prot, VmError, VmSystem, BLOCK_PAGES, PAGE_SIZE};
 
 const BASE: u64 = 0x50_0000_0000;
 
@@ -240,6 +240,118 @@ fn op_stats_exact_under_concurrent_disjoint_ops() {
         );
         assert_eq!(st.faults_cow, 0, "{kind}: spurious CoW faults");
         vm.quiesce();
+    }
+}
+
+#[test]
+fn huge_hint_is_semantics_preserving() {
+    // The MapFlags::HUGE hint is advisory: on every backend — whether it
+    // installs superpages, or ignores the hint entirely — reads,
+    // protection behavior, partial unmap, and cross-core visibility are
+    // identical with and without it. Two aligned regions, one hinted,
+    // driven through the same script; every observation must match.
+    let hinted_base = 0x60_0000_0000u64; // 2 MiB aligned
+    let plain_base = hinted_base + 8 * BLOCK_PAGES * PAGE_SIZE;
+    let len = BLOCK_PAGES * PAGE_SIZE;
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(2);
+        let vm = build(&machine, kind);
+        vm.attach_core(0);
+        vm.attach_core(1);
+        vm.mmap_flags(0, hinted_base, len, Prot::RW, Backing::Anon, MapFlags::HUGE)
+            .unwrap_or_else(|e| panic!("{kind}: hinted mmap failed: {e}"));
+        vm.mmap_flags(0, plain_base, len, Prot::RW, Backing::Anon, MapFlags::NONE)
+            .unwrap();
+        let script: Vec<u64> = (0..BLOCK_PAGES)
+            .step_by(31)
+            .chain([BLOCK_PAGES - 1])
+            .collect();
+        // Demand-zero, then write/read the same pattern on both.
+        for &p in &script {
+            for (base, tag) in [(hinted_base, 1u64), (plain_base, 2)] {
+                let va = base + p * PAGE_SIZE;
+                assert_eq!(machine.read_u64(0, &*vm, va).unwrap(), 0, "{kind}");
+                machine.write_u64(0, &*vm, va, tag << 32 | p).unwrap();
+            }
+        }
+        // Cross-core visibility matches.
+        for &p in &script {
+            assert_eq!(
+                machine
+                    .read_u64(1, &*vm, hinted_base + p * PAGE_SIZE)
+                    .unwrap(),
+                1 << 32 | p,
+                "{kind}: hinted page {p} wrong on core 1"
+            );
+            assert_eq!(
+                machine
+                    .read_u64(1, &*vm, plain_base + p * PAGE_SIZE)
+                    .unwrap(),
+                2 << 32 | p,
+                "{kind}: plain page {p} wrong on core 1"
+            );
+        }
+        // Protection downgrades behave identically. (Whether contents
+        // survive the revoke is backend policy — the Linux/Bonsai
+        // baselines drop them — but the hinted region must do exactly
+        // what the plain one does.)
+        for base in [hinted_base, plain_base] {
+            vm.mprotect(0, base, len, Prot::READ).unwrap();
+            assert_eq!(
+                machine.write_u64(0, &*vm, base, 9),
+                Err(VmError::ProtViolation),
+                "{kind}"
+            );
+        }
+        let hinted_v = machine.read_u64(1, &*vm, hinted_base).unwrap();
+        let plain_v = machine.read_u64(1, &*vm, plain_base).unwrap();
+        assert_eq!(
+            hinted_v & 0xFFFF_FFFF,
+            plain_v & 0xFFFF_FFFF,
+            "{kind}: hinted mprotect diverged from plain"
+        );
+        assert_eq!(
+            hinted_v >> 32 != 0,
+            plain_v >> 32 != 0,
+            "{kind}: content survival differs with the hint"
+        );
+        for base in [hinted_base, plain_base] {
+            vm.mprotect(0, base, len, Prot::RW).unwrap();
+        }
+        // Restore the pattern (backends that drop contents on revoke
+        // refill demand-zero).
+        for &p in &script {
+            for (base, tag) in [(hinted_base, 1u64), (plain_base, 2)] {
+                machine
+                    .write_u64(0, &*vm, base + p * PAGE_SIZE, tag << 32 | p)
+                    .unwrap();
+            }
+        }
+        // Partial unmap: identical survivors and holes.
+        for base in [hinted_base, plain_base] {
+            vm.munmap(0, base + 64 * PAGE_SIZE, 64 * PAGE_SIZE).unwrap();
+            assert_eq!(
+                machine.read_u64(0, &*vm, base + 64 * PAGE_SIZE),
+                Err(VmError::NoMapping),
+                "{kind}"
+            );
+        }
+        for &p in &script {
+            if (64..128).contains(&p) {
+                continue;
+            }
+            assert_eq!(
+                machine
+                    .read_u64(0, &*vm, hinted_base + p * PAGE_SIZE)
+                    .unwrap(),
+                1 << 32 | p,
+                "{kind}: hinted page {p} lost after partial unmap"
+            );
+        }
+        vm.munmap(0, hinted_base, len).unwrap();
+        vm.munmap(0, plain_base, len).unwrap();
+        vm.quiesce();
+        assert_eq!(machine.stats().stale_detected, 0, "{kind}");
     }
 }
 

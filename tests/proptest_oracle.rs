@@ -4,8 +4,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use radixvm::backend::{build, BackendKind};
 use radixvm::baselines::{SkipList, Vma, VmaMap};
-use radixvm::hw::{Backing, Prot};
+use radixvm::hw::{Backing, Machine, MapFlags, Prot, VmError, BLOCK_PAGES, PAGE_SIZE};
 use radixvm::radix::{LockMode, RadixConfig, RadixTree, Removed};
 use radixvm::refcache::{Managed, Refcache, ReleaseCtx};
 
@@ -29,8 +30,146 @@ fn tree_op() -> impl Strategy<Value = TreeOp> {
     ]
 }
 
+/// VM-level operations over a small window, mixing granularities: maps
+/// may be superpage-aligned (and hinted) or arbitrary 4 KiB ranges, and
+/// unmaps freely cut across populated superpages (forcing demotion).
+#[derive(Debug, Clone)]
+enum VmOp {
+    /// mmap `pages` pages at `start`; `aligned` snaps both to block
+    /// boundaries, `huge` adds the superpage hint.
+    Map {
+        start: u64,
+        pages: u64,
+        aligned: bool,
+        huge: bool,
+    },
+    /// munmap `pages` pages at `start` (aligned variant as above).
+    Unmap {
+        start: u64,
+        pages: u64,
+        aligned: bool,
+    },
+    /// Write `val` to page `page` through the access path.
+    Write { page: u64, val: u64 },
+    /// Read page `page` through the access path.
+    Read { page: u64 },
+}
+
+/// The mixed-granularity window: 4 superpage blocks.
+const VM_WINDOW: u64 = 4 * BLOCK_PAGES;
+
+fn vm_op() -> impl Strategy<Value = VmOp> {
+    prop_oneof![
+        (0..VM_WINDOW, 1..1100u64, any::<bool>(), any::<bool>()).prop_map(
+            |(start, pages, aligned, huge)| VmOp::Map {
+                start,
+                pages,
+                aligned,
+                huge
+            }
+        ),
+        (0..VM_WINDOW, 1..1100u64, any::<bool>()).prop_map(|(start, pages, aligned)| {
+            VmOp::Unmap {
+                start,
+                pages,
+                aligned,
+            }
+        }),
+        (0..VM_WINDOW, any::<u64>()).prop_map(|(page, val)| VmOp::Write { page, val }),
+        (0..VM_WINDOW).prop_map(|page| VmOp::Read { page }),
+    ]
+}
+
+/// Snaps an op's `(start, pages)` to the window, optionally to block
+/// alignment. Returns `None` when nothing is left.
+fn clamp(start: u64, pages: u64, aligned: bool) -> Option<(u64, u64)> {
+    let (start, pages) = if aligned {
+        let s = start & !(BLOCK_PAGES - 1);
+        (s, pages.div_ceil(BLOCK_PAGES) * BLOCK_PAGES)
+    } else {
+        (start, pages)
+    };
+    let start = start.min(VM_WINDOW);
+    let pages = pages.min(VM_WINDOW - start);
+    (pages > 0).then_some((start, pages))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full RadixVM address space agrees with a flat per-page oracle
+    /// under mixed-granularity op sequences: hinted aligned mappings
+    /// (superpage installs), arbitrary 4 KiB mappings over them,
+    /// demotion-forcing partial unmaps, and reads/writes through the
+    /// machine access path.
+    #[test]
+    fn radix_vm_mixed_granularity_matches_flat_oracle(
+        ops in proptest::collection::vec(vm_op(), 1..60)
+    ) {
+        let machine = Machine::new(1);
+        let vm = build(&machine, BackendKind::Radix);
+        vm.attach_core(0);
+        let base_va: u64 = 0x80_0000_0000; // superpage aligned
+        let va = |p: u64| base_va + p * PAGE_SIZE;
+        // page -> current value of mapped pages.
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                VmOp::Map { start, pages, aligned, huge } => {
+                    let Some((start, pages)) = clamp(start, pages, aligned) else {
+                        continue;
+                    };
+                    let flags = if huge { MapFlags::HUGE } else { MapFlags::NONE };
+                    vm.mmap_flags(0, va(start), pages * PAGE_SIZE, Prot::RW,
+                                  Backing::Anon, flags).unwrap();
+                    for p in start..start + pages {
+                        oracle.insert(p, 0); // demand zero
+                    }
+                }
+                VmOp::Unmap { start, pages, aligned } => {
+                    let Some((start, pages)) = clamp(start, pages, aligned) else {
+                        continue;
+                    };
+                    vm.munmap(0, va(start), pages * PAGE_SIZE).unwrap();
+                    for p in start..start + pages {
+                        oracle.remove(&p);
+                    }
+                }
+                VmOp::Write { page, val } => {
+                    let r = machine.write_u64(0, &*vm, va(page), val);
+                    match oracle.get_mut(&page) {
+                        Some(slot) => {
+                            prop_assert_eq!(r, Ok(()), "write to mapped page {}", page);
+                            *slot = val;
+                        }
+                        None => prop_assert_eq!(r, Err(VmError::NoMapping)),
+                    }
+                }
+                VmOp::Read { page } => {
+                    let r = machine.read_u64(0, &*vm, va(page));
+                    match oracle.get(&page) {
+                        Some(v) => prop_assert_eq!(r, Ok(*v), "read of page {}", page),
+                        None => prop_assert_eq!(r, Err(VmError::NoMapping)),
+                    }
+                }
+            }
+        }
+        // Final sweep: every page of the window agrees with the oracle.
+        for p in 0..VM_WINDOW {
+            let r = machine.read_u64(0, &*vm, va(p));
+            match oracle.get(&p) {
+                Some(v) => prop_assert_eq!(r, Ok(*v), "final sweep page {}", p),
+                None => prop_assert_eq!(r, Err(VmError::NoMapping), "page {}", p),
+            }
+        }
+        prop_assert_eq!(machine.stats().stale_detected, 0);
+        // Tear down and verify nothing double-frees: every block alloc
+        // has at most one block free.
+        vm.munmap(0, base_va, VM_WINDOW * PAGE_SIZE).unwrap();
+        vm.quiesce();
+        let st = machine.pool().stats();
+        prop_assert!(st.block_frees <= st.block_allocs);
+    }
 
     /// The radix tree behaves exactly like a BTreeMap of per-page values,
     /// including across folding, expansion, and collapse.

@@ -1,0 +1,196 @@
+//! Superpage (variable-granularity) integration tests: concurrent
+//! demotion, exact frame accounting, and reservation plumbing.
+//!
+//! The demotion protocol (DESIGN.md §7) must hold under real threads:
+//! one thread partially unmapping a populated superpage while others
+//! fault adjacent 4 KiB pages of the same block must never lose a
+//! translation, double-free a frame, or leave the block's reference
+//! count wrong. `quiesce` makes frame accounting exact afterwards.
+
+use std::sync::Arc;
+
+use radixvm::backend::{build, BackendKind};
+use radixvm::hw::{Backing, Machine, MapFlags, Prot, VmError, VmSystem, BLOCK_PAGES, PAGE_SIZE};
+use radixvm::mem::BLOCK_ORDER;
+
+const BASE: u64 = 0x70_0000_0000; // 2 MiB aligned
+const BLOCK_BYTES: u64 = BLOCK_PAGES * PAGE_SIZE;
+
+fn radix(ncores: usize) -> (Arc<Machine>, Arc<dyn VmSystem>) {
+    let machine = Machine::new(ncores);
+    let vm = build(&machine, BackendKind::Radix);
+    for c in 0..ncores {
+        vm.attach_core(c);
+    }
+    (machine, vm)
+}
+
+#[test]
+fn concurrent_demotion_loses_no_ptes() {
+    // One thread repeatedly unmaps/remaps the first 64 pages of a
+    // populated superpage (forcing demotion each cycle) while three
+    // others hammer reads and writes on the surviving 448 pages.
+    let (machine, vm) = radix(4);
+    vm.mmap_flags(
+        0,
+        BASE,
+        BLOCK_BYTES,
+        Prot::RW,
+        Backing::Anon,
+        MapFlags::HUGE,
+    )
+    .unwrap();
+    // Populate as a superpage and stamp every surviving page.
+    for p in 64..BLOCK_PAGES {
+        machine
+            .write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0x5000 + p)
+            .unwrap();
+    }
+    let mut handles = Vec::new();
+    {
+        let machine = machine.clone();
+        let vm = vm.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                vm.munmap(0, BASE, 64 * PAGE_SIZE).unwrap();
+                vm.mmap_flags(
+                    0,
+                    BASE,
+                    64 * PAGE_SIZE,
+                    Prot::RW,
+                    Backing::Anon,
+                    MapFlags::NONE,
+                )
+                .unwrap();
+                machine.write_u64(0, &*vm, BASE, 1).unwrap();
+            }
+        }));
+    }
+    for core in 1..4usize {
+        let machine = machine.clone();
+        let vm = vm.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut x = core as u64;
+            for i in 0..400u64 {
+                // Surviving pages only: they must never disappear.
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                let p = 64 + x % (BLOCK_PAGES - 64);
+                let va = BASE + p * PAGE_SIZE;
+                let got = machine
+                    .read_u64(core, &*vm, va)
+                    .unwrap_or_else(|e| panic!("page {p} lost: {e}"));
+                assert_eq!(got, 0x5000 + p, "page {p} corrupted");
+                if i % 7 == 0 {
+                    machine.write_u64(core, &*vm, va, 0x5000 + p).unwrap();
+                }
+                if i % 64 == 0 {
+                    vm.maintain(core);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(machine.stats().stale_detected, 0, "stale translation");
+    // Exactly one demotion freed nothing early: the block is still the
+    // backing of pages 64..512 plus per-4KiB frames for 0..64.
+    vm.munmap(0, BASE, BLOCK_BYTES).unwrap();
+    vm.quiesce();
+    let st = machine.pool().stats();
+    assert_eq!(st.block_frees, 1, "superpage block freed exactly once");
+    // Every 4 KiB frame allocated for the low 64 pages came back too:
+    // allocations equal frees (fresh frames minus those still on free
+    // lists is exactly zero once everything is unmapped).
+    let ops = vm.op_stats();
+    assert!(ops.superpage_demotions >= 1, "demotion never happened");
+    assert_eq!(
+        st.local_frees + st.remote_frees,
+        // 512 block member frames (freed in one block) + one 4 KiB frame
+        // per alloc-fault on the low pages.
+        BLOCK_PAGES + (ops.faults_alloc - 1),
+        "frame accounting off after quiesce"
+    );
+}
+
+#[test]
+fn demotion_under_faults_on_every_radix_backend() {
+    // The demotion protocol is granularity-correct on the shared-table
+    // ablation too (block PTE lives in one table; span shootdown
+    // broadcasts).
+    for kind in [
+        BackendKind::Radix,
+        BackendKind::RadixSharedPt,
+        BackendKind::RadixNoCollapse,
+    ] {
+        let machine = Machine::new(2);
+        let vm = build(&machine, kind);
+        vm.attach_core(0);
+        vm.attach_core(1);
+        vm.mmap_flags(
+            0,
+            BASE,
+            BLOCK_BYTES,
+            Prot::RW,
+            Backing::Anon,
+            MapFlags::HUGE,
+        )
+        .unwrap();
+        machine
+            .write_u64(1, &*vm, BASE + 100 * PAGE_SIZE, 77)
+            .unwrap();
+        // Partial unmap demotes; survivor keeps its contents on the
+        // *other* core.
+        vm.munmap(0, BASE, 10 * PAGE_SIZE).unwrap();
+        assert_eq!(
+            machine.read_u64(1, &*vm, BASE + 100 * PAGE_SIZE).unwrap(),
+            77,
+            "{kind}: survivor lost"
+        );
+        assert_eq!(
+            machine.read_u64(1, &*vm, BASE),
+            Err(VmError::NoMapping),
+            "{kind}: unmapped page survived"
+        );
+        vm.munmap(0, BASE + 10 * PAGE_SIZE, BLOCK_BYTES - 10 * PAGE_SIZE)
+            .unwrap();
+        vm.quiesce();
+        assert_eq!(
+            machine.pool().stats().block_frees,
+            1,
+            "{kind}: block not freed exactly once"
+        );
+        assert_eq!(machine.stats().stale_detected, 0, "{kind}");
+    }
+}
+
+#[test]
+fn reservation_backs_superpage_faults() {
+    // A hugetlb-style reservation is drawn by superpage population
+    // instead of growing the pool.
+    let (machine, vm) = radix(1);
+    machine.pool().reserve(0, 2, BLOCK_ORDER);
+    assert_eq!(machine.pool().stats().blocks_reserved, 2);
+    let frames_before = machine.pool().total_frames();
+    vm.mmap_flags(
+        0,
+        BASE,
+        2 * BLOCK_BYTES,
+        Prot::RW,
+        Backing::Anon,
+        MapFlags::HUGE,
+    )
+    .unwrap();
+    for b in 0..2u64 {
+        machine
+            .write_u64(0, &*vm, BASE + b * BLOCK_BYTES, b)
+            .unwrap();
+    }
+    assert_eq!(
+        machine.pool().total_frames(),
+        frames_before,
+        "population must draw from the reservation"
+    );
+    assert_eq!(machine.pool().stats().blocks_reserved, 0);
+    assert_eq!(vm.op_stats().superpage_installs, 2);
+}
