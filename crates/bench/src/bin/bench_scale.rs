@@ -15,8 +15,8 @@
 //! JSON). Env: `RVM_CORES=1,4,...`, `RVM_DUR_MS`.
 
 use rvm_bench::scale::{
-    check_gate, disjoint_sweep, retention, scale_core_counts, ScalePoint, RADIX_REMOTE_PER_OP_CEIL,
-    RADIX_RETENTION_FLOOR,
+    check_contended, check_gate, contended_sweep, disjoint_sweep, retention, scale_core_counts,
+    ScalePoint, CONTENDED_DEGRADATION_FLOOR, RADIX_REMOTE_PER_OP_CEIL, RADIX_RETENTION_FLOOR,
 };
 use rvm_bench::{duration_ns, BackendKind};
 
@@ -70,6 +70,21 @@ fn main() {
         get(BackendKind::Bonsai),
         get(BackendKind::Linux),
     );
+    // The adversarial companion sweep: all cores hammering one range
+    // (graceful-degradation gate; ROADMAP's contended-range item).
+    eprintln!("sweeping contended range on RadixVM over {cores:?} cores...");
+    let contended = contended_sweep(BackendKind::Radix, &cores, dur);
+    for p in &contended {
+        eprintln!(
+            "  {:>20} {:>3} cores: {:>12.0} ops/s ({:.3} remote/op, {:.3} ipi/op)",
+            "RadixVM/contended",
+            p.cores,
+            p.ops_per_sec(),
+            p.remote_per_op(),
+            p.ipis_per_op(),
+        );
+    }
+    let contended_report = check_contended(&contended);
 
     println!("{{");
     println!("  \"schema\": 1,");
@@ -90,6 +105,29 @@ fn main() {
         print_backend(kind.name(), points, i + 1 == sweeps.len());
     }
     println!("  }},");
+    println!("  \"contended\": {{");
+    println!("    \"workload\": \"all cores mmap+touch+munmap ONE shared 4-page range\",");
+    println!("    \"points\": [");
+    for (i, p) in contended.iter().enumerate() {
+        let comma = if i + 1 == contended.len() { "" } else { "," };
+        println!(
+            "      {{\"cores\": {}, \"ops_per_sec\": {:.0}, \"vs_serial\": {:.4}, \
+             \"remote_per_op\": {:.4}, \"ipis_per_op\": {:.4}}}{comma}",
+            p.cores,
+            p.ops_per_sec(),
+            p.ops_per_sec() / contended[0].ops_per_sec().max(1e-9),
+            p.remote_per_op(),
+            p.ipis_per_op(),
+        );
+    }
+    println!("    ],");
+    println!("    \"degradation_floor\": {CONTENDED_DEGRADATION_FLOOR},");
+    println!(
+        "    \"worst_vs_serial\": {:.4},",
+        contended_report.worst_ratio
+    );
+    println!("    \"passed\": {}", contended_report.passed());
+    println!("  }},");
     println!("  \"gate\": {{");
     println!("    \"radix_retention_floor\": {RADIX_RETENTION_FLOOR},");
     println!("    \"radix_remote_per_op_ceiling\": {RADIX_REMOTE_PER_OP_CEIL},");
@@ -104,20 +142,22 @@ fn main() {
     println!("  }}");
     println!("}}");
 
-    if !report.passed() {
+    if !report.passed() || !contended_report.passed() {
         eprintln!("SCALING GATE FAILED:");
-        for f in &report.failures {
+        for f in report.failures.iter().chain(&contended_report.failures) {
             eprintln!("  {f}");
         }
         std::process::exit(1);
     }
     eprintln!(
         "scaling gate passed: radix retention {:.3} at {} cores \
-         (bonsai {:.3}, linux {:.3}), {:.3} remote lines/op",
+         (bonsai {:.3}, linux {:.3}), {:.3} remote lines/op; \
+         contended worst {:.3}x serial",
         report.radix_retention,
         report.max_cores,
         report.bonsai_retention,
         report.linux_retention,
-        report.radix_remote_per_op
+        report.radix_remote_per_op,
+        contended_report.worst_ratio
     );
 }

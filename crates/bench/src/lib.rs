@@ -25,6 +25,7 @@ use rvm_sync::{sim, CostModel, SimStats};
 pub mod fastpath;
 pub mod huge;
 pub mod layouts;
+pub mod refcount;
 pub mod scale;
 pub mod workloads;
 

@@ -27,6 +27,7 @@ use rvm_sync::sim;
 const LOCAL_BASE: u64 = 0x200_0000_0000;
 const PIPE_BASE: u64 = 0x300_0000_0000;
 const GLOBAL_BASE: u64 = 0x400_0000_0000;
+const CONTENDED_BASE: u64 = 0x500_0000_0000;
 
 /// Operations between Refcache maintenance ticks.
 const MAINTAIN_EVERY: u64 = 128;
@@ -55,6 +56,45 @@ pub fn local(machine: Arc<Machine>, vm: Arc<dyn VmSystem>, core: usize) -> Box<d
             .touch_page(core, &*vm, addr, i as u8)
             .expect("touch");
         vm.munmap(core, addr, PAGE_SIZE).expect("munmap");
+        if i.is_multiple_of(MAINTAIN_EVERY) {
+            vm.maintain(core);
+        }
+        1
+    })
+}
+
+/// Builds the **contended** workload closure for one core: every core
+/// hammers the *same* 4-page range with mmap → touch → munmap cycles —
+/// the adversarial inverse of `local`, where all operations serialize on
+/// one range lock and every munmap must shoot down whichever cores
+/// faulted the pages. No design scales this (the operations genuinely
+/// conflict); the question the sweep answers is whether throughput
+/// *degrades gracefully* toward the serial rate instead of collapsing
+/// below it under coherence and IPI storms.
+///
+/// Errors are tolerated (another core may replace or unmap the range
+/// mid-cycle under real threads); a cycle counts once either way.
+pub fn contended(
+    machine: Arc<Machine>,
+    vm: Arc<dyn VmSystem>,
+    core: usize,
+) -> Box<dyn FnMut() -> u64> {
+    vm.attach_core(core);
+    const PAGES: u64 = 4;
+    let mut i = 0u64;
+    Box::new(move || {
+        i += 1;
+        let _ = vm.mmap(
+            core,
+            CONTENDED_BASE,
+            PAGES * PAGE_SIZE,
+            Prot::RW,
+            Backing::Anon,
+        );
+        for p in 0..PAGES {
+            let _ = machine.touch_page(core, &*vm, CONTENDED_BASE + p * PAGE_SIZE, core as u8);
+        }
+        let _ = vm.munmap(core, CONTENDED_BASE, PAGES * PAGE_SIZE);
         if i.is_multiple_of(MAINTAIN_EVERY) {
             vm.maintain(core);
         }

@@ -35,7 +35,7 @@
 pub mod meta;
 pub mod vm;
 
-pub use meta::{PageKind, PageMeta, PhysBlock, PhysPage};
+pub use meta::{PageKind, PageMeta};
 pub use vm::{RadixVm, RadixVmConfig, VmOpStats};
 
 #[cfg(test)]

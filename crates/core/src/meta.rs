@@ -1,4 +1,4 @@
-//! Per-page mapping metadata and Refcache-managed physical pages.
+//! Per-page mapping metadata over frame-table ownership.
 //!
 //! Unlike Linux's one-VMA-per-region design, RadixVM stores a *separate
 //! copy* of the mapping metadata for each page (§3.2): the metadata is
@@ -7,81 +7,21 @@
 //! metadata is **identical for every page** of a mapping, so large
 //! mappings fold into a handful of radix-tree slots.
 //!
-//! The metadata also records, per page, the physical page pointer (making
-//! the radix tree the canonical owner of physical memory, so hardware page
-//! tables are disposable caches) and the set of cores that faulted the
-//! page — the basis of targeted TLB shootdown (§3.3).
-
-use std::sync::Arc;
+//! The metadata also records, per page, the backing physical frame
+//! (making the radix tree the canonical owner of physical memory, so
+//! hardware page tables are disposable caches) and the set of cores that
+//! faulted the page — the basis of targeted TLB shootdown (§3.3).
+//!
+//! Frame ownership is a plain [`FrameRef`] handle: the reference count
+//! lives in the frame table's embedded Refcache cell
+//! (`FramePool::retain_page` / `retain_block`, DESIGN.md §8), so
+//! carrying, duplicating (fork), and dropping a frame reference never
+//! touches the heap. There is no per-fault ownership object anymore —
+//! the table *is* the authority.
 
 use rvm_hw::{Backing, Prot};
-use rvm_mem::{FramePool, Pfn, BLOCK_ORDER};
-use rvm_refcache::{Managed, RcPtr, ReleaseCtx};
+use rvm_mem::{FrameRef, Pfn, BLOCK_ORDER};
 use rvm_sync::CoreSet;
-
-/// A Refcache-managed physical page.
-///
-/// The reference count tracks how many mappings (and in-flight operations)
-/// reference the frame; when it is confirmed zero, the frame returns to
-/// the pool. Shared counters here are exactly what Figure 8 shows not to
-/// scale — Refcache keeps the common same-core map/unmap cycle free of
-/// cache-line movement.
-pub struct PhysPage {
-    pfn: Pfn,
-    pool: Arc<FramePool>,
-}
-
-impl PhysPage {
-    /// Wraps frame `pfn` (already allocated from `pool`).
-    pub fn new(pfn: Pfn, pool: Arc<FramePool>) -> Self {
-        PhysPage { pfn, pool }
-    }
-
-    /// The wrapped frame number.
-    pub fn pfn(&self) -> Pfn {
-        self.pfn
-    }
-}
-
-impl Managed for PhysPage {
-    fn on_release(&mut self, ctx: &ReleaseCtx<'_>) {
-        self.pool.free(ctx.core, self.pfn);
-    }
-}
-
-/// A Refcache-managed physically contiguous frame block backing one
-/// superpage (2 MiB) mapping.
-///
-/// One `PhysBlock` object stands in for 512 per-page `PhysPage` objects:
-/// while the mapping stays folded, its single reference is held by the
-/// folded block value, so a superpage's entire fault lifecycle costs one
-/// Refcache object — directly attacking the per-fault `PhysPage`
-/// allocation residual (DESIGN.md §6). After demotion each surviving
-/// page's metadata holds one reference; the block returns to the pool
-/// whole when the last page is unmapped.
-pub struct PhysBlock {
-    base: Pfn,
-    pool: Arc<FramePool>,
-}
-
-impl PhysBlock {
-    /// Wraps the contiguous block at `base` (allocated from `pool` with
-    /// [`BLOCK_ORDER`]).
-    pub fn new(base: Pfn, pool: Arc<FramePool>) -> Self {
-        PhysBlock { base, pool }
-    }
-
-    /// Base frame of the block.
-    pub fn base(&self) -> Pfn {
-        self.base
-    }
-}
-
-impl Managed for PhysBlock {
-    fn on_release(&mut self, ctx: &ReleaseCtx<'_>) {
-        self.pool.free_block(ctx.core, self.base, BLOCK_ORDER);
-    }
-}
 
 /// How the page's contents are produced and whether writes must copy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,7 +39,8 @@ pub enum PageKind {
 /// (`file_anchor` is relative to VPN, and `phys`/`coreset` start empty),
 /// so fresh mappings fold. Fault-time state (`phys`, `coreset`, `Cow`
 /// resolution) is only ever written to *expanded* per-page copies under
-/// the page's slot lock.
+/// the page's slot lock — except the folded-block fault state governed
+/// by the superpage protocol (DESIGN.md §7).
 #[derive(Clone)]
 pub struct PageMeta {
     /// What backs the mapping.
@@ -108,21 +49,22 @@ pub struct PageMeta {
     pub prot: Prot,
     /// Plain or copy-on-write.
     pub kind: PageKind,
-    /// The physical page, once faulted at 4 KiB granularity. The `RcPtr`
-    /// is an owning logical reference counted in Refcache.
+    /// The page's frame, once faulted at 4 KiB granularity: one owning
+    /// reference on the frame table's *page* slot.
     ///
     /// Invariant: folded (block) metadata never has `phys` set — a 4 KiB
     /// fault expands to leaf granularity first — so cloning templates
     /// never duplicates a reference.
-    pub phys: Option<RcPtr<PhysPage>>,
+    pub phys: Option<FrameRef>,
     /// The contiguous superpage block backing this page, once a
-    /// superpage fault populated it. On a *folded* value this is block
-    /// state: one reference for the whole block. On an *expanded*
-    /// (demoted) per-page value it is per-page state: one reference per
-    /// page, adopted by the demotion protocol under the expansion's
-    /// born-held slot locks (DESIGN.md §7) — the only place a fold with
-    /// fault state may legally expand.
-    pub block: Option<RcPtr<PhysBlock>>,
+    /// superpage fault populated it: a reference on the frame table's
+    /// *block-head* slot (the handle's `pfn` is the block base). On a
+    /// *folded* value this is block state: one reference for the whole
+    /// block. On an *expanded* (demoted) per-page value it is per-page
+    /// state: one reference per page, adopted by the demotion protocol
+    /// under the expansion's born-held slot locks (DESIGN.md §7) — the
+    /// only place a fold with fault state may legally expand.
+    pub block: Option<FrameRef>,
     /// Huge-page hint from `mmap` ([`rvm_hw::MapFlags::HUGE`]): aligned
     /// folded blocks of this mapping may be populated by one superpage
     /// PTE. Template state (identical for every page), so it folds.
@@ -150,16 +92,15 @@ impl PageMeta {
     /// The frame backing `vpn` under this metadata, if faulted: the
     /// per-page frame, or the member frame of the superpage block
     /// (blocks are virtually aligned, so the offset is `vpn`'s low
-    /// bits).
+    /// bits). Pure arithmetic on the handle — no dereference, no
+    /// ownership traffic.
     pub fn frame_for(&self, vpn: u64) -> Option<Pfn> {
-        if let Some(p) = self.phys {
-            // SAFETY: the metadata owns a reference to the page.
-            return Some(unsafe { p.as_ref() }.pfn());
+        if let Some(r) = self.phys {
+            return Some(r.pfn);
         }
         if let Some(b) = self.block {
             let off = (vpn & ((1u64 << BLOCK_ORDER) - 1)) as Pfn;
-            // SAFETY: the metadata owns a reference to the block.
-            return Some(unsafe { b.as_ref() }.base() + off);
+            return Some(b.pfn + off);
         }
         None
     }
@@ -168,15 +109,16 @@ impl PageMeta {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rvm_mem::{FramePool, BLOCK_PAGES};
     use rvm_refcache::Refcache;
 
     #[test]
-    fn physpage_returns_frame_on_release() {
-        let pool = Arc::new(FramePool::new(1));
+    fn page_reference_returns_frame_on_release() {
+        let pool = FramePool::new(1);
         let cache = Refcache::new(1);
         let pfn = pool.alloc(0);
-        let page = cache.alloc(1, PhysPage::new(pfn, pool.clone()));
-        cache.dec(0, page);
+        let r = pool.retain_page(&cache, 0, pfn, 1);
+        pool.ref_dec(&cache, 0, r);
         cache.quiesce();
         // The frame is back on core 0's free list.
         let again = pool.alloc(0);
@@ -192,5 +134,20 @@ mod tests {
         let c = m.clone();
         assert!(c.phys.is_none());
         assert_eq!(c.prot, Prot::RW);
+    }
+
+    #[test]
+    fn frame_for_resolves_block_members_by_offset() {
+        let pool = FramePool::new(1);
+        let cache = Refcache::new(1);
+        let base = pool.alloc_block(0, BLOCK_ORDER);
+        let mut m = PageMeta::new(Backing::Anon, Prot::RW);
+        m.block = Some(pool.retain_block(&cache, 0, base, BLOCK_ORDER, 1));
+        let vpn_base = 7 * BLOCK_PAGES as u64; // virtually aligned
+        assert_eq!(m.frame_for(vpn_base), Some(base));
+        assert_eq!(m.frame_for(vpn_base + 17), Some(base + 17));
+        pool.ref_dec(&cache, 0, m.block.take().unwrap());
+        cache.quiesce();
+        assert_eq!(pool.outstanding_frames(), 0);
     }
 }

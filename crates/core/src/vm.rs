@@ -29,13 +29,13 @@ use rvm_hw::{
     ShardedOpStats, SharedMmu, SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult,
     VmSystem, Vpn, BLOCK_PAGES, VA_LIMIT,
 };
-use rvm_mem::{Pfn, BLOCK_ORDER};
+use rvm_mem::{FrameRef, Pfn, BLOCK_ORDER};
 use rvm_radix::{LockMode, RadixConfig, RadixTree, RangeGuard, Removed, VPN_LIMIT};
-use rvm_refcache::{RcPtr, Refcache};
+use rvm_refcache::Refcache;
 use rvm_sync::atomic::AtomicCoreSet;
 use rvm_sync::{sim, CoreSet};
 
-use crate::meta::{PageKind, PageMeta, PhysBlock, PhysPage};
+use crate::meta::{PageKind, PageMeta};
 
 /// Configuration of a [`RadixVm`] address space.
 #[derive(Clone, Debug)]
@@ -158,8 +158,10 @@ impl RadixVm {
     /// pages are released only after every stale translation is gone.
     fn finish_unmap(&self, core: usize, lo: Vpn, n: u64, removed: Vec<Removed<PageMeta>>) {
         let mut tracked = CoreSet::EMPTY;
-        let mut phys: Vec<RcPtr<PhysPage>> = Vec::new();
-        let mut blocks: Vec<RcPtr<PhysBlock>> = Vec::new();
+        // Page and block-head references drop through the same frame-
+        // table cells; the slot's kind picks the release action, so one
+        // list covers both.
+        let mut refs: Vec<FrameRef> = Vec::new();
         let mut runs: Vec<(Vpn, u64)> = Vec::new();
         for r in &removed {
             match r {
@@ -169,12 +171,12 @@ impl RadixVm {
                         push_run(&mut runs, *vpn, 1);
                     }
                     if let Some(p) = m.phys {
-                        phys.push(p);
+                        refs.push(p);
                     }
                     // A demoted page owns one reference on its backing
                     // block; the block frees when the last page drops.
                     if let Some(b) = m.block {
-                        blocks.push(b);
+                        refs.push(b);
                     }
                 }
                 Removed::Block {
@@ -192,7 +194,7 @@ impl RadixVm {
                         push_run(&mut runs, *start, *pages);
                     }
                     if let Some(b) = m.block {
-                        blocks.push(b);
+                        refs.push(b);
                     }
                 }
             }
@@ -205,25 +207,24 @@ impl RadixVm {
             }
             self.machine.shootdown(core, self.asid, lo, n, targets);
         }
-        for p in phys {
-            self.cache.dec(core, p);
-        }
-        for b in blocks {
-            self.cache.dec(core, b);
+        let pool = self.machine.pool();
+        for r in refs {
+            pool.ref_dec(&self.cache, core, r);
         }
     }
 
     /// Completes superpage demotion after a range lock expanded folded
     /// block values (DESIGN.md §7). The fold owned **one** reference on
-    /// its [`PhysBlock`]; expansion cloned the pointer into every page of
-    /// the block, so each clone beyond the first adopts one reference —
-    /// legal exactly here because expansion leaves every slot of the new
-    /// leaf born-locked until this guard drops, so no other core can
-    /// observe (or release) an unadopted copy. The block PTE is then
-    /// shattered into 4 KiB PTEs in every tracked table and the span TLB
-    /// entries are shot down, all under the same guard.
+    /// its block-head frame slot; expansion cloned the handle into every
+    /// page of the block, so each clone beyond the first adopts one
+    /// reference — 511 slot increments through the delta cache, no
+    /// allocation — legal exactly here because expansion leaves every
+    /// slot of the new leaf born-locked until this guard drops, so no
+    /// other core can observe (or release) an unadopted copy. The block
+    /// PTE is then shattered into 4 KiB PTEs in every tracked table and
+    /// the span TLB entries are shot down, all under the same guard.
     fn demote_expanded(&self, core: usize, guard: &mut RangeGuard<'_, PageMeta>) {
-        let mut blocks: Vec<(Vpn, RcPtr<PhysBlock>, CoreSet, u64)> = Vec::new();
+        let mut blocks: Vec<(Vpn, FrameRef, CoreSet, u64)> = Vec::new();
         guard.for_each_expanded_value_mut(|vpn, m| {
             if let Some(b) = m.block {
                 match blocks.iter_mut().find(|e| e.1 == b) {
@@ -232,9 +233,10 @@ impl RadixVm {
                 }
             }
         });
+        let pool = self.machine.pool();
         for (start, b, tracked, npages) in blocks {
             for _ in 1..npages {
-                self.cache.inc(core, b);
+                pool.ref_inc(&self.cache, core, b);
             }
             let targets = self.mmu.demote(start, tracked, self.attached.load());
             self.machine
@@ -256,19 +258,20 @@ impl RadixVm {
             let mut g = self
                 .tree
                 .lock_range(core, 0, VPN_LIMIT, LockMode::ExpandFolded);
+            let pool = self.machine.pool();
             g.for_each_entry_mut(|vpn, pages, m| {
                 if (m.phys.is_some() || m.block.is_some()) && m.prot.writable() {
                     m.kind = PageKind::Cow;
                 }
                 if let Some(p) = m.phys {
                     // The child's copy of the metadata owns one reference.
-                    self.cache.inc(core, p);
+                    pool.ref_inc(&self.cache, core, p);
                 }
                 if let Some(b) = m.block {
                     // Folded superpage: the child's folded copy owns one
                     // block reference (a write fault in either address
                     // space demotes and copies per page).
-                    self.cache.inc(core, b);
+                    pool.ref_inc(&self.cache, core, b);
                 }
                 if !m.coreset.is_empty() {
                     // Parent translations must be revoked so future parent
@@ -481,13 +484,12 @@ impl VmSystem for RadixVm {
                 }
             }
             if let Some(p) = old_page {
-                self.cache.dec(core, p);
+                pool.ref_dec(&self.cache, core, p);
             }
             if let Some(b) = old_block {
-                self.cache.dec(core, b);
+                pool.ref_dec(&self.cache, core, b);
             }
-            let page = self.cache.alloc(1, PhysPage::new(new_pfn, pool.clone()));
-            meta.phys = Some(page);
+            meta.phys = Some(pool.retain_page(&self.cache, core, new_pfn, 1));
             meta.kind = PageKind::Plain;
         }
         let pfn = match meta.frame_for(vpn) {
@@ -496,11 +498,14 @@ impl VmSystem for RadixVm {
                 pfn
             }
             None => {
+                // Demand-zero populate: one frame off the core-local free
+                // list, one count cell armed in the frame table — zero
+                // heap allocation, cold or warm (DESIGN.md §8; gated by
+                // tests/alloc_free.rs).
                 self.stats.fault_alloc(core);
                 let pool = self.machine.pool();
                 let pfn = pool.alloc(core);
-                let page = self.cache.alloc(1, PhysPage::new(pfn, pool.clone()));
-                meta.phys = Some(page);
+                meta.phys = Some(pool.retain_page(&self.cache, core, pfn, 1));
                 pfn
             }
         };
@@ -678,16 +683,15 @@ impl RadixVm {
         let base = match meta.block {
             Some(b) => {
                 self.stats.fault_fill(core);
-                // SAFETY: the folded metadata owns a reference.
-                unsafe { b.as_ref() }.base()
+                b.pfn
             }
             None => {
-                // Populate: one contiguous frame block, one Refcache
-                // object for its whole lifetime (vs. 512 `PhysPage`s).
+                // Populate: one contiguous frame block, one block-head
+                // count cell for its whole lifetime (vs. 512 per-page
+                // references).
                 self.stats.fault_alloc(core);
                 let base = pool.alloc_block(core, BLOCK_ORDER);
-                let blk = self.cache.alloc(1, PhysBlock::new(base, pool.clone()));
-                meta.block = Some(blk);
+                meta.block = Some(pool.retain_block(&self.cache, core, base, BLOCK_ORDER, 1));
                 base
             }
         };

@@ -19,13 +19,29 @@
 //! * Frames hold real 4 KB buffers, so workloads store and verify real
 //!   data through the VM systems.
 //!
-//! The frame-metadata table is a chunked array reachable through atomic
-//! pointers: lookups are lock-free and read-mostly (they scale perfectly);
-//! only growth takes a lock. A global lock here would serialize every VM
+//! The frame table is a chunked array reachable through atomic pointers:
+//! lookups are lock-free and read-mostly (they scale perfectly); only
+//! growth takes a lock. A global lock here would serialize every VM
 //! system under test and invalidate the scalability experiments.
+//!
+//! # The frame table as the ownership authority (DESIGN.md §8)
+//!
+//! Every frame's [`FrameSlot`] embeds a Refcache count cell
+//! ([`rvm_refcache::CountSlot`]), so the table — not a per-fault heap
+//! object — is where page reference counts live, exactly as in the
+//! paper's kernel. A VM system takes the first reference with
+//! [`FramePool::retain_page`] / [`FramePool::retain_block`] (which arms
+//! the cell; no allocation), carries it as a plain [`FrameRef`] handle
+//! (pfn + generation), and adjusts it through
+//! [`FramePool::ref_inc`]/[`FramePool::ref_dec`]. When the cell's true
+//! count is confirmed zero, the slot's kind decides the release action:
+//! a page slot frees one frame, a block-head slot frees the whole
+//! contiguous block. Baseline VM systems that count eagerly keep using
+//! the separate `mapcount` word.
 
-use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, AtomicU8, Ordering};
 
+use rvm_refcache::{CountSlot, Refcache, ReleaseCtx, SlotManaged, SlotPtr};
 use rvm_sync::{sim, CachePadded, ShardedStats, SpinLock};
 
 /// Size of a physical frame / virtual page in bytes.
@@ -49,8 +65,73 @@ const CHUNK_FRAMES: usize = 1024;
 /// Maximum number of chunks (bounds pool size at 32 M frames = 128 GB).
 const MAX_CHUNKS: usize = 32_768;
 
-/// Per-frame metadata and payload storage.
-struct FrameMeta {
+/// Slot kind: the frame is referenced page-by-page; release frees one
+/// frame.
+const KIND_PAGE: u8 = 0;
+/// Slot kind: the frame heads a contiguous [`BLOCK_PAGES`] block whose
+/// members are never counted individually; release frees the block.
+const KIND_BLOCK: u8 = 1;
+
+/// The Refcache payload embedded in every frame-table slot: enough
+/// context for the zero-count action to return the frame (or its whole
+/// block) to the pool it came from.
+pub struct FrameRc {
+    /// This slot's frame number (fixed at table growth).
+    pfn: Pfn,
+    /// Page vs. block-head (set at each [`FramePool::retain_page`] /
+    /// [`FramePool::retain_block`]).
+    kind: AtomicU8,
+    /// Block order for block-head slots (set at retain; the zero-count
+    /// action must free exactly the frames the retain covered).
+    order: AtomicU8,
+    /// The owning pool, set at retain time. Sound to dereference at
+    /// release: the slot lives *inside* the pool's table, so the pool is
+    /// necessarily alive (and pinned — retain takes `&self` on its final
+    /// home) whenever Refcache runs the action.
+    pool: AtomicPtr<FramePool>,
+}
+
+impl SlotManaged for FrameRc {
+    fn on_zero(&self, ctx: &ReleaseCtx<'_>) {
+        let pool = self.pool.load(Ordering::Acquire);
+        debug_assert!(!pool.is_null(), "released a never-retained frame slot");
+        // SAFETY: see the `pool` field docs.
+        let pool = unsafe { &*pool };
+        match self.kind.load(Ordering::Acquire) {
+            KIND_PAGE => pool.free(ctx.core, self.pfn),
+            _ => pool.free_block(ctx.core, self.pfn, self.order.load(Ordering::Acquire)),
+        }
+    }
+}
+
+/// An owning handle to one reference on a frame-table slot: the frame
+/// (for block-head slots, the block's base frame) plus the generation
+/// observed when the reference was taken. Plain copyable data — the
+/// whole point is that holding a frame costs no heap object — but each
+/// copy must be covered by exactly one slot reference
+/// ([`FramePool::ref_inc`]/[`FramePool::ref_dec`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameRef {
+    /// The referenced frame (block base for block-head slots).
+    pub pfn: Pfn,
+    /// Generation at acquisition; a mismatch at `ref_dec` means the
+    /// handle outlived its reference (use-after-free bug).
+    pub gen: u64,
+}
+
+/// One frame's table slot: payload storage, homing/generation
+/// bookkeeping, and the embedded reference-count cell.
+///
+/// Line-aligned so two frames' count state never share a cache line:
+/// neighbouring frames can be homed on (and counted by) different
+/// cores, and a false-shared slot line would reintroduce exactly the
+/// incidental traffic the embedded cell exists to remove. The ~2-3 %
+/// per-frame overhead matches a real kernel's `struct page`.
+#[repr(align(64))]
+struct FrameSlot {
+    /// Embedded Refcache count cell (DESIGN.md §8). Instrumented state:
+    /// count traffic is real kernel-side sharing.
+    rc: CountSlot<FrameRc>,
     /// Heap storage for the frame's 4096 bytes.
     data: Box<[u8; FRAME_SIZE]>,
     /// Core whose free list this frame returns to (first-touch NUMA
@@ -102,6 +183,11 @@ pub struct PoolStats {
     /// Blocks currently parked in the reservation pool (a gauge, read at
     /// snapshot time — hugetlb-style `reserve`/`release` accounting).
     pub blocks_reserved: u64,
+    /// Pages handed out by `alloc`/`alloc_block` (leak accounting; see
+    /// [`FramePool::outstanding_frames`]).
+    pub alloc_pages: u64,
+    /// Pages returned through `free`/`free_block`.
+    pub free_pages: u64,
 }
 
 /// Field indices into the sharded stats block.
@@ -112,6 +198,8 @@ const F_LOCAL_FREES: usize = 3;
 const F_MAG_FLUSHES: usize = 4;
 const F_BLOCK_ALLOCS: usize = 5;
 const F_BLOCK_FREES: usize = 6;
+const F_ALLOC_PAGES: usize = 7;
+const F_FREE_PAGES: usize = 8;
 
 /// Remote frees a core accumulates before flushing its outbound magazine
 /// to the home cores' lists. Large enough to amortize the home list's
@@ -146,9 +234,9 @@ pub struct FramePool {
     /// "synchronization to return freed pages to their home nodes").
     magazines: Vec<CachePadded<SpinLock<Magazine>>>,
     /// Chunk pointer table: `chunk_ptrs[i]` points at a leaked
-    /// `[FrameMeta; CHUNK_FRAMES]` slice, published with `Release` after
+    /// `[FrameSlot; CHUNK_FRAMES]` slice, published with `Release` after
     /// initialization and reclaimed in `Drop`.
-    chunk_ptrs: Box<[AtomicPtr<FrameMeta>]>,
+    chunk_ptrs: Box<[AtomicPtr<FrameSlot>]>,
     /// Serializes growth only (short holds: batch bookkeeping).
     grow_lock: SpinLock<()>,
     /// Number of frames in the table. Pool-internal bookkeeping (not
@@ -156,7 +244,7 @@ pub struct FramePool {
     /// sized, so this counter is deliberately uninstrumented.
     nframes: AtomicU64,
     /// Counters sharded per core (sum-on-read; DESIGN.md §6).
-    stats: ShardedStats<7>,
+    stats: ShardedStats<9>,
 }
 
 impl FramePool {
@@ -230,11 +318,23 @@ impl FramePool {
             block_allocs: self.stats.sum(F_BLOCK_ALLOCS),
             block_frees: self.stats.sum(F_BLOCK_FREES),
             blocks_reserved: self.reserved.lock().len() as u64,
+            alloc_pages: self.stats.sum(F_ALLOC_PAGES),
+            free_pages: self.stats.sum(F_FREE_PAGES),
         }
     }
 
-    /// Lock-free frame metadata lookup.
-    fn meta(&self, pfn: Pfn) -> &FrameMeta {
+    /// Pages currently handed out (allocated minus freed). Wrapping
+    /// sum-on-read: exact when allocators are quiescent (after every
+    /// backend's `quiesce` + magazine flush), which is where the
+    /// frame-leak conformance gate reads it.
+    pub fn outstanding_frames(&self) -> u64 {
+        self.stats
+            .sum(F_ALLOC_PAGES)
+            .wrapping_sub(self.stats.sum(F_FREE_PAGES))
+    }
+
+    /// Lock-free frame-table slot lookup.
+    fn slot(&self, pfn: Pfn) -> &FrameSlot {
         debug_assert!(pfn != NULL_PFN);
         let idx = pfn as usize;
         debug_assert!(idx < self.total_frames(), "pfn {pfn} out of range");
@@ -246,6 +346,87 @@ impl FramePool {
         unsafe { &*chunk.add(idx % CHUNK_FRAMES) }
     }
 
+    /// The Refcache count cell of `pfn`'s frame-table slot.
+    fn cell(&self, pfn: Pfn) -> SlotPtr<FrameRc> {
+        self.slot(pfn).rc.handle()
+    }
+
+    /// Arms `pfn`'s frame-table cell as a *page* slot holding
+    /// `init_count` references through `cache`, returning the owning
+    /// handle. The caller must have just allocated `pfn` (exclusive
+    /// ownership); no heap allocation happens — the count lives in the
+    /// statically-indexed table (DESIGN.md §8).
+    pub fn retain_page(
+        &self,
+        cache: &Refcache,
+        core: usize,
+        pfn: Pfn,
+        init_count: i64,
+    ) -> FrameRef {
+        self.arm(cache, core, pfn, KIND_PAGE, 0, init_count)
+    }
+
+    /// Arms the cell of the contiguous block based at `base` (allocated
+    /// with [`FramePool::alloc_block`] at the same `order`) as a
+    /// *block-head* slot holding `init_count` references: member frames
+    /// are never counted individually, and the zero-count action frees
+    /// exactly the `1 << order` frames of that allocation.
+    pub fn retain_block(
+        &self,
+        cache: &Refcache,
+        core: usize,
+        base: Pfn,
+        order: u8,
+        init_count: i64,
+    ) -> FrameRef {
+        assert!(order <= BLOCK_ORDER, "unsupported block order {order}");
+        self.arm(cache, core, base, KIND_BLOCK, order, init_count)
+    }
+
+    fn arm(
+        &self,
+        cache: &Refcache,
+        core: usize,
+        pfn: Pfn,
+        kind: u8,
+        order: u8,
+        init_count: i64,
+    ) -> FrameRef {
+        let slot = self.slot(pfn);
+        let rc = slot.rc.get();
+        debug_assert_eq!(rc.pfn, pfn);
+        rc.kind.store(kind, Ordering::Release);
+        rc.order.store(order, Ordering::Release);
+        rc.pool.store(
+            self as *const FramePool as *mut FramePool,
+            Ordering::Release,
+        );
+        cache.activate(core, slot.rc.handle(), init_count);
+        FrameRef {
+            pfn,
+            gen: slot.gen.load(Ordering::Acquire),
+        }
+    }
+
+    /// Takes one more reference on the slot behind `r`.
+    ///
+    /// The caller must already hold a live reference covering `r` (the
+    /// usual Refcache discipline).
+    #[inline]
+    pub fn ref_inc(&self, cache: &Refcache, core: usize, r: FrameRef) {
+        debug_assert_eq!(self.generation(r.pfn), r.gen, "stale frame handle");
+        cache.inc(core, self.cell(r.pfn));
+    }
+
+    /// Surrenders one reference on the slot behind `r`. When the true
+    /// count is confirmed zero the frame (or whole block, per the slot's
+    /// kind) returns to the pool.
+    #[inline]
+    pub fn ref_dec(&self, cache: &Refcache, core: usize, r: FrameRef) {
+        debug_assert_eq!(self.generation(r.pfn), r.gen, "stale frame handle");
+        cache.dec(core, self.cell(r.pfn));
+    }
+
     /// Allocates a zeroed frame on `core`.
     ///
     /// Prefers the core's own free list (no cross-core communication).
@@ -255,14 +436,15 @@ impl FramePool {
     /// the steady-state fault path. Charges the simulator for zeroing.
     pub fn alloc(&self, core: usize) -> Pfn {
         sim::charge_page_work();
+        self.stats.add(core, F_ALLOC_PAGES, 1);
         let reused = self.free_lists[core].lock().pop();
         if let Some(pfn) = reused {
             self.stats.add(core, F_REUSED, 1);
-            let meta = self.meta(pfn);
+            let slot = self.slot(pfn);
             // SAFETY: the frame was free (no mapping references it), so we
             // have exclusive access to its payload.
             unsafe {
-                std::ptr::write_bytes(meta.data.as_ptr() as *mut u8, 0, FRAME_SIZE);
+                std::ptr::write_bytes(slot.data.as_ptr() as *mut u8, 0, FRAME_SIZE);
             }
             return pfn;
         }
@@ -294,8 +476,14 @@ impl FramePool {
                 if idx.is_multiple_of(CHUNK_FRAMES) {
                     let chunk_idx = idx / CHUNK_FRAMES;
                     assert!(chunk_idx < MAX_CHUNKS, "frame pool exhausted");
-                    let chunk: Vec<FrameMeta> = (0..CHUNK_FRAMES)
-                        .map(|_| FrameMeta {
+                    let chunk: Vec<FrameSlot> = (0..CHUNK_FRAMES)
+                        .map(|j| FrameSlot {
+                            rc: CountSlot::new(FrameRc {
+                                pfn: (chunk_idx * CHUNK_FRAMES + j) as Pfn,
+                                kind: AtomicU8::new(KIND_PAGE),
+                                order: AtomicU8::new(0),
+                                pool: AtomicPtr::new(std::ptr::null_mut()),
+                            }),
                             data: Box::new([0u8; FRAME_SIZE]),
                             home: AtomicU16::new(home as u16),
                             gen: AtomicU64::new(1),
@@ -303,6 +491,14 @@ impl FramePool {
                         })
                         .collect();
                     let leaked = Box::leak(chunk.into_boxed_slice());
+                    // Register the chunk for remote-line attribution:
+                    // residual-traffic hunts see "frame-table", not an
+                    // anonymous heap address (no-op outside simulation).
+                    sim::label_range(
+                        "frame-table",
+                        leaked.as_ptr() as usize,
+                        std::mem::size_of_val(&leaked[..]),
+                    );
                     self.chunk_ptrs[chunk_idx].store(leaked.as_mut_ptr(), Ordering::Release);
                 }
             }
@@ -311,7 +507,7 @@ impl FramePool {
         }
         self.stats.add(core, F_FRESH, count as u64);
         for i in 0..count {
-            self.meta(first + i as Pfn)
+            self.slot(first + i as Pfn)
                 .home
                 .store(home as u16, Ordering::Relaxed);
         }
@@ -347,11 +543,11 @@ impl FramePool {
             Some(base) => {
                 self.stats.add(core, F_REUSED, pages as u64);
                 for i in 0..pages {
-                    let meta = self.meta(base + i as Pfn);
+                    let slot = self.slot(base + i as Pfn);
                     // SAFETY: the block was free (no mapping references
                     // any of its frames), so access is exclusive.
                     unsafe {
-                        std::ptr::write_bytes(meta.data.as_ptr() as *mut u8, 0, FRAME_SIZE);
+                        std::ptr::write_bytes(slot.data.as_ptr() as *mut u8, 0, FRAME_SIZE);
                     }
                 }
                 base
@@ -359,6 +555,7 @@ impl FramePool {
             None => self.grow_contiguous(core, self.next_home(core), pages),
         };
         self.stats.add(core, F_BLOCK_ALLOCS, 1);
+        self.stats.add(core, F_ALLOC_PAGES, pages as u64);
         base
     }
 
@@ -369,12 +566,13 @@ impl FramePool {
     pub fn free_block(&self, core: usize, base: Pfn, order: u8) {
         let pages = 1usize << order;
         for i in 0..pages {
-            self.meta(base + i as Pfn)
+            self.slot(base + i as Pfn)
                 .gen
                 .fetch_add(1, Ordering::AcqRel);
         }
-        let home = self.meta(base).home.load(Ordering::Relaxed) as usize % self.ncores;
+        let home = self.slot(base).home.load(Ordering::Relaxed) as usize % self.ncores;
         self.stats.add(core, F_BLOCK_FREES, 1);
+        self.stats.add(core, F_FREE_PAGES, pages as u64);
         if home == core {
             self.stats.add(core, F_LOCAL_FREES, pages as u64);
         } else {
@@ -432,9 +630,10 @@ impl FramePool {
     /// and the caller has already completed any required TLB shootdown,
     /// so parking only delays *reuse*, never safety (DESIGN.md §6).
     pub fn free(&self, core: usize, pfn: Pfn) {
-        let meta = self.meta(pfn);
-        meta.gen.fetch_add(1, Ordering::AcqRel);
-        let home = meta.home.load(Ordering::Relaxed) as usize % self.ncores;
+        self.stats.add(core, F_FREE_PAGES, 1);
+        let slot = self.slot(pfn);
+        slot.gen.fetch_add(1, Ordering::AcqRel);
+        let home = slot.home.load(Ordering::Relaxed) as usize % self.ncores;
         if home == core {
             self.stats.add(core, F_LOCAL_FREES, 1);
             self.free_lists[core].lock().push(pfn);
@@ -495,27 +694,27 @@ impl FramePool {
 
     /// Current generation of `pfn`.
     pub fn generation(&self, pfn: Pfn) -> u64 {
-        self.meta(pfn).gen.load(Ordering::Acquire)
+        self.slot(pfn).gen.load(Ordering::Acquire)
     }
 
     /// Home core of `pfn`.
     pub fn home(&self, pfn: Pfn) -> usize {
-        self.meta(pfn).home.load(Ordering::Relaxed) as usize % self.ncores
+        self.slot(pfn).home.load(Ordering::Relaxed) as usize % self.ncores
     }
 
     /// Increments the eager map count (baseline VM systems).
     pub fn inc_map(&self, pfn: Pfn) {
-        self.meta(pfn).mapcount.fetch_add(1, Ordering::AcqRel);
+        self.slot(pfn).mapcount.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Decrements the eager map count; returns true when it reaches zero.
     pub fn dec_map(&self, pfn: Pfn) -> bool {
-        self.meta(pfn).mapcount.fetch_sub(1, Ordering::AcqRel) == 1
+        self.slot(pfn).mapcount.fetch_sub(1, Ordering::AcqRel) == 1
     }
 
     /// Current eager map count of `pfn`.
     pub fn map_count(&self, pfn: Pfn) -> u64 {
-        self.meta(pfn).mapcount.load(Ordering::Acquire)
+        self.slot(pfn).mapcount.load(Ordering::Acquire)
     }
 
     /// Writes `val` at byte offset `off` within the frame.
@@ -525,13 +724,13 @@ impl FramePool {
     /// Panics if the access crosses the frame boundary.
     pub fn write_u64(&self, pfn: Pfn, off: usize, val: u64) {
         assert!(off + 8 <= FRAME_SIZE);
-        let meta = self.meta(pfn);
+        let slot = self.slot(pfn);
         // SAFETY: in-bounds write to the frame payload. Concurrent access
         // to the same offset is a workload-level race (the VM permits
         // shared writable mappings); performed as a volatile word write,
         // as real memory would behave.
         unsafe {
-            let p = meta.data.as_ptr().add(off) as *mut u64;
+            let p = slot.data.as_ptr().add(off) as *mut u64;
             std::ptr::write_volatile(p, val);
         }
     }
@@ -539,10 +738,10 @@ impl FramePool {
     /// Reads a word at byte offset `off` within the frame.
     pub fn read_u64(&self, pfn: Pfn, off: usize) -> u64 {
         assert!(off + 8 <= FRAME_SIZE);
-        let meta = self.meta(pfn);
+        let slot = self.slot(pfn);
         // SAFETY: in-bounds read of the frame payload.
         unsafe {
-            let p = meta.data.as_ptr().add(off) as *const u64;
+            let p = slot.data.as_ptr().add(off) as *const u64;
             std::ptr::read_volatile(p)
         }
     }
@@ -551,11 +750,11 @@ impl FramePool {
     /// charges the simulator for page work.
     pub fn fill(&self, pfn: Pfn, byte: u8) {
         sim::charge_page_work();
-        let meta = self.meta(pfn);
+        let slot = self.slot(pfn);
         // SAFETY: in-bounds write to the frame payload (workload-level
         // races permitted as in `write_u64`).
         unsafe {
-            std::ptr::write_bytes(meta.data.as_ptr() as *mut u8, byte, FRAME_SIZE);
+            std::ptr::write_bytes(slot.data.as_ptr() as *mut u8, byte, FRAME_SIZE);
         }
     }
 
@@ -566,7 +765,7 @@ impl FramePool {
     /// The caller must keep accesses in-bounds and must not use the
     /// pointer after the frame is freed.
     pub unsafe fn frame_ptr(&self, pfn: Pfn) -> *mut u8 {
-        self.meta(pfn).data.as_ptr() as *mut u8
+        self.slot(pfn).data.as_ptr() as *mut u8
     }
 }
 
@@ -577,7 +776,7 @@ impl Drop for FramePool {
         for i in 0..nchunks {
             let p = self.chunk_ptrs[i].load(Ordering::Acquire);
             if !p.is_null() {
-                // SAFETY: `p` was leaked from a Box<[FrameMeta]> of length
+                // SAFETY: `p` was leaked from a Box<[FrameSlot]> of length
                 // CHUNK_FRAMES in `alloc` and is reclaimed exactly once.
                 unsafe {
                     drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
@@ -855,6 +1054,84 @@ mod tests {
         assert_eq!(pool.total_frames(), frames_before);
         pool.alloc_block(0, BLOCK_ORDER);
         assert_eq!(pool.total_frames(), frames_before, "released block reused");
+    }
+
+    #[test]
+    fn retained_page_returns_via_refcache_zero_action() {
+        let pool = FramePool::new(2);
+        let cache = Refcache::new(2);
+        let pfn = pool.alloc(0);
+        let r = pool.retain_page(&cache, 0, pfn, 1);
+        assert_eq!(r.pfn, pfn);
+        assert_eq!(pool.outstanding_frames(), 1);
+        // Hand the reference around: inc on core 1, dec both.
+        pool.ref_inc(&cache, 1, r);
+        pool.ref_dec(&cache, 0, r);
+        cache.quiesce();
+        assert_eq!(pool.outstanding_frames(), 1, "still referenced on core 1");
+        pool.ref_dec(&cache, 1, r);
+        cache.quiesce();
+        pool.flush_magazines();
+        assert_eq!(pool.outstanding_frames(), 0, "zero action freed the frame");
+        assert_eq!(cache.stats().slot_activates, 1);
+        assert_eq!(cache.stats().slot_releases, 1);
+        assert_eq!(cache.stats().allocs, 0, "no heap Refcache object");
+        // The frame is reallocatable and its cell re-armable.
+        let again = pool.alloc(0);
+        let r2 = pool.retain_page(&cache, 0, again, 1);
+        assert!(r2.gen > r.gen, "new incarnation has a newer generation");
+        pool.ref_dec(&cache, 0, r2);
+        cache.quiesce();
+        pool.flush_magazines();
+        assert_eq!(pool.outstanding_frames(), 0);
+    }
+
+    #[test]
+    fn retained_block_frees_whole_on_zero() {
+        let pool = FramePool::new(1);
+        let cache = Refcache::new(1);
+        let base = pool.alloc_block(0, BLOCK_ORDER);
+        assert_eq!(pool.outstanding_frames(), BLOCK_PAGES as u64);
+        // One reference for the fold, then adoption-style inc to 512 and
+        // per-page release — the demotion lifecycle.
+        let r = pool.retain_block(&cache, 0, base, BLOCK_ORDER, 1);
+        for _ in 1..BLOCK_PAGES {
+            pool.ref_inc(&cache, 0, r);
+        }
+        for _ in 0..BLOCK_PAGES - 1 {
+            pool.ref_dec(&cache, 0, r);
+        }
+        cache.quiesce();
+        assert_eq!(pool.stats().block_frees, 0, "last page still holds it");
+        pool.ref_dec(&cache, 0, r);
+        cache.quiesce();
+        assert_eq!(pool.stats().block_frees, 1, "block freed whole, once");
+        assert_eq!(pool.outstanding_frames(), 0);
+    }
+
+    #[test]
+    fn outstanding_frames_tracks_pages_and_blocks() {
+        let pool = FramePool::new(1);
+        let a = pool.alloc(0);
+        let b = pool.alloc_block(0, BLOCK_ORDER);
+        assert_eq!(pool.outstanding_frames(), 1 + BLOCK_PAGES as u64);
+        pool.free(0, a);
+        assert_eq!(pool.outstanding_frames(), BLOCK_PAGES as u64);
+        pool.free_block(0, b, BLOCK_ORDER);
+        assert_eq!(pool.outstanding_frames(), 0);
+        // Reservations are not outstanding until drawn.
+        pool.reserve(0, 1, BLOCK_ORDER);
+        assert_eq!(pool.outstanding_frames(), 0);
+        pool.alloc_block(0, BLOCK_ORDER);
+        assert_eq!(pool.outstanding_frames(), BLOCK_PAGES as u64);
+    }
+
+    #[test]
+    fn frame_slots_do_not_share_count_lines() {
+        // Adjacent frames' embedded count cells must live on distinct
+        // cache lines, or per-core counting would false-share.
+        assert!(std::mem::align_of::<FrameSlot>() >= 64);
+        assert!(std::mem::size_of::<FrameSlot>().is_multiple_of(64));
     }
 
     #[test]

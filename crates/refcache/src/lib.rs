@@ -18,6 +18,13 @@
 //! an object whose count has reached zero, with a single atomic word per
 //! object and a `DYING` bit arbitration between revival and reclamation.
 //!
+//! The core machinery — delta caches, epoch flush, review/reap, dirty
+//! zeros — is generic over *where the count lives* ([`Counted`]): boxed
+//! heap objects ([`RcPtr`], freed on zero) and count cells embedded in
+//! external tables ([`slot`]: activated in place, zero-count action in
+//! place, no allocation on either end — how the frame table owns page
+//! reference counts, DESIGN.md §8).
+//!
 //! # Freeing-safety argument
 //!
 //! A delta cached on some core refers to its object by raw pointer, so the
@@ -48,9 +55,11 @@ use rvm_sync::{sim, Atomic64, CachePadded, Mutex, RwLock, ShardedStats, SpinLock
 
 pub mod counters;
 pub mod obj;
+pub mod slot;
 pub mod weak;
 
-pub use obj::{Managed, RcPtr, ReleaseCtx};
+pub use obj::{Counted, Managed, RcPtr, ReleaseCtx};
+pub use slot::{CountSlot, SlotManaged, SlotPtr};
 
 use obj::{drop_impl, Header, ObjPtr, ObjState, RcBox};
 
@@ -106,6 +115,13 @@ pub struct RefcacheStats {
     pub dirty_zeros: u64,
     /// Objects revived through a weak reference after reaching zero.
     pub revivals: u64,
+    /// Table-embedded cells activated ([`Refcache::activate`]) — the
+    /// slot-backed analogue of `allocs`, with no heap allocation behind
+    /// it.
+    pub slot_activates: u64,
+    /// Table-embedded cells whose zero-count action ran (true-zero
+    /// confirmed) — the slot-backed analogue of `frees`.
+    pub slot_releases: u64,
     /// Current global epoch.
     pub epoch: u64,
 }
@@ -117,6 +133,8 @@ const F_CONFLICTS: usize = 2;
 const F_FLUSHES: usize = 3;
 const F_DIRTY_ZEROS: usize = 4;
 const F_REVIVALS: usize = 5;
+const F_SLOT_ACTIVATES: usize = 6;
+const F_SLOT_RELEASES: usize = 7;
 
 /// A callback invoked at the start of every [`Refcache::flush`], before
 /// any delta is applied. Data structures use flush hooks to surrender
@@ -145,7 +163,7 @@ pub struct Refcache {
     next_hook_id: AtomicU64,
     /// Counters sharded per core: `alloc`/`dec`-rate events bump only the
     /// operating core's padded cell (sum-on-read; DESIGN.md §6).
-    stats: ShardedStats<6>,
+    stats: ShardedStats<8>,
 }
 
 impl Refcache {
@@ -199,6 +217,8 @@ impl Refcache {
             flushes: self.stats.sum(F_FLUSHES),
             dirty_zeros: self.stats.sum(F_DIRTY_ZEROS),
             revivals: self.stats.sum(F_REVIVALS),
+            slot_activates: self.stats.sum(F_SLOT_ACTIVATES),
+            slot_releases: self.stats.sum(F_SLOT_RELEASES),
             epoch: self.epoch(),
         }
     }
@@ -211,6 +231,14 @@ impl Refcache {
         self.stats
             .sum(F_ALLOCS)
             .wrapping_sub(self.stats.sum(F_FREES))
+    }
+
+    /// Number of live slot activations (activated minus released); exact
+    /// at quiescence, like [`Refcache::live_objects`].
+    pub fn live_slots(&self) -> u64 {
+        self.stats
+            .sum(F_SLOT_ACTIVATES)
+            .wrapping_sub(self.stats.sum(F_SLOT_RELEASES))
     }
 
     /// Registers a [`FlushHook`] invoked at the start of every flush.
@@ -249,6 +277,7 @@ impl Refcache {
                 }),
                 weak: AtomicUsize::new(0),
                 drop_fn: drop_impl::<T>,
+                slot_backed: false,
             },
             obj,
         });
@@ -267,12 +296,13 @@ impl Refcache {
         (h >> 32) as usize & (self.cfg.cache_slots - 1)
     }
 
-    /// Applies `delta` to `core`'s cached entry for `obj` (the paper's
-    /// `inc`/`dec`). Conflicting entries are evicted to the global count.
-    fn adjust(&self, core: usize, obj: ObjPtr, delta: i64) {
+    /// Applies `delta` to `core`'s cached entry for the count at `key`
+    /// (the paper's `inc`/`dec`). Conflicting entries are evicted to the
+    /// global count. Storage-blind: `key` is a header address from
+    /// either boxed or slot-backed storage.
+    fn adjust(&self, core: usize, key: usize, delta: i64) {
         let mut cc = self.cores[core].lock();
         let epoch = self.epoch();
-        let key = obj.as_ptr() as usize;
         let idx = self.hash_obj(key);
         let slot = cc.slots[idx];
         if slot.obj == key {
@@ -290,21 +320,46 @@ impl Refcache {
         cc.slots[idx] = Slot { obj: key, delta };
     }
 
-    /// Increments the reference count of `obj` on `core`.
+    /// Increments the reference count of `obj` on `core`. Generic over
+    /// where the count lives: boxed objects ([`RcPtr`]) and
+    /// table-embedded cells ([`SlotPtr`]) share the delta cache.
     ///
     /// The caller must hold a logical reference to `obj` (or have just
     /// obtained the pointer via [`Refcache::tryget`]).
     #[inline]
-    pub fn inc<T>(&self, core: usize, obj: RcPtr<T>) {
-        self.adjust(core, obj.header(), 1);
+    pub fn inc<P: Counted>(&self, core: usize, obj: P) {
+        self.adjust(core, obj.count_addr(), 1);
     }
 
     /// Decrements the reference count of `obj` on `core`, surrendering one
-    /// logical reference. The object is freed (lazily) when its true count
-    /// reaches zero.
+    /// logical reference. The object is freed — or, for slot-backed
+    /// storage, its zero-count action runs — (lazily) when its true
+    /// count reaches zero.
     #[inline]
-    pub fn dec<T>(&self, core: usize, obj: RcPtr<T>) {
-        self.adjust(core, obj.header(), -1);
+    pub fn dec<P: Counted>(&self, core: usize, obj: P) {
+        self.adjust(core, obj.count_addr(), -1);
+    }
+
+    /// Activates a dormant table-embedded cell with an initial reference
+    /// count — the slot-backed analogue of [`Refcache::alloc`], with no
+    /// heap allocation and no allocation charge (the cell's storage
+    /// already exists in its table; this is what keeps the 4 KiB fault
+    /// path allocation-free, DESIGN.md §8).
+    ///
+    /// The caller must own the cell's underlying resource exclusively
+    /// (e.g. have just allocated the frame), which guarantees the cell
+    /// is dormant: its previous activation, if any, completed the full
+    /// review protocol before the resource became reallocatable.
+    pub fn activate<T: SlotManaged>(&self, core: usize, cell: SlotPtr<T>, init_count: i64) {
+        self.stats.add(core, F_SLOT_ACTIVATES, 1);
+        // SAFETY: the cell's table is live (the caller holds its
+        // resource) and `count_addr` points at its header.
+        let hdr = unsafe { &*(cell.count_addr() as *const Header) };
+        let mut st = hdr.state.lock();
+        debug_assert!(!st.on_review, "activated a cell still under review");
+        debug_assert_eq!(st.refcnt, 0, "activated a cell with live count");
+        st.refcnt = init_count;
+        st.dirty = false;
     }
 
     /// Applies a cached delta to the object's global count (the paper's
@@ -451,11 +506,17 @@ impl Refcache {
         // re-enter the cache (e.g. dec of a parent node).
         let ctx = ReleaseCtx { cache: self, core };
         for obj in to_free {
-            self.stats.add(core, F_FREES, 1);
             let hdr = obj.as_ptr();
+            // SAFETY: objects on a review queue are live headers.
+            let field = if unsafe { (*hdr).slot_backed } {
+                F_SLOT_RELEASES
+            } else {
+                F_FREES
+            };
+            self.stats.add(core, field, 1);
             // SAFETY: review confirmed a clean true zero and cleared the
             // weak reference, so this is the sole owner; `drop_fn` matches
-            // the allocation's payload type by construction.
+            // the storage's payload type by construction.
             unsafe { ((*hdr).drop_fn)(hdr, &ctx) };
         }
     }
@@ -560,16 +621,17 @@ impl Refcache {
     /// [`Refcache::quiesce`] first), no review-queue entries, and no weak
     /// reference uses can occur afterwards.
     pub unsafe fn free_untracked<T>(&self, obj: RcPtr<T>) {
+        debug_assert!(!(*(obj.addr() as *const Header)).slot_backed);
         self.stats.add_here(F_FREES, 1);
         drop(Box::from_raw(obj.raw.as_ptr()));
     }
 
     /// Reads an object's current *global* count (test/debug aid; the true
     /// count additionally includes cached deltas).
-    pub fn global_count<T>(&self, obj: RcPtr<T>) -> i64 {
-        let hdr = obj.header();
-        // SAFETY: caller holds a reference.
-        unsafe { (*hdr.as_ptr()).state.lock().refcnt }
+    pub fn global_count<P: Counted>(&self, obj: P) -> i64 {
+        // SAFETY: caller holds a reference (boxed) or the cell's table is
+        // live (slot-backed).
+        unsafe { (*(obj.count_addr() as *const Header)).state.lock().refcnt }
     }
 }
 

@@ -44,20 +44,49 @@ pub(crate) struct ObjState {
     pub(crate) on_review: bool,
 }
 
-/// Header shared by all Refcache-managed allocations.
+/// Header shared by all Refcache-counted locations — the storage-
+/// independent core every cache operation manipulates. It lives either
+/// at the head of a heap [`RcBox`] (boxed storage, freed on zero) or
+/// embedded in an external table entry ([`crate::slot::CountSlot`],
+/// slot-backed storage: the zero-count action runs in place and the
+/// cell returns to the dormant state for reuse).
 #[repr(C)]
 pub struct Header {
     pub(crate) state: SpinLock<ObjState>,
     /// Address of the external weak-reference word, or 0 if the object has
     /// no weak reference. Written once at registration.
     pub(crate) weak: AtomicUsize,
-    /// Type-erased destructor; reconstructs the concrete `Box<RcBox<T>>`.
+    /// Type-erased zero-count action. Boxed storage reconstructs and
+    /// frees the concrete `Box<RcBox<T>>`; slot-backed storage runs the
+    /// payload's action and resets the cell without freeing memory.
     ///
     /// # Safety
     ///
-    /// Must only be called once, with a pointer produced by
-    /// [`Refcache::alloc`], after the true count is confirmed zero.
+    /// Must only be called with the count confirmed true-zero, at most
+    /// once per boxed allocation / per slot activation.
     pub(crate) drop_fn: unsafe fn(*mut Header, &ReleaseCtx<'_>),
+    /// True for table-embedded cells (stats attribution and teardown
+    /// assertions; the mechanism itself is storage-blind).
+    pub(crate) slot_backed: bool,
+}
+
+/// A copyable handle to a Refcache-counted location, generic over
+/// *where the count lives*: heap-boxed objects ([`RcPtr`]) and
+/// table-embedded cells ([`crate::slot::SlotPtr`]) both implement it, so
+/// `inc`/`dec` and the whole delta-cache/epoch/review machinery work on
+/// either storage.
+pub trait Counted: Copy {
+    /// Address of the location's count [`Header`] (internal plumbing;
+    /// stable for the object's lifetime).
+    #[doc(hidden)]
+    fn count_addr(self) -> usize;
+}
+
+impl<T> Counted for RcPtr<T> {
+    #[inline]
+    fn count_addr(self) -> usize {
+        self.addr()
+    }
 }
 
 /// A Refcache-managed allocation: header followed by payload.
@@ -198,6 +227,7 @@ mod tests {
                 }),
                 weak: AtomicUsize::new(0),
                 drop_fn: |_, _| (),
+                slot_backed: false,
             },
             obj: 42u64,
         };

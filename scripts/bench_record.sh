@@ -14,6 +14,11 @@
 #     backend with and without the huge hint, plus the gate verdict
 #     (≥ 8x fewer faults, strictly smaller index; bench_huge exits
 #     non-zero on regression).
+#   BENCH_refcount.json — frame-table ownership: cold + warm fault
+#     loops with zero Refcache-object heap allocations, frame-table
+#     cell activation/release balance, and remote-line transfers by
+#     category (frame-table vs anonymous heap); bench_refcount exits
+#     non-zero on regression.
 #
 # Run from the repository root; commit the refreshed files.
 set -euo pipefail
@@ -30,3 +35,7 @@ cat BENCH_scale.json
 cargo run --release -p rvm_bench --bin bench_huge > BENCH_huge.json
 echo "wrote $(pwd)/BENCH_huge.json:" >&2
 cat BENCH_huge.json
+
+cargo run --release -p rvm_bench --bin bench_refcount > BENCH_refcount.json
+echo "wrote $(pwd)/BENCH_refcount.json:" >&2
+cat BENCH_refcount.json

@@ -139,4 +139,65 @@ fn warm_single_page_fault_path_is_allocation_free() {
                 .unwrap();
         }
     });
+
+    // Phase 3: the COLD fault path — demand-zero populating a fresh page
+    // (frame off the core-local free list, count cell armed in the frame
+    // table, PTE + TLB install) performs zero heap allocations too, now
+    // that no per-fault Refcache object exists (DESIGN.md §8). The
+    // region's radix leaves, page-table nodes, TLB structures, and pool
+    // free lists are pre-built; between windows the mapping is replaced
+    // in place (displacing the frames but keeping every leaf populated)
+    // and the VM quiesced, so each window's faults are genuinely cold —
+    // asserted via the faults_alloc counter — yet allocation-free.
+    const COLD_BASE: u64 = 0x71_0000_0000;
+    const COLD_PAGES: u64 = 2048;
+    vm.mmap(
+        0,
+        COLD_BASE,
+        COLD_PAGES * PAGE_SIZE,
+        Prot::RW,
+        Backing::Anon,
+    )
+    .unwrap();
+    for p in 0..COLD_PAGES {
+        machine
+            .touch_page(0, &*vm, COLD_BASE + p * PAGE_SIZE, 1)
+            .unwrap();
+    }
+    let mut clean = false;
+    let mut last = u64::MAX;
+    for _ in 0..5 {
+        // Displace the frames; leaves stay populated (replace swaps
+        // values in place), so the next faults re-allocate cold.
+        vm.mmap(
+            0,
+            COLD_BASE,
+            COLD_PAGES * PAGE_SIZE,
+            Prot::RW,
+            Backing::Anon,
+        )
+        .unwrap();
+        vm.quiesce();
+        let fa0 = vm.op_stats().faults_alloc;
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for p in 0..COLD_PAGES {
+            machine
+                .read_u64(0, &*vm, COLD_BASE + p * PAGE_SIZE)
+                .unwrap();
+        }
+        last = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            vm.op_stats().faults_alloc - fa0,
+            COLD_PAGES,
+            "window faults must be cold page-allocating faults"
+        );
+        if last == 0 {
+            clean = true;
+            break;
+        }
+    }
+    assert!(
+        clean,
+        "cold fault path: every window allocated (last saw {last} allocations)"
+    );
 }

@@ -356,6 +356,85 @@ fn huge_hint_is_semantics_preserving() {
 }
 
 #[test]
+fn no_backend_leaks_frames_after_quiesce_and_drop() {
+    // The frame table is the single ownership authority: after a mixed
+    // workload — 4 KiB and huge mappings, partial unmaps (superpage
+    // demotion on backends that install them), CoW-forked address
+    // spaces — every backend must end with allocated − freed == 0
+    // frames once the VMs quiesce and drop. `outstanding_frames` is the
+    // pool's own alloc/free page accounting, so a reference leak
+    // anywhere (metadata, demotion adoption, fork duplication, drop
+    // paths) shows up as a nonzero residue.
+    let base_4k = BASE;
+    let huge_base = 0x58_0000_0000u64; // 2 MiB aligned
+    for kind in BackendKind::ALL {
+        let machine = Machine::new(2);
+        {
+            let vm = build(&machine, kind);
+            vm.attach_core(0);
+            vm.attach_core(1);
+            // Plain 4 KiB pages, touched from both cores.
+            vm.mmap(0, base_4k, 16 * PAGE_SIZE, Prot::RW, Backing::Anon)
+                .unwrap();
+            for p in 0..16 {
+                machine
+                    .write_u64(0, &*vm, base_4k + p * PAGE_SIZE, p)
+                    .unwrap();
+            }
+            for p in 0..16 {
+                machine.read_u64(1, &*vm, base_4k + p * PAGE_SIZE).unwrap();
+            }
+            // A hinted 2 MiB region, partially unmapped (demotes the
+            // superpage where one was installed).
+            vm.mmap_flags(
+                0,
+                huge_base,
+                BLOCK_PAGES * PAGE_SIZE,
+                Prot::RW,
+                Backing::Anon,
+                MapFlags::HUGE,
+            )
+            .unwrap();
+            for p in (0..BLOCK_PAGES).step_by(47) {
+                machine
+                    .write_u64(0, &*vm, huge_base + p * PAGE_SIZE, p)
+                    .unwrap();
+            }
+            vm.munmap(0, huge_base + 64 * PAGE_SIZE, 64 * PAGE_SIZE)
+                .unwrap();
+            machine.read_u64(1, &*vm, huge_base).unwrap();
+            // Fork + CoW on the backends that support it: both address
+            // spaces write (copying shared pages), then the child drops
+            // with mappings still live.
+            if kind.meta().supports_fork {
+                let child = vm.fork(0).unwrap();
+                child.attach_core(0);
+                child.attach_core(1);
+                machine.write_u64(1, &*child, base_4k, 999).unwrap();
+                machine
+                    .write_u64(0, &*vm, base_4k + PAGE_SIZE, 888)
+                    .unwrap();
+                machine.write_u64(1, &*child, huge_base, 777).unwrap();
+                child.quiesce();
+                drop(child);
+            }
+            // Unmap part of the 4 KiB region explicitly; the VM's drop
+            // path must release the rest.
+            vm.munmap(0, base_4k, 8 * PAGE_SIZE).unwrap();
+            vm.quiesce();
+            drop(vm);
+        }
+        machine.pool().flush_magazines();
+        assert_eq!(
+            machine.pool().outstanding_frames(),
+            0,
+            "{kind}: frames leaked (allocated != freed after quiesce + drop)"
+        );
+        assert_eq!(machine.stats().stale_detected, 0, "{kind}");
+    }
+}
+
+#[test]
 fn frames_return_to_pool_after_unmap() {
     // After a full map/touch/unmap cycle and quiesce, every allocated
     // frame is back in the pool — no backend leaks physical memory.

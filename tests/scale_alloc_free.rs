@@ -129,5 +129,70 @@ fn warm_disjoint_fault_loops_are_allocation_free_per_core() {
             0,
             "{ncores}-core run spilled guard storage outside the loop"
         );
+
+        // COLD multicore gate: every core demand-zero populates its own
+        // fresh pages — frame off the core-local free list, count cell
+        // armed in the frame table (DESIGN.md §8) — with zero heap
+        // allocations on any core. Leaves/page tables/free lists are
+        // pre-built per core; between windows each core's mapping is
+        // replaced in place (displacing frames, keeping leaves) and the
+        // VM quiesced so the measured faults are genuinely cold.
+        const COLD_BASE: u64 = 0x68_0000_0000;
+        const COLD_PAGES: u64 = 512;
+        let core_base = |core: usize| COLD_BASE + core as u64 * (1 << 30);
+        for core in 0..ncores {
+            vm.mmap(
+                core,
+                core_base(core),
+                COLD_PAGES * PAGE_SIZE,
+                Prot::RW,
+                Backing::Anon,
+            )
+            .unwrap();
+            for p in 0..COLD_PAGES {
+                machine
+                    .touch_page(core, &*vm, core_base(core) + p * PAGE_SIZE, 1)
+                    .unwrap();
+            }
+        }
+        let mut clean = false;
+        let mut last = u64::MAX;
+        for _ in 0..5 {
+            for core in 0..ncores {
+                vm.mmap(
+                    core,
+                    core_base(core),
+                    COLD_PAGES * PAGE_SIZE,
+                    Prot::RW,
+                    Backing::Anon,
+                )
+                .unwrap();
+            }
+            vm.quiesce();
+            let fa0 = vm.op_stats().faults_alloc;
+            let before = ALLOCS.load(Ordering::Relaxed);
+            for p in 0..COLD_PAGES {
+                for core in 0..ncores {
+                    machine
+                        .read_u64(core, &*vm, core_base(core) + p * PAGE_SIZE)
+                        .unwrap();
+                }
+            }
+            last = ALLOCS.load(Ordering::Relaxed) - before;
+            assert_eq!(
+                vm.op_stats().faults_alloc - fa0,
+                COLD_PAGES * ncores as u64,
+                "{ncores}-core window faults must be cold allocating faults"
+            );
+            if last == 0 {
+                clean = true;
+                break;
+            }
+        }
+        assert!(
+            clean,
+            "{ncores}-core cold fault loop: every window allocated \
+             (last saw {last} allocations)"
+        );
     }
 }
