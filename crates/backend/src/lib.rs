@@ -28,6 +28,7 @@ use std::sync::Arc;
 use rvm_baselines::{BonsaiVm, LinuxVm};
 use rvm_core::{RadixVm, RadixVmConfig};
 use rvm_hw::{Machine, MmuKind, VmSystem};
+use rvm_sync::RangeLockKind;
 
 pub use toy::ToyVm;
 
@@ -40,6 +41,9 @@ pub enum BackendKind {
     RadixSharedPt,
     /// RadixVM without radix-node collapsing (paper's prototype config).
     RadixNoCollapse,
+    /// RadixVM with multi-page range locks realized purely by slot CAS
+    /// spinning (no list-based range lock; the pre-PR-6 baseline).
+    RadixSlotSpin,
     /// The Linux baseline (address-space lock, shared table, broadcast).
     Linux,
     /// The Bonsai baseline (lock-free faults, serialized mutations).
@@ -71,6 +75,9 @@ pub struct BackendMeta {
     pub shootdown: ShootdownPolicy,
     /// Whether concurrent page faults run without a shared lock.
     pub concurrent_faults: bool,
+    /// Substrate fronting multi-page range locks (meaningful for the
+    /// Radix family; non-radix backends report their own locking).
+    pub range_lock: RangeLockKind,
     /// Whether fork + copy-on-write is implemented.
     pub supports_fork: bool,
     /// One-line description for tables and `--help` text.
@@ -79,10 +86,11 @@ pub struct BackendMeta {
 
 impl BackendKind {
     /// Every backend, in the order tables and sweeps present them.
-    pub const ALL: [BackendKind; 6] = [
+    pub const ALL: [BackendKind; 7] = [
         BackendKind::Radix,
         BackendKind::RadixSharedPt,
         BackendKind::RadixNoCollapse,
+        BackendKind::RadixSlotSpin,
         BackendKind::Linux,
         BackendKind::Bonsai,
         BackendKind::Toy,
@@ -97,6 +105,7 @@ impl BackendKind {
                 collapse: true,
                 shootdown: ShootdownPolicy::Targeted,
                 concurrent_faults: true,
+                range_lock: RangeLockKind::List,
                 supports_fork: true,
                 description: "full RadixVM: range-locked radix tree, Refcache, \
                               per-core tables, targeted shootdown",
@@ -107,6 +116,7 @@ impl BackendKind {
                 collapse: true,
                 shootdown: ShootdownPolicy::Broadcast,
                 concurrent_faults: true,
+                range_lock: RangeLockKind::List,
                 supports_fork: true,
                 description: "RadixVM over one shared page table (Figure 9 ablation)",
             },
@@ -116,9 +126,21 @@ impl BackendKind {
                 collapse: false,
                 shootdown: ShootdownPolicy::Targeted,
                 concurrent_faults: true,
+                range_lock: RangeLockKind::List,
                 supports_fork: true,
                 description: "RadixVM without radix-node collapsing (the paper's \
                               prototype configuration)",
+            },
+            BackendKind::RadixSlotSpin => &BackendMeta {
+                name: "RadixVM/slotspin-rl",
+                mmu: MmuKind::PerCore,
+                collapse: true,
+                shootdown: ShootdownPolicy::Targeted,
+                concurrent_faults: true,
+                range_lock: RangeLockKind::SlotSpin,
+                supports_fork: true,
+                description: "RadixVM with multi-page range locks taken by slot-CAS \
+                              spinning only (range-lock substrate ablation)",
             },
             BackendKind::Linux => &BackendMeta {
                 name: "Linux",
@@ -126,6 +148,7 @@ impl BackendKind {
                 collapse: true,
                 shootdown: ShootdownPolicy::Broadcast,
                 concurrent_faults: false,
+                range_lock: RangeLockKind::SlotSpin,
                 supports_fork: false,
                 description: "conventional design: address-space rwlock over a VMA \
                               map, shared table, broadcast shootdown",
@@ -136,6 +159,7 @@ impl BackendKind {
                 collapse: true,
                 shootdown: ShootdownPolicy::Broadcast,
                 concurrent_faults: true,
+                range_lock: RangeLockKind::SlotSpin,
                 supports_fork: false,
                 description: "Bonsai-style: lock-free RCU region lookups, \
                               serialized mmap/munmap",
@@ -146,6 +170,7 @@ impl BackendKind {
                 collapse: true,
                 shootdown: ShootdownPolicy::Broadcast,
                 concurrent_faults: false,
+                range_lock: RangeLockKind::SlotSpin,
                 supports_fork: false,
                 description: "reference backend: one mutex around a per-page map",
             },
@@ -180,16 +205,18 @@ impl std::fmt::Display for BackendKind {
 pub fn build(machine: &Arc<Machine>, kind: BackendKind) -> Arc<dyn VmSystem> {
     let meta = kind.meta();
     match kind {
-        BackendKind::Radix | BackendKind::RadixSharedPt | BackendKind::RadixNoCollapse => {
-            RadixVm::new(
-                machine.clone(),
-                RadixVmConfig {
-                    mmu: meta.mmu,
-                    collapse: meta.collapse,
-                    ..Default::default()
-                },
-            )
-        }
+        BackendKind::Radix
+        | BackendKind::RadixSharedPt
+        | BackendKind::RadixNoCollapse
+        | BackendKind::RadixSlotSpin => RadixVm::new(
+            machine.clone(),
+            RadixVmConfig {
+                mmu: meta.mmu,
+                collapse: meta.collapse,
+                range_lock: meta.range_lock,
+                ..Default::default()
+            },
+        ),
         BackendKind::Linux => LinuxVm::new(machine.clone()),
         BackendKind::Bonsai => BonsaiVm::new(machine.clone()),
         BackendKind::Toy => ToyVm::new(machine.clone()),
@@ -244,5 +271,8 @@ mod tests {
         let meta = BackendKind::RadixSharedPt.meta();
         assert_eq!(meta.mmu, MmuKind::Shared);
         assert!(meta.collapse);
+        let meta = BackendKind::RadixSlotSpin.meta();
+        assert_eq!(meta.range_lock, RangeLockKind::SlotSpin);
+        assert_eq!(BackendKind::Radix.meta().range_lock, RangeLockKind::List);
     }
 }

@@ -55,6 +55,7 @@ fn tree_same_block(c: &mut Criterion) {
             RadixConfig {
                 collapse: true,
                 leaf_hints: hints,
+                ..RadixConfig::default()
             },
         );
         let base = 512 * 11;

@@ -65,6 +65,7 @@ pub fn tree_fault_point(leaf_hints: bool, iters: u64) -> FastpathPoint {
         RadixConfig {
             collapse: true,
             leaf_hints,
+            ..RadixConfig::default()
         },
     );
     let base = 512 * 11;

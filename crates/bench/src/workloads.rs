@@ -28,6 +28,7 @@ const LOCAL_BASE: u64 = 0x200_0000_0000;
 const PIPE_BASE: u64 = 0x300_0000_0000;
 const GLOBAL_BASE: u64 = 0x400_0000_0000;
 const CONTENDED_BASE: u64 = 0x500_0000_0000;
+const OVERLAP_BASE: u64 = 0x600_0000_0000;
 
 /// Operations between Refcache maintenance ticks.
 const MAINTAIN_EVERY: u64 = 128;
@@ -64,16 +65,26 @@ pub fn local(machine: Arc<Machine>, vm: Arc<dyn VmSystem>, core: usize) -> Box<d
 }
 
 /// Builds the **contended** workload closure for one core: every core
-/// hammers the *same* 4-page range with mmap → touch → munmap cycles —
-/// the adversarial inverse of `local`, where all operations serialize on
-/// one range lock and every munmap must shoot down whichever cores
-/// faulted the pages. No design scales this (the operations genuinely
-/// conflict); the question the sweep answers is whether throughput
-/// *degrades gracefully* toward the serial rate instead of collapsing
-/// below it under coherence and IPI storms.
+/// hammers the *same* 4-page range — the adversarial inverse of `local`,
+/// where all mutations serialize on one range lock and every remap must
+/// shoot down whichever cores faulted the pages. No design scales this
+/// (the operations genuinely conflict); the question the sweep answers
+/// is whether throughput *degrades gracefully* toward the serial rate
+/// instead of collapsing below it under coherence and IPI storms.
 ///
-/// Errors are tolerated (another core may replace or unmap the range
-/// mid-cycle under real threads); a cycle counts once either way.
+/// One cycle = touch all 4 pages; every [`CONTENDED_REMAP_EVERY`]-th
+/// cycle additionally remaps the range (munmap + mmap). The mapping
+/// *persists across cycles*: under the op-at-a-time simulator, TLB
+/// residency on a remote core can only exist if a mapping outlives the
+/// op that faulted it. The previous shape of this workload (mmap →
+/// touch → munmap every cycle) privatized the range each op, so the
+/// munmap's fault-coreset was always `{self}` and the sweep measured
+/// `ipis_per_op = 0` — targeted shootdown had nothing to shoot. With a
+/// persistent mapping, other cores' touches accumulate in the per-page
+/// coresets and the periodic remap pays the real multi-target IPI bill.
+///
+/// Errors are tolerated (another core may remap the range mid-cycle
+/// under real threads); a cycle counts once either way.
 pub fn contended(
     machine: Arc<Machine>,
     vm: Arc<dyn VmSystem>,
@@ -84,17 +95,81 @@ pub fn contended(
     let mut i = 0u64;
     Box::new(move || {
         i += 1;
-        let _ = vm.mmap(
-            core,
-            CONTENDED_BASE,
-            PAGES * PAGE_SIZE,
-            Prot::RW,
-            Backing::Anon,
-        );
+        if i % CONTENDED_REMAP_EVERY == 1 {
+            let _ = vm.munmap(core, CONTENDED_BASE, PAGES * PAGE_SIZE);
+            let _ = vm.mmap(
+                core,
+                CONTENDED_BASE,
+                PAGES * PAGE_SIZE,
+                Prot::RW,
+                Backing::Anon,
+            );
+        }
         for p in 0..PAGES {
             let _ = machine.touch_page(core, &*vm, CONTENDED_BASE + p * PAGE_SIZE, core as u8);
         }
-        let _ = vm.munmap(core, CONTENDED_BASE, PAGES * PAGE_SIZE);
+        if i.is_multiple_of(MAINTAIN_EVERY) {
+            vm.maintain(core);
+        }
+        1
+    })
+}
+
+/// Cycles between remaps of the contended range (per core). Tuned so
+/// shootdown IPIs are a steady presence in the sweep without the IPI
+/// bill alone dwarfing the serialized work the gate compares against.
+pub const CONTENDED_REMAP_EVERY: u64 = 16;
+
+/// Pages per overlap-workload operation (large enough that the range is
+/// unambiguously multi-page, so the List substrate fronts it).
+pub const OVERLAP_PAGES: u64 = 16;
+
+/// Builds the **overlap** workload closure for one core: each op mmaps,
+/// touches, and munmaps a [`OVERLAP_PAGES`]-page range, and with
+/// probability `degree`% that range is the *shared* slice every core
+/// collides on (otherwise a private, per-core slice). `degree = 0` is
+/// pure disjoint multi-page traffic — the scaling case the list-based
+/// range lock must not tax; `degree = 100` makes every op conflict —
+/// the serialization case it must degrade gracefully on. Intermediate
+/// degrees dial contention continuously between the two.
+///
+/// Only the first page is written: the point of the workload is the
+/// multi-page *lock* traffic, not page-fill work.
+///
+/// Errors are tolerated (cores racing on the shared slice legitimately
+/// observe each other's unmaps under real threads); a cycle counts once
+/// either way.
+pub fn overlap(
+    machine: Arc<Machine>,
+    vm: Arc<dyn VmSystem>,
+    core: usize,
+    degree: u32,
+) -> Box<dyn FnMut() -> u64> {
+    assert!(degree <= 100, "overlap degree is a percentage");
+    vm.attach_core(core);
+    let shared = OVERLAP_BASE;
+    let private = OVERLAP_BASE + (core as u64 + 1) * (1 << 30);
+    let mut rng = splitmix((core as u64) << 32 | (degree as u64 + 1));
+    let mut i = 0u64;
+    Box::new(move || {
+        i += 1;
+        rng = splitmix(rng);
+        let base = if rng % 100 < degree as u64 {
+            shared
+        } else {
+            // Cycle a few private slots so the tree sees churn, not one
+            // hot leaf.
+            private + (i % 8) * OVERLAP_PAGES * PAGE_SIZE
+        };
+        let _ = vm.mmap(
+            core,
+            base,
+            OVERLAP_PAGES * PAGE_SIZE,
+            Prot::RW,
+            Backing::Anon,
+        );
+        let _ = machine.touch_page(core, &*vm, base, core as u8);
+        let _ = vm.munmap(core, base, OVERLAP_PAGES * PAGE_SIZE);
         if i.is_multiple_of(MAINTAIN_EVERY) {
             vm.maintain(core);
         }
@@ -269,6 +344,41 @@ mod tests {
         // Every munmap of a handed-off page shoots exactly one remote TLB.
         assert!(m.stats().shootdown_ipis > 0);
         assert!(m.stats().shootdown_ipis <= m.stats().shootdown_rounds);
+    }
+
+    /// The reason `ipis_per_op` was 0 before the contended rework: TLB
+    /// residency on a remote core requires a mapping that outlives the
+    /// op that faulted it. The persistent-mapping shape must make the
+    /// periodic remaps actually shoot down remote TLBs.
+    #[test]
+    fn contended_remaps_send_ipis() {
+        let (m, v) = radix_vm(4);
+        let p = run_sim(4, 2_000_000, CostModel::default(), |c| {
+            contended(m.clone(), v.clone(), c)
+        });
+        assert!(p.units > 0, "no contended progress");
+        assert!(
+            m.stats().shootdown_ipis > 0,
+            "contended remaps sent no IPIs — the mapping is not persisting across ops"
+        );
+    }
+
+    #[test]
+    fn overlap_extremes_behave() {
+        // Degree 0: disjoint multi-page ops, no shootdown traffic.
+        let (m0, v0) = radix_vm(4);
+        let p0 = run_sim(4, 2_000_000, CostModel::default(), |c| {
+            overlap(m0.clone(), v0.clone(), c, 0)
+        });
+        assert!(p0.units > 100, "0% overlap made progress: {}", p0.units);
+        assert_eq!(m0.stats().shootdown_ipis, 0, "disjoint overlap sent IPIs");
+        // Degree 100: every op collides on the shared slice, yet each
+        // cycle still completes.
+        let (m1, v1) = radix_vm(4);
+        let p1 = run_sim(4, 2_000_000, CostModel::default(), |c| {
+            overlap(m1.clone(), v1.clone(), c, 100)
+        });
+        assert!(p1.units > 0, "100% overlap made no progress");
     }
 
     #[test]

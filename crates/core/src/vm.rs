@@ -33,7 +33,7 @@ use rvm_mem::{FrameRef, Pfn, BLOCK_ORDER};
 use rvm_radix::{LockMode, RadixConfig, RadixTree, RangeGuard, Removed, VPN_LIMIT};
 use rvm_refcache::Refcache;
 use rvm_sync::atomic::AtomicCoreSet;
-use rvm_sync::{sim, CoreSet};
+use rvm_sync::{sim, CoreSet, RangeLockKind};
 
 use crate::meta::{PageKind, PageMeta};
 
@@ -48,6 +48,10 @@ pub struct RadixVmConfig {
     /// Per-core leaf hint cache on the fault fast path (DESIGN.md §5).
     /// Disable to measure the plain descent.
     pub leaf_hints: bool,
+    /// Substrate fronting multi-page range locks (DESIGN.md §9).
+    /// [`RangeLockKind::List`] is the scalable list-based lock;
+    /// [`RangeLockKind::SlotSpin`] is the slot-CAS-only baseline.
+    pub range_lock: RangeLockKind,
 }
 
 impl Default for RadixVmConfig {
@@ -56,6 +60,7 @@ impl Default for RadixVmConfig {
             mmu: MmuKind::PerCore,
             collapse: true,
             leaf_hints: true,
+            range_lock: RangeLockKind::List,
         }
     }
 }
@@ -113,6 +118,7 @@ impl RadixVm {
             RadixConfig {
                 collapse: cfg.collapse,
                 leaf_hints: cfg.leaf_hints,
+                range_lock: cfg.range_lock,
             },
         );
         Arc::new(RadixVm {
@@ -312,6 +318,9 @@ impl RadixVm {
 impl VmSystem for RadixVm {
     fn name(&self) -> &'static str {
         match (self.cfg.mmu, self.cfg.collapse) {
+            (MmuKind::PerCore, true) if self.cfg.range_lock == RangeLockKind::SlotSpin => {
+                "RadixVM/slotspin-rl"
+            }
             (MmuKind::PerCore, true) => "RadixVM",
             (MmuKind::Shared, _) => "RadixVM/shared-pt",
             (MmuKind::PerCore, false) => "RadixVM/no-collapse",

@@ -48,7 +48,7 @@ use std::sync::Arc;
 use rvm_refcache::weak::LOCK_BIT;
 use rvm_refcache::{RcPtr, Refcache};
 use rvm_sync::atomic::Ordering;
-use rvm_sync::{CachePadded, InlineVec, SpinLock};
+use rvm_sync::{CachePadded, InlineVec, RangeLock, RangeLockKind, RangeToken, SpinLock};
 
 use crate::node::{
     index_at_level, lock_interior_slot, lock_leaf_slot, pack_slot, slot_ptr, slot_tag,
@@ -91,6 +91,12 @@ pub struct RadixConfig {
     /// Enable the per-core leaf hint cache on the single-page fast path.
     /// Disable to measure the plain descent (ablation).
     pub leaf_hints: bool,
+    /// Substrate realizing multi-page `lock_range` acquisitions
+    /// ([`RangeLockKind::List`] puts the scalable list-based range lock
+    /// in front of the slot locks; [`RangeLockKind::SlotSpin`] is the
+    /// original slot-CAS-only baseline). Single-page locks — the fault
+    /// path — always go straight to the leaf slot lock.
+    pub range_lock: RangeLockKind,
 }
 
 impl Default for RadixConfig {
@@ -98,6 +104,7 @@ impl Default for RadixConfig {
         RadixConfig {
             collapse: true,
             leaf_hints: true,
+            range_lock: RangeLockKind::List,
         }
     }
 }
@@ -218,6 +225,12 @@ pub struct RadixTree<V: RadixValue> {
     hints: Arc<HintTable<V>>,
     /// Flush-hook registration (0 when `leaf_hints` is off).
     hook_id: u64,
+    /// The list-based range lock fronting multi-page acquisitions
+    /// (consulted only when `cfg.range_lock` is [`RangeLockKind::List`]).
+    /// Overlapping range operations serialize on one descriptor here
+    /// instead of CAS-fighting slot by slot; the slot locks below remain
+    /// the mutual-exclusion authority (faults never enqueue).
+    range_lock: RangeLock,
 }
 
 // SAFETY: nodes are Sync; RcPtr is a pointer; all mutation is internally
@@ -246,7 +259,13 @@ impl<V: RadixValue> RadixTree<V> {
             stats,
             hints,
             hook_id,
+            range_lock: RangeLock::new(),
         }
+    }
+
+    /// The configured multi-page lock substrate.
+    pub fn range_lock_kind(&self) -> RangeLockKind {
+        self.cfg.range_lock
     }
 
     /// The tree's statistics block.
@@ -351,15 +370,19 @@ impl<V: RadixValue> RadixTree<V> {
             core,
             units: InlineVec::new(),
             pins: InlineVec::new(),
+            range_token: None,
         };
         // Fault fast path: a single-page lock served by the leaf hint
         // skips the descent entirely (both modes behave identically once
-        // a leaf exists).
+        // a leaf exists). Single-page locks never enqueue in the range
+        // lock either — the leaf slot lock alone excludes them from
+        // everything, including list-fronted multi-page holders (which
+        // still take every slot lock in their range during descent).
         if hi == lo + 1 {
             if let Some(leaf) = self.hint_lookup(core, lo) {
                 let n = nref(leaf);
                 let first = (lo - n.base_vpn) as usize;
-                lock_leaf_slot(&n.leaf()[first].status);
+                lock_leaf_slot(&n.leaf()[first].status, &self.stats);
                 guard.pins.push(leaf);
                 guard.units.push(Unit::LeafRange {
                     node: leaf,
@@ -369,6 +392,15 @@ impl<V: RadixValue> RadixTree<V> {
                 });
                 return guard;
             }
+        }
+        // Multi-page acquisitions under the List substrate serialize on
+        // one descriptor before touching any slot, so overlapping range
+        // ops contend on a single line instead of CAS-fighting every
+        // slot in the intersection. Slot locks stay the mutual-exclusion
+        // authority (faults never enqueue here), so this is purely a
+        // contention front: descent below proceeds exactly as before.
+        if hi > lo + 1 && self.cfg.range_lock == RangeLockKind::List {
+            guard.range_token = Some(self.range_lock.acquire(core, lo, hi));
         }
         self.descend(core, self.root, lo, hi, mode, false, &mut guard);
         // Refresh the hint when the descent ended at a single leaf slot,
@@ -411,7 +443,7 @@ impl<V: RadixValue> RadixTree<V> {
             debug_assert!(end <= FANOUT);
             if !born_locked {
                 for slot in &node.leaf()[first..end] {
-                    lock_leaf_slot(&slot.status);
+                    lock_leaf_slot(&slot.status, &self.stats);
                 }
             }
             g.units.push(Unit::LeafRange {
@@ -459,7 +491,7 @@ impl<V: RadixValue> RadixTree<V> {
                 let v = if born_locked {
                     peek
                 } else {
-                    let observed = lock_interior_slot(slot);
+                    let observed = lock_interior_slot(slot, &self.stats);
                     if slot_tag(observed) == TAG_CHILD {
                         // Became a child while we were acquiring; the CAS
                         // re-set the lock bit on a child word — undo and
@@ -576,7 +608,7 @@ impl<V: RadixValue> RadixTree<V> {
         if let Some(leaf) = self.hint_lookup(core, vpn) {
             let n = nref(leaf);
             let slot = &n.leaf()[(vpn - n.base_vpn) as usize];
-            lock_leaf_slot(&slot.status);
+            lock_leaf_slot(&slot.status, &self.stats);
             // SAFETY: the slot lock is held.
             let out = unsafe { (*slot.value.get()).clone() };
             unlock_leaf_slot(&slot.status);
@@ -592,7 +624,7 @@ impl<V: RadixValue> RadixTree<V> {
             if node.is_leaf() {
                 let idx = (vpn - node.base_vpn) as usize;
                 let slot = &node.leaf()[idx];
-                lock_leaf_slot(&slot.status);
+                lock_leaf_slot(&slot.status, &self.stats);
                 // SAFETY: the slot lock is held.
                 let out = unsafe { (*slot.value.get()).clone() };
                 unlock_leaf_slot(&slot.status);
@@ -621,7 +653,7 @@ impl<V: RadixValue> RadixTree<V> {
                 }
                 TAG_FOLDED => {
                     // Clone the folded value under a brief slot lock.
-                    let v = lock_interior_slot(slot);
+                    let v = lock_interior_slot(slot, &self.stats);
                     let out = if slot_tag(v) == TAG_FOLDED {
                         // SAFETY: lock held; FOLDED slot owns the box.
                         Some(unsafe { (*(slot_ptr(v) as *const V)).clone() })
@@ -734,7 +766,7 @@ impl<V: RadixValue> RadixTree<V> {
             let end = (hi - node.base_vpn) as usize;
             for idx in first..end {
                 let slot = &node.leaf()[idx];
-                lock_leaf_slot(&slot.status);
+                lock_leaf_slot(&slot.status, &self.stats);
                 // SAFETY: the slot lock is held.
                 let v = unsafe { (*slot.value.get()).clone() };
                 unlock_leaf_slot(&slot.status);
@@ -772,7 +804,7 @@ impl<V: RadixValue> RadixTree<V> {
                     TAG_FOLDED => {
                         // Clone the folded value once under a brief lock,
                         // then fan it out per page.
-                        let v = lock_interior_slot(slot);
+                        let v = lock_interior_slot(slot, &self.stats);
                         let val = if slot_tag(v) == TAG_FOLDED {
                             // SAFETY: lock held; FOLDED slot owns the box.
                             Some(unsafe { (*(slot_ptr(v) as *const V)).clone() })
@@ -848,6 +880,11 @@ pub struct RangeGuard<'t, V: RadixValue> {
     core: usize,
     units: InlineVec<Unit<V>, UNITS_INLINE>,
     pins: InlineVec<RcPtr<Node<V>>, PINS_INLINE>,
+    /// Held list-lock descriptor when this is a multi-page acquisition
+    /// under [`RangeLockKind::List`]; released last on drop so the
+    /// descriptor's hold window covers the whole slot-locked critical
+    /// section.
+    range_token: Option<RangeToken>,
 }
 
 impl<V: RadixValue> RangeGuard<'_, V> {
@@ -1163,6 +1200,11 @@ impl<V: RadixValue> Drop for RangeGuard<'_, V> {
         }
         if self.units.spilled() || self.pins.spilled() {
             self.tree.stats.add(self.core, F_GUARD_SPILLS, 1);
+        }
+        // Release the list descriptor after every slot lock is down so
+        // overlapping waiters observe a fully unlocked range.
+        if let Some(token) = self.range_token.take() {
+            self.tree.range_lock.release(self.core, token);
         }
     }
 }

@@ -1,0 +1,78 @@
+//! Bounded exponential backoff for spin-wait loops.
+//!
+//! Waiters that hammer a contended word in a tight CAS loop keep the
+//! line in perpetual migration; doubling the pause between retries (up
+//! to a small cap, then yielding to the scheduler) lets the holder make
+//! progress and drains the coherence storm. Used by the slot locks in
+//! `rvm_radix` and by [`crate::rangelock`] waiters.
+//!
+//! Under the simulator nothing ever really spins (virtual cores run one
+//! at a time), so [`Backoff::pause`] is only exercised from real
+//! threads; spin *counts* are still surfaced by the callers' stats so
+//! contention is visible in both modes.
+
+/// Exponential backoff state for one wait episode.
+///
+/// Each call to [`pause`](Backoff::pause) spins `2^step` times (capped
+/// at [`Backoff::MAX_SPINS`]); once the cap is reached, every further
+/// pause also yields the OS thread so a preempted lock holder can run.
+#[derive(Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Cap on the spins per pause: `2^MAX_SHIFT`.
+    const MAX_SHIFT: u32 = 7;
+    /// Largest number of `spin_loop` iterations a single pause performs.
+    pub const MAX_SPINS: u32 = 1 << Self::MAX_SHIFT;
+
+    /// Creates a fresh backoff (first pause spins once).
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Pauses the calling thread, returning the number of spin
+    /// iterations performed (for spin accounting).
+    #[inline]
+    pub fn pause(&mut self) -> u32 {
+        let spins = 1u32 << self.step;
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if self.step < Self::MAX_SHIFT {
+            self.step += 1;
+        } else {
+            // Saturated: the holder may be descheduled; let it run.
+            std::thread::yield_now();
+        }
+        spins
+    }
+
+    /// True once the backoff has saturated (pauses now also yield).
+    pub fn is_saturated(&self) -> bool {
+        self.step >= Self::MAX_SHIFT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let mut b = Backoff::new();
+        let mut last = 0;
+        for i in 0..12 {
+            let spins = b.pause();
+            assert!(spins <= Backoff::MAX_SPINS);
+            if i < Backoff::MAX_SHIFT as usize {
+                assert!(spins > last, "pause {i} did not grow: {spins}");
+            } else {
+                assert_eq!(spins, Backoff::MAX_SPINS);
+                assert!(b.is_saturated());
+            }
+            last = spins;
+        }
+    }
+}

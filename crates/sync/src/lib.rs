@@ -28,18 +28,22 @@
 //! [Clements et al., EuroSys 2013]: https://pdos.csail.mit.edu/papers/radixvm:eurosys13.pdf
 
 pub mod atomic;
+pub mod backoff;
 pub mod inline_vec;
 pub mod lock;
 pub mod model;
 pub mod pad;
+pub mod rangelock;
 pub mod shard;
 pub mod sim;
 
 pub use atomic::{Atomic64, AtomicPtr64};
+pub use backoff::Backoff;
 pub use inline_vec::InlineVec;
 pub use lock::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, SpinLock};
 pub use model::CostModel;
 pub use pad::CachePadded;
+pub use rangelock::{RangeLock, RangeLockKind, RangeToken};
 pub use shard::{ShardedCounter, ShardedStats};
 pub use sim::{SimGuard, SimStats};
 

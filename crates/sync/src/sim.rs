@@ -67,6 +67,25 @@ struct LockState {
     acquires: u64,
 }
 
+/// Virtual-time state of one *range* lock: the recently released
+/// intervals, so a later acquisition of an overlapping range waits for
+/// the latest overlapping release while disjoint ranges pass for free.
+///
+/// This is the range-indexed analogue of [`LockState::write_avail`]:
+/// because virtual cores execute sequentially, the releaser has always
+/// recorded its release time before the next acquirer runs, so the
+/// acquirer can compute its wait exactly instead of spinning.
+#[derive(Default)]
+struct RangeLockState {
+    /// Released intervals `(lo, hi, release_time)`. Pruned on release:
+    /// entries no core's clock can still be behind are dropped.
+    history: Vec<(u64, u64, u64)>,
+    /// Accumulated wait time charged at this lock (diagnostics).
+    wait_total: u64,
+    /// Acquisitions (diagnostics).
+    acquires: u64,
+}
+
 /// Which side of a reader-writer lock an acquire/release refers to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LockKind {
@@ -184,6 +203,7 @@ pub struct SimCtx {
     stats: Vec<CoreStats>,
     lines: AddrMap<Line>,
     locks: AddrMap<LockState>,
+    ranges: AddrMap<RangeLockState>,
     /// Labeled address ranges for transfer attribution (few, scanned
     /// linearly — diagnostics only, never on the modeled hot path).
     labels: Vec<LabeledRange>,
@@ -202,6 +222,7 @@ impl SimCtx {
             stats: vec![CoreStats::default(); ncores],
             lines: AddrMap::default(),
             locks: AddrMap::default(),
+            ranges: AddrMap::default(),
             labels: Vec::new(),
             apic_busy: 0,
         }
@@ -329,6 +350,34 @@ impl SimCtx {
             LockKind::Exclusive => st.write_avail = clock,
             LockKind::Shared => st.readers_until = st.readers_until.max(clock),
         }
+    }
+
+    fn range_lock_acquire(&mut self, addr: usize, lo: u64, hi: u64) {
+        let c = self.cur;
+        let clock = self.clocks[c];
+        let st = self.ranges.entry(addr as u64).or_default();
+        let mut start = clock;
+        for &(ilo, ihi, release) in st.history.iter() {
+            if ilo < hi && lo < ihi {
+                start = start.max(release);
+            }
+        }
+        let wait = start - clock;
+        st.wait_total += wait;
+        st.acquires += 1;
+        self.stats[c].lock_wait_ns += wait;
+        self.clocks[c] = start;
+    }
+
+    fn range_lock_release(&mut self, addr: usize, lo: u64, hi: u64) {
+        let c = self.cur;
+        let clock = self.clocks[c];
+        let min_clock = self.clocks.iter().copied().min().unwrap_or(0);
+        let st = self.ranges.entry(addr as u64).or_default();
+        // An interval released at or before every core's clock can no
+        // longer delay anyone: prune it.
+        st.history.retain(|&(_, _, r)| r > min_clock);
+        st.history.push((lo, hi, clock));
     }
 
     fn ipi_round(&mut self, targets: CoreSet) {
@@ -537,6 +586,22 @@ pub fn lock_release(addr: usize, kind: LockKind) {
     with_ctx(|s| s.lock_release(addr, kind));
 }
 
+/// Reports acquisition of `[lo, hi)` on the range lock identified by
+/// `addr`; advances the virtual clock past the latest release of any
+/// overlapping interval (and charges the wait as lock wait time).
+/// Disjoint intervals never wait. See [`crate::rangelock`].
+#[inline]
+pub fn range_lock_acquire(addr: usize, lo: u64, hi: u64) {
+    with_ctx(|s| s.range_lock_acquire(addr, lo, hi));
+}
+
+/// Reports release of `[lo, hi)` on the range lock identified by `addr`,
+/// recording the current clock as the interval's release time.
+#[inline]
+pub fn range_lock_release(addr: usize, lo: u64, hi: u64) {
+    with_ctx(|s| s.range_lock_release(addr, lo, hi));
+}
+
 /// Delivers a round of shootdown IPIs from the current core to `targets`,
 /// waiting for acknowledgements.
 #[inline]
@@ -610,12 +675,18 @@ pub fn remote_transfers_by_label() -> Vec<(&'static str, u64)> {
 }
 
 /// Returns the `n` locks with the largest accumulated wait (diagnostics).
+/// Range locks are included alongside mutexes and rwlocks.
 pub fn top_lock_waits(n: usize) -> Vec<(u64, u64, u64)> {
     with_ctx(|s| {
         let mut v: Vec<(u64, u64, u64)> = s
             .locks
             .iter()
             .map(|(addr, st)| (*addr, st.wait_total, st.acquires))
+            .chain(
+                s.ranges
+                    .iter()
+                    .map(|(addr, st)| (*addr, st.wait_total, st.acquires)),
+            )
             .collect();
         v.sort_by_key(|x| std::cmp::Reverse(x.1));
         v.truncate(n);
@@ -848,6 +919,53 @@ mod tests {
         assert_eq!(st.cores[3].ipis_received, 0);
         assert!(st.clocks[0] >= 2 * send + handle);
         assert!(st.clocks[1] >= send + handle);
+    }
+
+    #[test]
+    fn range_lock_overlap_serializes_disjoint_does_not() {
+        let g = install(3, CostModel::default());
+        let addr = 0x5000usize;
+        switch(0);
+        range_lock_acquire(addr, 0, 100);
+        charge(1_000);
+        range_lock_release(addr, 0, 100);
+        // Core 1 overlaps the released interval: waits until its release.
+        switch(1);
+        range_lock_acquire(addr, 50, 150);
+        assert!(clock(1) >= 1_000, "clock {}", clock(1));
+        charge(1_000);
+        range_lock_release(addr, 50, 150);
+        // Core 2's range is disjoint from both: no wait at all.
+        switch(2);
+        range_lock_acquire(addr, 200, 300);
+        assert_eq!(clock(2), 0);
+        range_lock_release(addr, 200, 300);
+        let st = g.finish();
+        assert!(st.cores[1].lock_wait_ns >= 1_000);
+        assert_eq!(st.cores[2].lock_wait_ns, 0);
+    }
+
+    #[test]
+    fn range_lock_history_is_pruned() {
+        let g = install(2, CostModel::default());
+        let addr = 0x6000usize;
+        // Advance both cores past the release times so old intervals
+        // become unreachable and get pruned at the next release.
+        for round in 0..100u64 {
+            for c in 0..2 {
+                switch(c);
+                range_lock_acquire(addr, round, round + 1);
+                charge(10);
+                range_lock_release(addr, round, round + 1);
+            }
+        }
+        let n = with_ctx(|s| s.ranges[&(addr as u64)].history.len()).unwrap();
+        assert!(n < 10, "history grew without bound: {n}");
+        let waits = top_lock_waits(4);
+        assert!(waits
+            .iter()
+            .any(|&(a, _, acq)| a == addr as u64 && acq == 200));
+        drop(g);
     }
 
     #[test]

@@ -7,8 +7,13 @@
 #     hint hit rate, and a wall-clock 1-core fault-fill loop.
 #   BENCH_scale.json    — multicore disjoint-ops sweep (Fig. 7): ops/sec
 #     and per-core retention for every backend on 1..16 simulated cores,
-#     remote cache-line transfers and shootdown IPIs per op, plus the
-#     scaling-gate verdict (bench_scale exits non-zero on regression).
+#     remote cache-line transfers and shootdown IPIs per op; the
+#     contended-range sweep (persistent shared mapping, periodic remap,
+#     real shootdown IPIs); the overlap-degree sweep (multi-page ops
+#     colliding with probability 0/10/50/100% on both the list-based
+#     range-lock substrate and the slotspin baseline); plus the
+#     scaling/contended/overlap gate verdicts (bench_scale exits
+#     non-zero on regression).
 #   BENCH_huge.json     — huge-mapping (superpage) populate: faults,
 #     superpage installs/demotions, index and page-table bytes for every
 #     backend with and without the huge hint, plus the gate verdict

@@ -13,6 +13,7 @@ use radixvm::core_vm::RadixVm;
 use radixvm::hw::{Backing, Machine, MachineConfig, Prot, VmError, PAGE_SIZE};
 use radixvm::radix::{LockMode, RadixConfig, RadixTree};
 use radixvm::refcache::Refcache;
+use radixvm::sync::RangeLockKind;
 
 const BASE: u64 = 0x60_0000_0000;
 
@@ -209,6 +210,7 @@ fn leaf_hint_never_serves_freed_or_stale_nodes() {
         RadixConfig {
             collapse: true,
             leaf_hints: true,
+            ..RadixConfig::default()
         },
     ));
     let block = 512 * 5;
@@ -294,6 +296,57 @@ fn leaf_hint_never_serves_freed_or_stale_nodes() {
     let tree = Arc::try_unwrap(tree).ok().expect("sole owner");
     tree.cache().quiesce();
     assert_eq!(tree.cache().live_objects(), 1, "only the root survives");
+}
+
+/// The list-based range lock's precision claim, on real threads: while
+/// one thread holds a multi-page range of a VMA, a *disjoint* sub-range
+/// of the same VMA is acquired and released immediately (no coarse
+/// serialization), while an *overlapping* sub-range blocks until the
+/// holder releases — and is never lost (no missed wakeup: the waiter
+/// spins on the holder's descriptor and observes its mark).
+#[test]
+fn disjoint_subranges_progress_under_list_range_lock() {
+    let cache = Arc::new(Refcache::new(3));
+    let tree = Arc::new(RadixTree::<u64>::new(cache, RadixConfig::default()));
+    assert_eq!(tree.range_lock_kind(), RangeLockKind::List);
+    let base = 512 * 3;
+    // Pre-expand the block to a leaf: a freshly expanded node is born
+    // with every slot lock held by its creator, which would serialize
+    // the two sub-ranges below for a reason unrelated to the range lock.
+    tree.lock_range(0, base, base + 16, LockMode::ExpandAll)
+        .replace(&0);
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let (held_tx, held_rx) = std::sync::mpsc::channel::<()>();
+    let holder = {
+        let tree = tree.clone();
+        std::thread::spawn(move || {
+            let g = tree.lock_range(0, base, base + 8, LockMode::ExpandAll);
+            held_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            drop(g);
+        })
+    };
+    held_rx.recv().unwrap();
+    // A disjoint sub-range of the same VMA completes while [base, base+8)
+    // is held. If this deadlocked, the whole test would hang.
+    tree.lock_range(1, base + 8, base + 16, LockMode::ExpandAll)
+        .replace(&1);
+    // An overlapping sub-range must block until the holder releases.
+    let overlapper = {
+        let tree = tree.clone();
+        std::thread::spawn(move || {
+            tree.lock_range(2, base + 4, base + 12, LockMode::ExpandAll)
+                .replace(&2);
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        !overlapper.is_finished(),
+        "overlapping range acquired while a conflicting range was held"
+    );
+    release_tx.send(()).unwrap();
+    holder.join().unwrap();
+    overlapper.join().unwrap();
 }
 
 /// Mixed overlapping traffic on every backend survives and stays
