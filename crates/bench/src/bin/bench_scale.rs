@@ -34,12 +34,15 @@ fn print_backend(name: &str, points: &[ScalePoint], last: bool) {
         println!(
             "        {{\"cores\": {}, \"ops_per_sec\": {:.0}, \
              \"per_core_ops_per_sec\": {:.0}, \"remote_per_op\": {:.4}, \
-             \"ipis_per_op\": {:.4}}}{comma}",
+             \"ipis_per_op\": {:.4}, \"on_node_frees\": {}, \
+             \"cross_node_frees\": {}}}{comma}",
             p.cores,
             p.ops_per_sec(),
             p.per_core_ops_per_sec(),
             p.remote_per_op(),
             p.ipis_per_op(),
+            p.on_node_frees,
+            p.cross_node_frees,
         );
     }
     println!("      ]");

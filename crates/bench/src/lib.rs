@@ -25,6 +25,7 @@ use rvm_sync::{sim, CostModel, SimStats};
 pub mod fastpath;
 pub mod huge;
 pub mod layouts;
+pub mod numa;
 pub mod refcount;
 pub mod scale;
 pub mod workloads;
@@ -66,8 +67,23 @@ pub fn run_sim(
     ncores: usize,
     duration_ns: u64,
     model: CostModel,
-    mut make: impl FnMut(usize) -> Box<dyn FnMut() -> u64>,
+    make: impl FnMut(usize) -> Box<dyn FnMut() -> u64>,
 ) -> SweepPoint {
+    run_sim_collect(ncores, duration_ns, model, make, || ()).0
+}
+
+/// [`run_sim`] plus a `collect` closure that runs after the workload
+/// finishes but *before* the simulator context is torn down, so views
+/// that need a live context — label attribution like
+/// [`sim::cross_node_transfers_by_label`] — can be captured for the
+/// point.
+pub fn run_sim_collect<T>(
+    ncores: usize,
+    duration_ns: u64,
+    model: CostModel,
+    mut make: impl FnMut(usize) -> Box<dyn FnMut() -> u64>,
+    collect: impl FnOnce() -> T,
+) -> (SweepPoint, T) {
     let guard = sim::install(ncores, model);
     let mut ops: Vec<Box<dyn FnMut() -> u64>> = (0..ncores).map(&mut make).collect();
     let mut units = 0u64;
@@ -86,13 +102,17 @@ pub fn run_sim(
         }
     }
     drop(ops);
+    let collected = collect();
     let stats = guard.finish();
-    SweepPoint {
-        cores: ncores,
-        units,
-        virt_ns: stats.max_clock(),
-        sim: stats,
-    }
+    (
+        SweepPoint {
+            cores: ncores,
+            units,
+            virt_ns: stats.max_clock(),
+            sim: stats,
+        },
+        collected,
+    )
 }
 
 /// Default core counts for sweeps (the paper's x-axis, whole chips of 10

@@ -41,6 +41,11 @@ pub struct ScalePoint {
     pub remote_transfers: u64,
     /// Shootdown IPIs sent over the whole run.
     pub ipis: u64,
+    /// Frame frees returned to a list/reservoir of the freeing core's
+    /// node (on a flat single-node machine: all of them).
+    pub on_node_frees: u64,
+    /// Frame frees that traveled to another node's reservoir.
+    pub cross_node_frees: u64,
 }
 
 impl ScalePoint {
@@ -88,12 +93,15 @@ pub fn disjoint_point(kind: BackendKind, ncores: usize, duration_ns: u64) -> Sca
     let point = run_sim(ncores, duration_ns, CostModel::default(), |core| {
         workloads::local(machine.clone(), vm.clone(), core)
     });
+    let pool = machine.pool().stats();
     ScalePoint {
         cores: ncores,
         ops: point.units,
         virt_ns: point.virt_ns,
         remote_transfers: point.sim.total_remote(),
         ipis: point.sim.total_ipis(),
+        on_node_frees: pool.on_node_frees,
+        cross_node_frees: pool.cross_node_frees,
     }
 }
 
@@ -218,12 +226,15 @@ pub fn contended_point(kind: BackendKind, ncores: usize, duration_ns: u64) -> Sc
     let point = run_sim(ncores, duration_ns, CostModel::default(), |core| {
         workloads::contended(machine.clone(), vm.clone(), core)
     });
+    let pool = machine.pool().stats();
     ScalePoint {
         cores: ncores,
         ops: point.units,
         virt_ns: point.virt_ns,
         remote_transfers: point.sim.total_remote(),
         ipis: point.sim.total_ipis(),
+        on_node_frees: pool.on_node_frees,
+        cross_node_frees: pool.cross_node_frees,
     }
 }
 
@@ -345,12 +356,15 @@ pub fn overlap_point(
     let point = run_sim(ncores, duration_ns, CostModel::default(), |core| {
         workloads::overlap(machine.clone(), vm.clone(), core, degree)
     });
+    let pool = machine.pool().stats();
     ScalePoint {
         cores: ncores,
         ops: point.units,
         virt_ns: point.virt_ns,
         remote_transfers: point.sim.total_remote(),
         ipis: point.sim.total_ipis(),
+        on_node_frees: pool.on_node_frees,
+        cross_node_frees: pool.cross_node_frees,
     }
 }
 
@@ -586,6 +600,8 @@ mod tests {
             virt_ns: ns,
             remote_transfers: 0,
             ipis: 0,
+            on_node_frees: 0,
+            cross_node_frees: 0,
         };
         // 1 core: 100 ops/s; 4 cores: 400 ops/s → retention 1.0.
         let perfect = vec![mk(1, 100, 1_000_000_000), mk(4, 400, 1_000_000_000)];

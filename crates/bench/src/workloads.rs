@@ -29,6 +29,10 @@ const PIPE_BASE: u64 = 0x300_0000_0000;
 const GLOBAL_BASE: u64 = 0x400_0000_0000;
 const CONTENDED_BASE: u64 = 0x500_0000_0000;
 const OVERLAP_BASE: u64 = 0x600_0000_0000;
+/// Base of the index-churn region; its VPN is 2^18-aligned, so the
+/// whole region sits under a single level-2 interior node of the radix
+/// tree and the churned sibling slot is block-aligned.
+const INDEX_BASE: u64 = 0x700_0000_0000;
 
 /// Operations between Refcache maintenance ticks.
 const MAINTAIN_EVERY: u64 = 128;
@@ -173,6 +177,83 @@ pub fn overlap(
         if i.is_multiple_of(MAINTAIN_EVERY) {
             vm.maintain(core);
         }
+        1
+    })
+}
+
+/// Leaf blocks the index-churn readers cycle through (interior slots
+/// 0..7 of one level-2 node; slot words 0..7 share one cache line).
+pub const INDEX_CHURN_SLOTS: u64 = 7;
+/// Pages per level-2 interior slot (the radix fanout).
+pub const INDEX_SLOT_PAGES: u64 = 512;
+/// Reader ops between the writer's fold/clear churns of the sibling
+/// slot.
+pub const INDEX_CHURN_EVERY: u64 = 8;
+
+/// Builds the **index-churn** workload closure for one core: the
+/// adversarial read-mostly pattern replicate-read-only placement exists
+/// for. All cores fault pages cycling across [`INDEX_CHURN_SLOTS`] leaf
+/// blocks that live under *one* level-2 interior node of the radix tree
+/// — a different block every op, so the per-core leaf hint misses and
+/// each fault's descent re-reads the interior node's slot words (words
+/// 0..7 share one cache line). Core 0 additionally mmaps + munmaps the
+/// empty block-aligned sibling slot 7 every [`INDEX_CHURN_EVERY`]-th
+/// op: the fold install and clear *write* that same line, forcing every
+/// reader's next descent to re-fetch it. Under first-touch the line
+/// lives on one node and remote readers pay a cross-node transfer per
+/// churn; with replicated index nodes the reads stay node-local and
+/// only the writer pays a broadcast invalidation.
+///
+/// Core 0's first op maps the shared read region (the simulator drives
+/// core 0 first at virtual time zero, so the mapping exists before any
+/// reader touches it); faults before/during remaps are tolerated.
+pub fn index_churn(
+    machine: Arc<Machine>,
+    vm: Arc<dyn VmSystem>,
+    core: usize,
+) -> Box<dyn FnMut() -> u64> {
+    vm.attach_core(core);
+    let churn_base = INDEX_BASE + INDEX_CHURN_SLOTS * INDEX_SLOT_PAGES * PAGE_SIZE;
+    let mut i = 0u64;
+    let mut mapped = false;
+    Box::new(move || {
+        i += 1;
+        if i.is_multiple_of(MAINTAIN_EVERY) {
+            vm.maintain(core);
+        }
+        if !mapped {
+            mapped = true;
+            if core == 0 {
+                vm.mmap(
+                    core,
+                    INDEX_BASE,
+                    INDEX_CHURN_SLOTS * INDEX_SLOT_PAGES * PAGE_SIZE,
+                    Prot::RW,
+                    Backing::Anon,
+                )
+                .expect("mmap index region");
+                return 0;
+            }
+        }
+        if core == 0 && i.is_multiple_of(INDEX_CHURN_EVERY) {
+            // Fold and clear the sibling slot: two writes to the
+            // interior node's slot-word line.
+            let _ = vm.mmap(
+                core,
+                churn_base,
+                INDEX_SLOT_PAGES * PAGE_SIZE,
+                Prot::RW,
+                Backing::Anon,
+            );
+            let _ = vm.munmap(core, churn_base, INDEX_SLOT_PAGES * PAGE_SIZE);
+            return 1;
+        }
+        // Read path: a different leaf block every op defeats the leaf
+        // hint, so the descent reads the interior slot words each time.
+        let slot = i % INDEX_CHURN_SLOTS;
+        let page = (i / INDEX_CHURN_SLOTS) % INDEX_SLOT_PAGES;
+        let addr = INDEX_BASE + (slot * INDEX_SLOT_PAGES + page) * PAGE_SIZE;
+        let _ = machine.touch_page(core, &*vm, addr, core as u8);
         1
     })
 }

@@ -119,6 +119,10 @@ impl RadixVm {
                 collapse: cfg.collapse,
                 leaf_hints: cfg.leaf_hints,
                 range_lock: cfg.range_lock,
+                // Hot read-mostly index nodes become per-node replicas
+                // under the machine's replicate-read-only placement.
+                replicate_index: machine.placement_policy()
+                    == rvm_mem::PlacementPolicy::ReplicateReadOnly,
             },
         );
         Arc::new(RadixVm {
@@ -146,6 +150,18 @@ impl RadixVm {
     /// Operation counters.
     pub fn op_stats(&self) -> VmOpStats {
         self.stats.snapshot()
+    }
+
+    /// Counts `frames` fault-installed frames starting at `pfn` as
+    /// on-node or cross-node, by the frame's home node vs. the faulting
+    /// core's node.
+    fn count_fault_placement(&self, core: usize, pfn: Pfn, frames: u64) {
+        let pool = self.machine.pool();
+        if pool.home(pfn) == pool.node_of(core) {
+            self.stats.fault_frames_on_node(core, frames);
+        } else {
+            self.stats.fault_frames_cross_node(core, frames);
+        }
     }
 
     /// Radix-tree statistics (node counts, expansions, collapses).
@@ -470,6 +486,7 @@ impl VmSystem for RadixVm {
             let old_page = meta.phys.take();
             let old_block = meta.block.take();
             let new_pfn = pool.alloc(core);
+            self.count_fault_placement(core, new_pfn, 1);
             if let Some(old_pfn) = src {
                 // Copy the old contents into the private page.
                 // SAFETY: both frames are live (the taken refs are not
@@ -514,6 +531,7 @@ impl VmSystem for RadixVm {
                 self.stats.fault_alloc(core);
                 let pool = self.machine.pool();
                 let pfn = pool.alloc(core);
+                self.count_fault_placement(core, pfn, 1);
                 meta.phys = Some(pool.retain_page(&self.cache, core, pfn, 1));
                 pfn
             }
@@ -700,6 +718,7 @@ impl RadixVm {
                 // references).
                 self.stats.fault_alloc(core);
                 let base = pool.alloc_block(core, BLOCK_ORDER);
+                self.count_fault_placement(core, base, BLOCK_PAGES);
                 meta.block = Some(pool.retain_block(&self.cache, core, base, BLOCK_ORDER, 1));
                 base
             }

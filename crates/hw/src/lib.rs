@@ -34,6 +34,7 @@ pub mod tlb;
 
 pub use mmu::{Mmu, MmuKind, PerCoreMmu, SharedMmu};
 pub use pagetable::{PageTable, Pte, BLOCK_PAGES};
+pub use rvm_mem::PlacementPolicy;
 pub use tlb::{Tlb, TlbEntry};
 
 /// Virtual address.
@@ -226,6 +227,12 @@ pub struct OpStats {
     pub superpage_installs: u64,
     /// Superpage demotions (block PTE shattered into 4 KiB PTEs).
     pub superpage_demotions: u64,
+    /// Frames installed by faults that were homed on the faulting core's
+    /// NUMA node (placement hit).
+    pub fault_frames_on_node: u64,
+    /// Frames installed by faults homed on a different node (the access
+    /// stream pays cross-node traffic for the page's lifetime).
+    pub fault_frames_cross_node: u64,
 }
 
 /// Per-core sharded operation counters for [`VmSystem::op_stats`].
@@ -237,7 +244,7 @@ pub struct OpStats {
 /// exact once the address space is idle — the conformance suite asserts
 /// no count is ever lost.
 pub struct ShardedOpStats {
-    cells: ShardedStats<7>,
+    cells: ShardedStats<9>,
 }
 
 impl ShardedOpStats {
@@ -248,6 +255,8 @@ impl ShardedOpStats {
     const F_FAULTS_COW: usize = 4;
     const F_SUPERPAGE_INSTALLS: usize = 5;
     const F_SUPERPAGE_DEMOTIONS: usize = 6;
+    const F_FAULT_FRAMES_ON_NODE: usize = 7;
+    const F_FAULT_FRAMES_CROSS_NODE: usize = 8;
 
     /// Creates a block striped for `ncores` cores.
     pub fn new(ncores: usize) -> Self {
@@ -298,6 +307,20 @@ impl ShardedOpStats {
         self.cells.add(core, Self::F_SUPERPAGE_DEMOTIONS, 1);
     }
 
+    /// Counts `frames` fault-installed frames homed on the faulting
+    /// core's node.
+    #[inline]
+    pub fn fault_frames_on_node(&self, core: usize, frames: u64) {
+        self.cells.add(core, Self::F_FAULT_FRAMES_ON_NODE, frames);
+    }
+
+    /// Counts `frames` fault-installed frames homed on a remote node.
+    #[inline]
+    pub fn fault_frames_cross_node(&self, core: usize, frames: u64) {
+        self.cells
+            .add(core, Self::F_FAULT_FRAMES_CROSS_NODE, frames);
+    }
+
     /// Sums the cells into an [`OpStats`] snapshot.
     pub fn snapshot(&self) -> OpStats {
         OpStats {
@@ -308,6 +331,8 @@ impl ShardedOpStats {
             faults_cow: self.cells.sum(Self::F_FAULTS_COW),
             superpage_installs: self.cells.sum(Self::F_SUPERPAGE_INSTALLS),
             superpage_demotions: self.cells.sum(Self::F_SUPERPAGE_DEMOTIONS),
+            fault_frames_on_node: self.cells.sum(Self::F_FAULT_FRAMES_ON_NODE),
+            fault_frames_cross_node: self.cells.sum(Self::F_FAULT_FRAMES_CROSS_NODE),
         }
     }
 }
@@ -412,19 +437,24 @@ pub struct MachineConfig {
     /// Whether accesses validate frame generations (use-after-free
     /// detection; negligible cost, recommended on).
     pub check_generations: bool,
-    /// Frame-homing policy of the machine's pool (NUMA knob).
-    pub homing: rvm_mem::HomingPolicy,
+    /// Frame-placement policy of the machine's pool (NUMA knob).
+    pub placement: rvm_mem::PlacementPolicy,
+    /// NUMA topology: node count, core striping, and hop distances. Must
+    /// match the topology installed in the simulator's [`CostModel`] for
+    /// the virtual-time pricing to line up with placement decisions.
+    pub topology: rvm_sync::Topology,
 }
 
 impl MachineConfig {
-    /// Defaults for `ncores` cores.
+    /// Defaults for `ncores` cores: flat single-node topology.
     pub fn new(ncores: usize) -> Self {
         MachineConfig {
             ncores,
             tlb_entries: 1024,
             shootdown_enabled: true,
             check_generations: true,
-            homing: rvm_mem::HomingPolicy::FirstTouch,
+            placement: rvm_mem::PlacementPolicy::FirstTouch,
+            topology: rvm_sync::Topology::single(),
         }
     }
 }
@@ -479,7 +509,11 @@ impl Machine {
     /// Creates a machine with the given configuration.
     pub fn with_config(cfg: MachineConfig) -> Arc<Machine> {
         assert!(cfg.ncores >= 1 && cfg.ncores <= rvm_sync::MAX_CORES);
-        let pool = Arc::new(FramePool::with_policy(cfg.ncores, cfg.homing));
+        let pool = Arc::new(FramePool::with_placement(
+            cfg.ncores,
+            cfg.placement,
+            cfg.topology.clone(),
+        ));
         let tlbs = (0..cfg.ncores)
             .map(|_| CachePadded::new(SpinLock::new(Tlb::new(cfg.tlb_entries))))
             .collect();
@@ -505,6 +539,16 @@ impl Machine {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The machine's frame-placement policy.
+    pub fn placement_policy(&self) -> rvm_mem::PlacementPolicy {
+        self.cfg.placement
+    }
+
+    /// The machine's NUMA topology.
+    pub fn topology(&self) -> &rvm_sync::Topology {
+        &self.cfg.topology
     }
 
     /// Allocates a fresh address-space identifier.

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use rvm_refcache::weak::{DYING_BIT, LOCK_BIT, PTR_MASK, TAG_SHIFT};
 use rvm_refcache::{Managed, RcPtr, ReleaseCtx};
 use rvm_sync::atomic::Ordering;
-use rvm_sync::{Atomic64, Backoff, ShardedStats};
+use rvm_sync::{sim, Atomic64, Backoff, ShardedStats};
 
 /// Bits of VPN consumed per level.
 pub const LEVEL_BITS: usize = 9;
@@ -321,6 +321,34 @@ impl<V: Send + Sync + 'static> Node<V> {
     pub fn slot_span(&self) -> u64 {
         span_at_level(self.level as usize)
     }
+
+    /// Address and size of this node's slot-array storage.
+    #[inline]
+    fn slot_bytes(&self) -> (usize, usize) {
+        match &self.slots {
+            Slots::Interior(s) => (s.as_ptr() as usize, std::mem::size_of_val(&**s)),
+            Slots::Leaf(s) => (s.as_ptr() as usize, std::mem::size_of_val(&**s)),
+        }
+    }
+
+    /// Registers this node's slot array with the simulator: interior
+    /// arrays are labeled `radix-index` (and, when `replicate_index` is
+    /// set, marked as per-node read-only replicas), leaf arrays
+    /// `radix-leaf`, so cross-node traffic attribution can tell index
+    /// lines from mapping metadata. No-op without an active simulator;
+    /// [`Node`]'s `Drop` deregisters.
+    pub fn register_sim_lines(&self, replicate_index: bool) {
+        let (start, bytes) = self.slot_bytes();
+        match &self.slots {
+            Slots::Interior(_) => {
+                sim::label_range("radix-index", start, bytes);
+                if replicate_index {
+                    sim::place_replicated(start, bytes);
+                }
+            }
+            Slots::Leaf(_) => sim::label_range("radix-leaf", start, bytes),
+        }
+    }
 }
 
 impl<V: Send + Sync + 'static> Managed for Node<V> {
@@ -337,6 +365,11 @@ impl<V: Send + Sync + 'static> Managed for Node<V> {
 
 impl<V: Send + Sync + 'static> Drop for Node<V> {
     fn drop(&mut self) {
+        // Retire the slot array's simulator registrations before the
+        // storage can be reused by an unrelated allocation.
+        let (start, bytes) = self.slot_bytes();
+        sim::unlabel_range(start, bytes);
+        sim::unplace_range(start, bytes);
         match &mut self.slots {
             Slots::Interior(slots) => {
                 self.stats.sub_here(F_INTERIOR_NODES, 1);

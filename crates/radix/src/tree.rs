@@ -97,6 +97,12 @@ pub struct RadixConfig {
     /// original slot-CAS-only baseline). Single-page locks — the fault
     /// path — always go straight to the leaf slot lock.
     pub range_lock: RangeLockKind,
+    /// Mark interior slot arrays as per-node read-only replicas in the
+    /// simulator (the replicate-read-only placement policy for hot index
+    /// nodes): reads hit the local replica, writes pay a broadcast
+    /// invalidation to every other node's copy. Traffic attribution
+    /// (`radix-index`/`radix-leaf` labels) is recorded regardless.
+    pub replicate_index: bool,
 }
 
 impl Default for RadixConfig {
@@ -105,6 +111,7 @@ impl Default for RadixConfig {
             collapse: true,
             leaf_hints: true,
             range_lock: RangeLockKind::List,
+            replicate_index: false,
         }
     }
 }
@@ -245,6 +252,7 @@ impl<V: RadixValue> RadixTree<V> {
         let stats = Arc::new(TreeStats::new(cache.ncores()));
         // The root is pinned forever with its initial count of 1.
         let root = cache.alloc(1, Node::new_interior(0, 0, None, stats.clone(), |_| 0));
+        nref(root).register_sim_lines(cfg.replicate_index);
         let hints = Arc::new(HintTable::new(cache.ncores()));
         let hook_id = if cfg.leaf_hints {
             let table = hints.clone();
@@ -593,6 +601,7 @@ impl<V: RadixValue> RadixTree<V> {
             // EMPTY → CHILD: the parent gains a used slot.
             self.cache.inc(core, parent);
         }
+        nref(child).register_sim_lines(self.cfg.replicate_index);
         self.cache.register_weak(child, slot);
         // Publish the child and release the parent slot lock in one store.
         slot.store(pack_slot(child.addr(), TAG_CHILD), Ordering::Release);

@@ -41,7 +41,7 @@ pub use atomic::{Atomic64, AtomicPtr64};
 pub use backoff::Backoff;
 pub use inline_vec::InlineVec;
 pub use lock::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, SpinLock};
-pub use model::CostModel;
+pub use model::{CostModel, Topology};
 pub use pad::CachePadded;
 pub use rangelock::{RangeLock, RangeLockKind, RangeToken};
 pub use shard::{ShardedCounter, ShardedStats};

@@ -52,6 +52,65 @@ struct Line {
     /// Remote transfers served by this line (diagnostics; see
     /// [`top_remote_lines`]).
     transfers: u64,
+    /// NUMA node holding the line's memory. Shared-source fetches and cold
+    /// misses are priced from here (directory/home sourcing); modified
+    /// data is priced from the owning core's node. Resolved once at line
+    /// creation: an explicit [`place_range`] registration wins, otherwise
+    /// the first toucher's node (first-touch homing).
+    home: u16,
+    /// When set, every node holds a local replica: reads never pay
+    /// distance, but a write that invalidates sharers pays a broadcast to
+    /// every other node. See [`place_replicated`].
+    replicated: bool,
+}
+
+/// An explicit placement registration consulted when a line entry is
+/// first created (see [`place_range`] / [`place_replicated`]).
+#[derive(Clone, Copy)]
+struct PlacedRange {
+    /// First cache line of the range (address >> 6).
+    lo_line: u64,
+    /// One past the last cache line of the range.
+    hi_line: u64,
+    /// Home node for lines in the range (ignored when `replicated`).
+    node: u16,
+    /// Per-node replicas instead of a single home.
+    replicated: bool,
+}
+
+/// Hop distance between nodes `a` and `b` in a flattened matrix.
+#[inline]
+fn hops(ndist: &[u64], nnodes: usize, a: u16, b: u16) -> u64 {
+    ndist[a as usize * nnodes + b as usize]
+}
+
+/// Looks up (or creates) the entry for cache line `key`, resolving its
+/// placement on creation. Free function so callers can keep the borrow
+/// field-level (`lines` only) and still read the context's other fields.
+fn line_entry<'a>(
+    lines: &'a mut AddrMap<Line>,
+    placed: &[PlacedRange],
+    key: u64,
+    node: u16,
+) -> &'a mut Line {
+    lines.entry(key).or_insert_with(|| {
+        let mut home = node;
+        let mut replicated = false;
+        for r in placed {
+            if r.lo_line <= key && key < r.hi_line {
+                home = r.node;
+                replicated = r.replicated;
+            }
+        }
+        Line {
+            owner: NO_OWNER,
+            sharers: 0,
+            busy_until: 0,
+            transfers: 0,
+            home,
+            replicated,
+        }
+    })
 }
 
 /// Virtual-time state of one lock (mutex or rwlock).
@@ -207,6 +266,18 @@ pub struct SimCtx {
     /// Labeled address ranges for transfer attribution (few, scanned
     /// linearly — diagnostics only, never on the modeled hot path).
     labels: Vec<LabeledRange>,
+    /// Explicit placement registrations, consulted at line creation.
+    placed: Vec<PlacedRange>,
+    /// Node id of each simulated core (from the model's topology).
+    core_node: Vec<u16>,
+    /// Number of NUMA nodes.
+    nnodes: usize,
+    /// Flattened `nnodes × nnodes` hop-distance matrix.
+    ndist: Vec<u64>,
+    /// Per-line cross-node transfer counts, keyed like `lines`; each value
+    /// is a flattened `nnodes × nnodes` source→destination matrix. Only
+    /// lines with at least one priced cross-node event have an entry.
+    cross: AddrMap<Box<[u64]>>,
     /// Interconnect busy window for IPI delivery.
     apic_busy: u64,
 }
@@ -214,6 +285,15 @@ pub struct SimCtx {
 impl SimCtx {
     fn new(ncores: usize, model: CostModel) -> Self {
         assert!((1..=crate::MAX_CORES).contains(&ncores));
+        model
+            .topology
+            .validate()
+            .expect("CostModel carries an invalid topology");
+        let core_node: Vec<u16> = (0..ncores)
+            .map(|c| model.topology.node_of(c) as u16)
+            .collect();
+        let nnodes = model.topology.nnodes;
+        let ndist = model.topology.distance.clone();
         SimCtx {
             model,
             ncores,
@@ -224,8 +304,24 @@ impl SimCtx {
             locks: AddrMap::default(),
             ranges: AddrMap::default(),
             labels: Vec::new(),
+            placed: Vec::new(),
+            core_node,
+            nnodes,
+            ndist,
+            cross: AddrMap::default(),
             apic_busy: 0,
         }
+    }
+
+    /// Records one cross-node transfer of line `key` from node `from` to
+    /// node `to`.
+    fn cross_event(&mut self, key: u64, from: u16, to: u16) {
+        let n = self.nnodes;
+        let m = self
+            .cross
+            .entry(key)
+            .or_insert_with(|| vec![0u64; n * n].into_boxed_slice());
+        m[from as usize * n + to as usize] += 1;
     }
 
     /// Category of the cache line `line` (address >> 6).
@@ -237,16 +333,6 @@ impl SimCtx {
             .unwrap_or(UNLABELED)
     }
 
-    #[inline]
-    fn line(&mut self, addr: usize) -> &mut Line {
-        self.lines.entry(addr as u64 >> 6).or_insert(Line {
-            owner: NO_OWNER,
-            sharers: 0,
-            busy_until: 0,
-            transfers: 0,
-        })
-    }
-
     fn on_read(&mut self, addr: usize) {
         let c = self.cur;
         let clock = self.clocks[c];
@@ -254,34 +340,70 @@ impl SimCtx {
         let m_remote = self.model.remote_ns;
         let m_cold = self.model.cold_ns;
         let m_service = self.model.line_service_ns;
+        let hop = self.model.hop_ns;
+        let nnodes = self.nnodes;
+        let node = self.core_node[c];
         let bit = 1u128 << c;
-        let line = self.line(addr);
+        let key = addr as u64 >> 6;
+        let ndist = &self.ndist;
+        let line = line_entry(&mut self.lines, &self.placed, key, node);
+        // Cross-node fetch to record once the line borrow ends:
+        // the source node the priced transfer came from.
+        let mut cross_from: Option<u16> = None;
         if line.sharers == 0 {
-            // First touch: bring the line in from memory.
+            // First touch: bring the line in from its home node's memory
+            // (the local replica when replicated).
+            let src = if line.replicated { node } else { line.home };
+            let d = hops(ndist, nnodes, src, node);
             line.sharers = bit;
-            self.clocks[c] = clock + m_cold;
+            self.clocks[c] = clock + m_cold + hop * d;
             self.stats[c].cold_misses += 1;
+            if d > 0 {
+                cross_from = Some(src);
+            }
         } else if line.owner == c as u32 || (line.owner == NO_OWNER && line.sharers & bit != 0) {
             // Own modified copy, or already a sharer.
             self.clocks[c] = clock + m_local;
             self.stats[c].local_hits += 1;
         } else if line.owner != NO_OWNER {
             // Modified elsewhere: downgrade to shared; serialized at the
-            // line's home node.
+            // line's home node. Dirty data moves core-to-core, so distance
+            // is priced from the owning core's node (replicas are refilled
+            // for free on the way: the broadcast was paid by the writer).
+            let src = self.core_node[line.owner as usize];
+            let d = if line.replicated {
+                0
+            } else {
+                hops(ndist, nnodes, src, node)
+            };
             let start = clock.max(line.busy_until);
             line.busy_until = start + m_service;
             line.sharers |= bit;
             line.owner = NO_OWNER;
             line.transfers += 1;
-            self.clocks[c] = start + m_remote;
+            self.clocks[c] = start + m_remote + hop * d;
             self.stats[c].remote_transfers += 1;
+            if d > 0 {
+                cross_from = Some(src);
+            }
         } else {
-            // Shared elsewhere: fetch a copy; shared sourcing is served in
-            // parallel (no home-node serialization).
+            // Shared elsewhere: fetch a copy from the home node (directory
+            // sourcing — clean data is served from the line's memory home,
+            // not the nearest sharer); shared sourcing is served in
+            // parallel (no home-node serialization). Replicated lines are
+            // served from the local node's replica.
+            let src = if line.replicated { node } else { line.home };
+            let d = hops(ndist, nnodes, src, node);
             line.sharers |= bit;
             line.transfers += 1;
-            self.clocks[c] = clock + m_remote;
+            self.clocks[c] = clock + m_remote + hop * d;
             self.stats[c].remote_transfers += 1;
+            if d > 0 {
+                cross_from = Some(src);
+            }
+        }
+        if let Some(src) = cross_from {
+            self.cross_event(key, src, node);
         }
     }
 
@@ -293,13 +415,27 @@ impl SimCtx {
         let m_cold = self.model.cold_ns;
         let m_service = self.model.line_service_ns;
         let m_inval = self.model.inval_per_sharer_ns;
+        let hop = self.model.hop_ns;
+        let nnodes = self.nnodes;
+        let node = self.core_node[c];
         let bit = 1u128 << c;
-        let line = self.line(addr);
+        let key = addr as u64 >> 6;
+        let ndist = &self.ndist;
+        let line = line_entry(&mut self.lines, &self.placed, key, node);
+        let mut cross_from: Option<u16> = None;
+        // A write that invalidates sharers of a replicated line must reach
+        // every node's replica: record a broadcast after the borrow ends.
+        let mut broadcast = false;
         if line.sharers == 0 {
+            let src = if line.replicated { node } else { line.home };
+            let d = hops(ndist, nnodes, src, node);
             line.sharers = bit;
             line.owner = c as u32;
-            self.clocks[c] = clock + m_cold;
+            self.clocks[c] = clock + m_cold + hop * d;
             self.stats[c].cold_misses += 1;
+            if d > 0 {
+                cross_from = Some(src);
+            }
         } else if line.owner == c as u32 {
             self.clocks[c] = clock + m_local;
             self.stats[c].local_hits += 1;
@@ -310,10 +446,36 @@ impl SimCtx {
             self.stats[c].local_hits += 1;
         } else {
             // Take the line exclusive: invalidate other copies, serialized
-            // at the home node.
+            // at the home node. Non-replicated lines pay distance to the
+            // data's source (the owner's node for dirty data, else the
+            // home); replicated lines instead pay a broadcast to every
+            // other node, the cost of keeping per-node replicas coherent.
             let others = (line.sharers & !bit).count_ones() as u64;
             let start = clock.max(line.busy_until);
-            let cost = m_remote + m_inval * others;
+            let extra = if line.replicated {
+                let mut sum = 0;
+                for n in 0..nnodes as u16 {
+                    if n != node {
+                        sum += hops(ndist, nnodes, node, n);
+                    }
+                }
+                hop * sum
+            } else {
+                let src = if line.owner != NO_OWNER {
+                    self.core_node[line.owner as usize]
+                } else {
+                    line.home
+                };
+                let d = hops(ndist, nnodes, src, node);
+                if d > 0 {
+                    cross_from = Some(src);
+                }
+                hop * d
+            };
+            if line.replicated {
+                broadcast = true;
+            }
+            let cost = m_remote + m_inval * others + extra;
             line.busy_until = start + m_service;
             line.owner = c as u32;
             line.sharers = bit;
@@ -321,6 +483,15 @@ impl SimCtx {
             self.clocks[c] = start + cost;
             self.stats[c].remote_transfers += 1;
             self.stats[c].invalidations += others;
+        }
+        if broadcast {
+            for n in 0..nnodes as u16 {
+                if n != node {
+                    self.cross_event(key, node, n);
+                }
+            }
+        } else if let Some(src) = cross_from {
+            self.cross_event(key, src, node);
         }
     }
 
@@ -539,6 +710,92 @@ pub fn charge_page_work() {
     });
 }
 
+/// Charges the model's page-work cost for a page homed on `home_node`,
+/// adding the per-hop premium (`page_hop_ns × hops`) when the current
+/// core sits on a different node. Falls back to [`charge_page_work`]
+/// pricing on a single-node topology. `home_node` is taken modulo the
+/// topology's node count so callers with a mismatched topology degrade
+/// gracefully instead of panicking.
+#[inline]
+pub fn charge_page_work_homed(home_node: usize) {
+    with_ctx(|s| {
+        let c = s.cur;
+        let node = s.core_node[c];
+        let home = (home_node % s.nnodes) as u16;
+        let cost =
+            s.model.page_work_ns + s.model.page_hop_ns * hops(&s.ndist, s.nnodes, home, node);
+        s.clocks[c] += cost;
+        s.stats[c].charged_ns += cost;
+    });
+}
+
+/// Registers `[start, start + bytes)` as homed on NUMA node `node`: cache
+/// lines in the range are priced as living in that node's memory (cold
+/// misses and shared-source fetches pay the hop distance from it).
+/// Placement is resolved when a line entry is first created; lines already
+/// touched keep their placement, and address reuse carries the old
+/// registration until [`unplace_range`]. No-op when simulation is
+/// inactive.
+pub fn place_range(node: usize, start: usize, bytes: usize) {
+    with_ctx(|s| {
+        s.placed.push(PlacedRange {
+            lo_line: start as u64 >> 6,
+            hi_line: ((start + bytes) as u64).div_ceil(64),
+            node: (node % s.nnodes) as u16,
+            replicated: false,
+        });
+    });
+}
+
+/// Registers `[start, start + bytes)` as replicated read-only: every node
+/// holds a local replica, so reads never pay hop distance, but a write
+/// that invalidates sharers pays a broadcast to every other node (and
+/// records one cross-node event per remote node). Used for hot radix
+/// index nodes under the replicate-read-only placement policy. No-op when
+/// simulation is inactive.
+pub fn place_replicated(start: usize, bytes: usize) {
+    with_ctx(|s| {
+        s.placed.push(PlacedRange {
+            lo_line: start as u64 >> 6,
+            hi_line: ((start + bytes) as u64).div_ceil(64),
+            node: 0,
+            replicated: true,
+        });
+    });
+}
+
+/// Removes placement registrations fully contained in
+/// `[start, start + bytes)`. Called by owners on free so address reuse
+/// does not inherit stale placement.
+pub fn unplace_range(start: usize, bytes: usize) {
+    with_ctx(|s| {
+        let lo = start as u64 >> 6;
+        let hi = ((start + bytes) as u64).div_ceil(64);
+        s.placed.retain(|r| !(lo <= r.lo_line && r.hi_line <= hi));
+    });
+}
+
+/// Removes label registrations fully contained in `[start, start + bytes)`
+/// (the inverse of [`label_range`], for owners whose memory is freed and
+/// reused while the simulator is active).
+pub fn unlabel_range(start: usize, bytes: usize) {
+    with_ctx(|s| {
+        let lo = start as u64 >> 6;
+        let hi = ((start + bytes) as u64).div_ceil(64);
+        s.labels.retain(|r| !(lo <= r.lo_line && r.hi_line <= hi));
+    });
+}
+
+/// Number of NUMA nodes in the installed topology (1 when inactive).
+pub fn topology_nnodes() -> usize {
+    with_ctx(|s| s.nnodes).unwrap_or(1)
+}
+
+/// NUMA node of `core` under the installed topology (0 when inactive).
+pub fn node_of_core(core: usize) -> usize {
+    with_ctx(|s| s.core_node.get(core).copied().unwrap_or(0) as usize).unwrap_or(0)
+}
+
 /// Charges the model's heap-allocation cost to the current core and
 /// counts the allocation. Called by hot-path code that allocates
 /// (node expansion, Refcache object allocation, `InlineVec` spill) so
@@ -669,6 +926,32 @@ pub fn remote_transfers_by_label() -> Vec<(&'static str, u64)> {
             }
         }
         totals.sort_by_key(|x| std::cmp::Reverse(x.1));
+        totals
+    })
+    .unwrap_or_default()
+}
+
+/// Cross-node transfers per registered category, as a flattened
+/// `nnodes × nnodes` source→destination matrix per label, sorted by total
+/// descending. Only transfers priced at non-zero hop distance are
+/// counted, so the result is empty on a single-node topology — this is
+/// the *where does cross-socket traffic live* view of
+/// [`remote_transfers_by_label`].
+pub fn cross_node_transfers_by_label() -> Vec<(&'static str, Vec<u64>)> {
+    with_ctx(|s| {
+        let mut totals: Vec<(&'static str, Vec<u64>)> = Vec::new();
+        for (addr, m) in s.cross.iter() {
+            let label = s.label_of(*addr);
+            match totals.iter_mut().find(|(n, _)| *n == label) {
+                Some(e) => {
+                    for (acc, v) in e.1.iter_mut().zip(m.iter()) {
+                        *acc += v;
+                    }
+                }
+                None => totals.push((label, m.to_vec())),
+            }
+        }
+        totals.sort_by_key(|x| std::cmp::Reverse(x.1.iter().sum::<u64>()));
         totals
     })
     .unwrap_or_default()
@@ -976,5 +1259,111 @@ mod tests {
         let st = g.finish();
         assert_eq!(st.clocks[0], 0);
         assert_eq!(st.cores[0].ipis_sent, 0);
+    }
+
+    #[test]
+    fn flat_topology_records_no_cross_node_events() {
+        let g = install(4, CostModel::default());
+        let addr = 0x9000usize;
+        for c in 0..4 {
+            switch(c);
+            on_write(addr);
+            on_read(addr);
+        }
+        assert!(cross_node_transfers_by_label().is_empty());
+        drop(g);
+    }
+
+    #[test]
+    fn distance_prices_cross_node_fetches() {
+        let m = CostModel::default().with_topology(crate::Topology::striped(4));
+        let (remote, cold, hop) = (m.remote_ns, m.cold_ns, m.hop_ns);
+        let g = install(4, m); // core c sits on node c
+        let addr = 0xA000usize;
+        switch(0);
+        on_write(addr); // cold at node 0 (first touch homes it there)
+        assert_eq!(clock(0), cold);
+        switch(1);
+        on_read(addr); // dirty data from core 0: 1 hop
+        assert_eq!(clock(1), remote + hop);
+        switch(3);
+        on_read(addr); // clean data from home node 0: 3 hops
+        assert_eq!(clock(3), remote + 3 * hop);
+        let cross = cross_node_transfers_by_label();
+        assert_eq!(cross.len(), 1);
+        let (label, matrix) = &cross[0];
+        assert_eq!(*label, UNLABELED);
+        assert_eq!(matrix[1], 1, "node0 -> node1"); // [0][1]
+        assert_eq!(matrix[3], 1, "node0 -> node3"); // [0][3]
+        assert_eq!(matrix.iter().sum::<u64>(), 2);
+        drop(g);
+    }
+
+    #[test]
+    fn placed_ranges_override_first_touch_home() {
+        let m = CostModel::default().with_topology(crate::Topology::striped(2));
+        let (remote, cold, hop) = (m.remote_ns, m.cold_ns, m.hop_ns);
+        let g = install(2, m);
+        let addr = 0xB000usize;
+        place_range(1, addr, 64); // homed on node 1
+        switch(0);
+        on_read(addr); // cold from remote home: 1 hop
+        assert_eq!(clock(0), cold + hop);
+        switch(1);
+        on_read(addr); // shared, served from node 1's memory: local node
+        assert_eq!(clock(1), remote);
+        unplace_range(addr, 64);
+        drop(g);
+    }
+
+    #[test]
+    fn replicated_lines_read_local_write_broadcast() {
+        let m = CostModel::default().with_topology(crate::Topology::striped(4));
+        let (remote, hop, inval) = (m.remote_ns, m.hop_ns, m.inval_per_sharer_ns);
+        let g = install(4, m);
+        let addr = 0xC800usize;
+        label_range("radix-index", addr, 64);
+        place_replicated(addr, 64);
+        switch(0);
+        on_write(addr); // cold fill, local replica
+                        // Readers on remote nodes pay no hop distance.
+        switch(1);
+        on_read(addr);
+        assert_eq!(clock(1), remote);
+        switch(3);
+        on_read(addr);
+        assert_eq!(clock(3), remote);
+        assert!(
+            cross_node_transfers_by_label().is_empty(),
+            "reads are local"
+        );
+        // An invalidating write broadcasts to every other node.
+        switch(0);
+        let before = clock(0);
+        on_write(addr);
+        // 2 sharers invalidated; broadcast = hops to nodes 1,2,3 = 1+2+3.
+        assert_eq!(clock(0), before + remote + 2 * inval + 6 * hop);
+        let cross = cross_node_transfers_by_label();
+        assert_eq!(cross.len(), 1);
+        let (label, matrix) = &cross[0];
+        assert_eq!(*label, "radix-index");
+        assert_eq!(matrix.iter().sum::<u64>(), 3, "one event per remote node");
+        unlabel_range(addr, 64);
+        assert_eq!(cross_node_transfers_by_label()[0].0, UNLABELED);
+        drop(g);
+    }
+
+    #[test]
+    fn page_work_homed_prices_hops() {
+        let m = CostModel::default().with_topology(crate::Topology::striped(2));
+        let (pw, ph) = (m.page_work_ns, m.page_hop_ns);
+        let g = install(2, m);
+        switch(0);
+        charge_page_work_homed(0); // on-node
+        assert_eq!(clock(0), pw);
+        charge_page_work_homed(1); // 1 hop away
+        assert_eq!(clock(0), 2 * pw + ph);
+        let st = g.finish();
+        assert_eq!(st.cores[0].charged_ns, 2 * pw + ph);
     }
 }

@@ -24,6 +24,13 @@
 #     cell activation/release balance, and remote-line transfers by
 #     category (frame-table vs anonymous heap); bench_refcount exits
 #     non-zero on regression.
+#   BENCH_numa.json     — NUMA placement sweep: disjoint / contended /
+#     index-churn workloads on 1/2/4-node striped topologies under
+#     first-touch, interleave, and replicate-read-only placement, with
+#     every cache-line transfer priced by hop distance; records per-label
+#     per-node-pair cross-socket attribution, on-node vs cross-node frees
+#     and fault frames, plus the placement gate verdict (bench_numa exits
+#     non-zero on regression).
 #
 # Run from the repository root; commit the refreshed files.
 set -euo pipefail
@@ -44,3 +51,7 @@ cat BENCH_huge.json
 cargo run --release -p rvm_bench --bin bench_refcount > BENCH_refcount.json
 echo "wrote $(pwd)/BENCH_refcount.json:" >&2
 cat BENCH_refcount.json
+
+cargo run --release -p rvm_bench --bin bench_numa > BENCH_numa.json
+echo "wrote $(pwd)/BENCH_numa.json:" >&2
+cat BENCH_numa.json
