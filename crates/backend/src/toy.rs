@@ -142,8 +142,16 @@ impl VmSystem for ToyVm {
                 pfn
             }
             None => {
+                // Fallible allocation: the early return drops the map
+                // lock with the page still unpopulated (exact unwind).
+                let pfn = match pool.try_alloc(core) {
+                    Ok(pfn) => pfn,
+                    Err(e) => {
+                        self.stats.oom_fault(core);
+                        return Err(e.into());
+                    }
+                };
                 self.stats.fault_alloc(core);
-                let pfn = pool.alloc(core);
                 page.pfn = Some(pfn);
                 pfn
             }

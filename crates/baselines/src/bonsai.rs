@@ -380,8 +380,16 @@ impl VmSystem for BonsaiVm {
             self.stats.fault_fill(core);
             pte.pfn()
         } else {
+            // Fallible allocation: on OutOfMemory the early return drops
+            // the page-table lock with nothing installed (exact unwind).
+            let pfn = match pool.try_alloc(core) {
+                Ok(pfn) => pfn,
+                Err(e) => {
+                    self.stats.oom_fault(core);
+                    return Err(e.into());
+                }
+            };
             self.stats.fault_alloc(core);
-            let pfn = pool.alloc(core);
             pool.inc_map(pfn);
             table.set(vpn, Pte::new(pfn, writable));
             pfn

@@ -158,7 +158,16 @@ impl VmSystem for LinuxVm {
             self.stats.fault_fill(core);
             pte.pfn()
         } else {
-            let pfn = pool.alloc(core);
+            // Fallible allocation: nothing is installed before the frame
+            // exists, so OutOfMemory propagates with no unwind needed
+            // (the read lock drops with the early return).
+            let pfn = match pool.try_alloc(core) {
+                Ok(pfn) => pfn,
+                Err(e) => {
+                    self.stats.oom_fault(core);
+                    return Err(e.into());
+                }
+            };
             pool.inc_map(pfn);
             match table.set_if(vpn, Pte::EMPTY, Pte::new(pfn, writable)) {
                 Ok(()) => {

@@ -24,11 +24,11 @@ fn real_fault_loop(iters: u64) -> (f64, f64) {
     let vm = build(&machine, BackendKind::Radix);
     vm.attach_core(0);
     vm.mmap(0, BASE, 8 * PAGE_SIZE, Prot::RW, Backing::Anon)
-        .unwrap();
+        .expect("fastpath warm-up mmap failed");
     for p in 0..8u64 {
         machine
             .touch_page(0, &*vm, BASE + p * PAGE_SIZE, 1)
-            .unwrap();
+            .expect("fastpath warm-up touch failed");
     }
     let radix = vm
         .as_any()
@@ -40,7 +40,7 @@ fn real_fault_loop(iters: u64) -> (f64, f64) {
         machine.invalidate_local(0, vm.asid(), vpn, 1);
         machine
             .read_u64(0, &*vm, BASE + (i % 8) * PAGE_SIZE)
-            .unwrap();
+            .expect("fastpath refault read failed");
     }
     let hits0 = radix.tree_stats().hint_hits();
     let misses0 = radix.tree_stats().hint_misses();
@@ -50,7 +50,7 @@ fn real_fault_loop(iters: u64) -> (f64, f64) {
         machine.invalidate_local(0, vm.asid(), vpn, 1);
         machine
             .read_u64(0, &*vm, BASE + (i % 8) * PAGE_SIZE)
-            .unwrap();
+            .expect("fastpath refault read failed");
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let hits = radix.tree_stats().hint_hits() - hits0;

@@ -49,7 +49,7 @@ fn main() {
     let radix = sweeps
         .iter()
         .find(|(k, _, _)| *k == BackendKind::Radix)
-        .unwrap();
+        .expect("Radix sweep missing from results");
     let report = check_gate(&radix.1, &radix.2);
 
     println!("{{");

@@ -69,7 +69,13 @@ fn main() {
         }
         sweeps.push((kind, points));
     }
-    let get = |k: BackendKind| &sweeps.iter().find(|(kind, _)| *kind == k).unwrap().1;
+    let get = |k: BackendKind| {
+        &sweeps
+            .iter()
+            .find(|(kind, _)| *kind == k)
+            .unwrap_or_else(|| panic!("{k} sweep missing from results"))
+            .1
+    };
     let report = check_gate(
         get(BackendKind::Radix),
         get(BackendKind::Bonsai),

@@ -99,7 +99,7 @@ fn main() {
         );
     }
     // The paper's §5.2 operation counts, for the record.
-    let n = *cores_list.last().unwrap();
+    let n = *cores_list.last().expect("at least one core count");
     for (unit_name, block_pages) in [("8 MB", 2048u64), ("64 KB", 16u64)] {
         let (_t, st) = run_job(BackendKind::Radix, n, block_pages, words);
         println!(

@@ -26,6 +26,7 @@ pub mod fastpath;
 pub mod huge;
 pub mod layouts;
 pub mod numa;
+pub mod pressure;
 pub mod refcount;
 pub mod scale;
 pub mod workloads;

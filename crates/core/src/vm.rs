@@ -480,12 +480,25 @@ impl VmSystem for RadixVm {
         // block; either way the page gets a private 4 KiB copy and drops
         // its reference on the shared object.
         if kind == AccessKind::Write && meta.kind == PageKind::Cow {
-            self.stats.fault_cow(core);
             let pool = self.machine.pool();
+            // Allocate the private copy BEFORE surrendering the shared
+            // references: on OutOfMemory the metadata still owns its
+            // frame, so the fault unwinds exactly — nothing installed,
+            // nothing leaked, and the guard drop releases every lock.
+            let (new_pfn, ev) = match pool.try_alloc_traced(core) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.stats.oom_fault(core);
+                    return Err(e.into());
+                }
+            };
+            if ev.drained {
+                self.stats.reclaim_drain(core);
+            }
+            self.stats.fault_cow(core);
             let src = meta.frame_for(vpn);
             let old_page = meta.phys.take();
             let old_block = meta.block.take();
-            let new_pfn = pool.alloc(core);
             self.count_fault_placement(core, new_pfn, 1);
             if let Some(old_pfn) = src {
                 // Copy the old contents into the private page.
@@ -527,10 +540,21 @@ impl VmSystem for RadixVm {
                 // Demand-zero populate: one frame off the core-local free
                 // list, one count cell armed in the frame table — zero
                 // heap allocation, cold or warm (DESIGN.md §8; gated by
-                // tests/alloc_free.rs).
-                self.stats.fault_alloc(core);
+                // tests/alloc_free.rs). On OutOfMemory nothing has been
+                // installed yet, so the error propagates with the
+                // metadata untouched (exact unwind, DESIGN.md §11).
                 let pool = self.machine.pool();
-                let pfn = pool.alloc(core);
+                let (pfn, ev) = match pool.try_alloc_traced(core) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.stats.oom_fault(core);
+                        return Err(e.into());
+                    }
+                };
+                if ev.drained {
+                    self.stats.reclaim_drain(core);
+                }
+                self.stats.fault_alloc(core);
                 self.count_fault_placement(core, pfn, 1);
                 meta.phys = Some(pool.retain_page(&self.cache, core, pfn, 1));
                 pfn
@@ -715,9 +739,18 @@ impl RadixVm {
             None => {
                 // Populate: one contiguous frame block, one block-head
                 // count cell for its whole lifetime (vs. 512 per-page
-                // references).
+                // references). When no contiguous block exists, degrade
+                // gracefully: demote the fold and serve the fault (and
+                // the block's remaining 511 pages, as they fault) with
+                // scattered 4 KiB frames instead of failing the access.
+                let base = match pool.try_alloc_block(core, BLOCK_ORDER) {
+                    Ok(base) => base,
+                    Err(_) => {
+                        self.stats.block_fallback(core);
+                        return BlockPath::Demote;
+                    }
+                };
                 self.stats.fault_alloc(core);
-                let base = pool.alloc_block(core, BLOCK_ORDER);
                 self.count_fault_placement(core, base, BLOCK_PAGES);
                 meta.block = Some(pool.retain_block(&self.cache, core, base, BLOCK_ORDER, 1));
                 base

@@ -34,7 +34,7 @@ pub mod tlb;
 
 pub use mmu::{Mmu, MmuKind, PerCoreMmu, SharedMmu};
 pub use pagetable::{PageTable, Pte, BLOCK_PAGES};
-pub use rvm_mem::PlacementPolicy;
+pub use rvm_mem::{OutOfMemory, PlacementPolicy};
 pub use tlb::{Tlb, TlbEntry};
 
 /// Virtual address.
@@ -160,6 +160,11 @@ pub enum VmError {
     StaleTranslation,
     /// The operation is not supported by this VM system.
     Unsupported,
+    /// Physical memory is exhausted: every tier of the frame pool's
+    /// pressure protocol failed. The operation unwound exactly (no
+    /// frames or locks leaked) and may be retried after memory is freed
+    /// (DESIGN.md §11).
+    OutOfMemory,
 }
 
 impl std::fmt::Display for VmError {
@@ -170,12 +175,19 @@ impl std::fmt::Display for VmError {
             VmError::ProtViolation => "protection violation",
             VmError::StaleTranslation => "stale TLB translation (missed shootdown)",
             VmError::Unsupported => "unsupported operation",
+            VmError::OutOfMemory => "out of physical memory",
         };
         f.write_str(s)
     }
 }
 
 impl std::error::Error for VmError {}
+
+impl From<rvm_mem::OutOfMemory> for VmError {
+    fn from(_: rvm_mem::OutOfMemory) -> Self {
+        VmError::OutOfMemory
+    }
+}
 
 /// Result type for VM operations.
 pub type VmResult<T> = Result<T, VmError>;
@@ -233,6 +245,15 @@ pub struct OpStats {
     /// Frames installed by faults homed on a different node (the access
     /// stream pays cross-node traffic for the page's lifetime).
     pub fault_frames_cross_node: u64,
+    /// Operations that failed with [`VmError::OutOfMemory`] after the
+    /// full pressure protocol came up empty.
+    pub oom_faults: u64,
+    /// Superpage populates that degraded to scattered 4 KiB pages
+    /// because no contiguous block was available.
+    pub block_fallbacks: u64,
+    /// Allocations that were satisfied only by reclaiming parked frames
+    /// (magazine drain) under pressure.
+    pub reclaim_drains: u64,
 }
 
 /// Per-core sharded operation counters for [`VmSystem::op_stats`].
@@ -244,7 +265,7 @@ pub struct OpStats {
 /// exact once the address space is idle — the conformance suite asserts
 /// no count is ever lost.
 pub struct ShardedOpStats {
-    cells: ShardedStats<9>,
+    cells: ShardedStats<12>,
 }
 
 impl ShardedOpStats {
@@ -257,6 +278,9 @@ impl ShardedOpStats {
     const F_SUPERPAGE_DEMOTIONS: usize = 6;
     const F_FAULT_FRAMES_ON_NODE: usize = 7;
     const F_FAULT_FRAMES_CROSS_NODE: usize = 8;
+    const F_OOM_FAULTS: usize = 9;
+    const F_BLOCK_FALLBACKS: usize = 10;
+    const F_RECLAIM_DRAINS: usize = 11;
 
     /// Creates a block striped for `ncores` cores.
     pub fn new(ncores: usize) -> Self {
@@ -321,6 +345,25 @@ impl ShardedOpStats {
             .add(core, Self::F_FAULT_FRAMES_CROSS_NODE, frames);
     }
 
+    /// Counts one operation that failed with
+    /// [`VmError::OutOfMemory`] on `core`.
+    #[inline]
+    pub fn oom_fault(&self, core: usize) {
+        self.cells.add(core, Self::F_OOM_FAULTS, 1);
+    }
+
+    /// Counts one superpage-to-scattered-pages degradation on `core`.
+    #[inline]
+    pub fn block_fallback(&self, core: usize) {
+        self.cells.add(core, Self::F_BLOCK_FALLBACKS, 1);
+    }
+
+    /// Counts one pressure reclaim (magazine drain) on `core`.
+    #[inline]
+    pub fn reclaim_drain(&self, core: usize) {
+        self.cells.add(core, Self::F_RECLAIM_DRAINS, 1);
+    }
+
     /// Sums the cells into an [`OpStats`] snapshot.
     pub fn snapshot(&self) -> OpStats {
         OpStats {
@@ -333,6 +376,9 @@ impl ShardedOpStats {
             superpage_demotions: self.cells.sum(Self::F_SUPERPAGE_DEMOTIONS),
             fault_frames_on_node: self.cells.sum(Self::F_FAULT_FRAMES_ON_NODE),
             fault_frames_cross_node: self.cells.sum(Self::F_FAULT_FRAMES_CROSS_NODE),
+            oom_faults: self.cells.sum(Self::F_OOM_FAULTS),
+            block_fallbacks: self.cells.sum(Self::F_BLOCK_FALLBACKS),
+            reclaim_drains: self.cells.sum(Self::F_RECLAIM_DRAINS),
         }
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod atomic;
 pub mod backoff;
+pub mod failpoint;
 pub mod inline_vec;
 pub mod lock;
 pub mod model;

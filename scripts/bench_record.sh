@@ -31,6 +31,12 @@
 #     per-node-pair cross-socket attribution, on-node vs cross-node frees
 #     and fault frames, plus the placement gate verdict (bench_numa exits
 #     non-zero on regression).
+#   BENCH_pressure.json — memory pressure: the OOM-tolerant local cycle
+#     on a frame-capped two-node machine at 0/50/90% pre-fill
+#     utilization (throughput, stalls, pressure-tier drains/steals),
+#     the fragmentation point (huge-hinted populate degrading to
+#     scattered 4 KiB pages under squeezed headroom), plus the pressure
+#     gate verdict (bench_pressure exits non-zero on regression).
 #
 # Run from the repository root; commit the refreshed files.
 set -euo pipefail
@@ -55,3 +61,7 @@ cat BENCH_refcount.json
 cargo run --release -p rvm_bench --bin bench_numa > BENCH_numa.json
 echo "wrote $(pwd)/BENCH_numa.json:" >&2
 cat BENCH_numa.json
+
+cargo run --release -p rvm_bench --bin bench_pressure > BENCH_pressure.json
+echo "wrote $(pwd)/BENCH_pressure.json:" >&2
+cat BENCH_pressure.json

@@ -9,6 +9,7 @@ use radixvm::baselines::{SkipList, Vma, VmaMap};
 use radixvm::hw::{Backing, Machine, MapFlags, Prot, VmError, BLOCK_PAGES, PAGE_SIZE};
 use radixvm::radix::{LockMode, RadixConfig, RadixTree, Removed};
 use radixvm::refcache::{Managed, Refcache, ReleaseCtx};
+use radixvm::sync::failpoint::{self, Trigger};
 use radixvm::sync::{RangeLock, RangeLockKind, RangeToken};
 
 /// Operations over a small VPN window.
@@ -170,6 +171,125 @@ proptest! {
         vm.quiesce();
         let st = machine.pool().stats();
         prop_assert!(st.block_frees <= st.block_allocs);
+    }
+
+    /// The oracle under *memory pressure*: the same mixed-granularity op
+    /// stream with seeded random OOM injection at the frame and block
+    /// allocation sites. Contracts checked at every step:
+    ///
+    /// - an unmapped access still fails `NoMapping` (injection never
+    ///   masks the real error);
+    /// - a mapped access either succeeds or fails `OutOfMemory`, and a
+    ///   page known to be populated never OOMs (populated accesses do
+    ///   not allocate);
+    /// - a failed fault installs nothing: once the failpoints are
+    ///   disarmed, every page reads back exactly the oracle's value
+    ///   (failed writes left no trace), and teardown accounts for every
+    ///   frame.
+    #[test]
+    fn radix_vm_matches_oracle_under_injected_oom(
+        (ops, seed) in (proptest::collection::vec(vm_op(), 1..60), any::<u64>())
+    ) {
+        failpoint::disarm_all();
+        let machine = Machine::new(1);
+        let vm = build(&machine, BackendKind::Radix);
+        vm.attach_core(0);
+        let base_va: u64 = 0x80_0000_0000;
+        let va = |p: u64| base_va + p * PAGE_SIZE;
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        // Pages we have *observed* populated (successful read or write).
+        // A subset of the truly populated pages (a block populate fills
+        // 512 at once), which is the sound direction: we only assert
+        // "must not OOM" for pages in this set.
+        let mut populated: BTreeSet<u64> = BTreeSet::new();
+        failpoint::arm(failpoint::FRAME_ALLOC, 0, Trigger::Random { seed, num: 1, den: 3 });
+        failpoint::arm(failpoint::BLOCK_ALLOC, 0, Trigger::Random { seed, num: 1, den: 2 });
+        let mut oom_seen = 0u64;
+        for op in &ops {
+            match *op {
+                VmOp::Map { start, pages, aligned, huge } => {
+                    let Some((start, pages)) = clamp(start, pages, aligned) else {
+                        continue;
+                    };
+                    let flags = if huge { MapFlags::HUGE } else { MapFlags::NONE };
+                    vm.mmap_flags(0, va(start), pages * PAGE_SIZE, Prot::RW,
+                                  Backing::Anon, flags).unwrap();
+                    for p in start..start + pages {
+                        oracle.insert(p, 0);
+                        populated.remove(&p); // replaced: fresh demand-zero
+                    }
+                }
+                VmOp::Unmap { start, pages, aligned } => {
+                    let Some((start, pages)) = clamp(start, pages, aligned) else {
+                        continue;
+                    };
+                    vm.munmap(0, va(start), pages * PAGE_SIZE).unwrap();
+                    for p in start..start + pages {
+                        oracle.remove(&p);
+                        populated.remove(&p);
+                    }
+                }
+                VmOp::Write { page, val } => {
+                    let r = machine.write_u64(0, &*vm, va(page), val);
+                    match (oracle.get_mut(&page), r) {
+                        (Some(slot), Ok(())) => {
+                            *slot = val;
+                            populated.insert(page);
+                        }
+                        (Some(_), Err(VmError::OutOfMemory)) => {
+                            prop_assert!(
+                                !populated.contains(&page),
+                                "populated page {} OOMed on write", page
+                            );
+                            oom_seen += 1;
+                        }
+                        (Some(_), Err(e)) => {
+                            prop_assert!(false, "mapped write page {}: {}", page, e);
+                        }
+                        (None, r) => prop_assert_eq!(r, Err(VmError::NoMapping)),
+                    }
+                }
+                VmOp::Read { page } => {
+                    let r = machine.read_u64(0, &*vm, va(page));
+                    match (oracle.get(&page), r) {
+                        (Some(v), Ok(got)) => {
+                            prop_assert_eq!(got, *v, "read of page {}", page);
+                            populated.insert(page);
+                        }
+                        (Some(_), Err(VmError::OutOfMemory)) => {
+                            prop_assert!(
+                                !populated.contains(&page),
+                                "populated page {} OOMed on read", page
+                            );
+                            oom_seen += 1;
+                        }
+                        (Some(_), Err(e)) => {
+                            prop_assert!(false, "mapped read page {}: {}", page, e);
+                        }
+                        (None, r) => prop_assert_eq!(r, Err(VmError::NoMapping)),
+                    }
+                }
+            }
+        }
+        // Injection accounting is visible in the op stats.
+        prop_assert_eq!(vm.op_stats().oom_faults, oom_seen);
+        // Relief: with the failpoints gone the full window agrees with
+        // the oracle — failed faults left neither values nor mappings.
+        failpoint::disarm_all();
+        for p in 0..VM_WINDOW {
+            let r = machine.read_u64(0, &*vm, va(p));
+            match oracle.get(&p) {
+                Some(v) => prop_assert_eq!(r, Ok(*v), "post-relief page {}", p),
+                None => prop_assert_eq!(r, Err(VmError::NoMapping), "page {}", p),
+            }
+        }
+        vm.munmap(0, base_va, VM_WINDOW * PAGE_SIZE).unwrap();
+        vm.quiesce();
+        machine.pool().flush_magazines();
+        prop_assert_eq!(
+            machine.pool().outstanding_frames(), 0,
+            "frames leaked across injected failures"
+        );
     }
 
     /// The radix tree behaves exactly like a BTreeMap of per-page values,
