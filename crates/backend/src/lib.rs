@@ -182,6 +182,20 @@ impl BackendKind {
         self.meta().name
     }
 
+    /// Whether this backend acts on the [`rvm_hw::MapFlags::HUGE`] hint
+    /// (overrides `mmap_flags`). Hint-ignoring backends behave
+    /// identically hinted and unhinted, so sweeps that vary the hint
+    /// need only one run for them.
+    pub fn hint_aware(self) -> bool {
+        matches!(
+            self,
+            BackendKind::Radix
+                | BackendKind::RadixSharedPt
+                | BackendKind::RadixNoCollapse
+                | BackendKind::RadixSlotSpin
+        )
+    }
+
     /// Parses a backend name as used on bench CLIs (case-insensitive,
     /// accepting both the display name and the enum-ish short form).
     pub fn parse(s: &str) -> Option<BackendKind> {

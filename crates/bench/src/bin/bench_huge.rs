@@ -1,31 +1,46 @@
 //! Emits the huge-mapping (superpage) record (`BENCH_huge.json`) to
-//! stdout and enforces the variable-granularity gate.
+//! stdout and enforces the variable-granularity gates.
 //!
-//! Every backend populates an aligned multi-block anonymous mapping
-//! twice — with and without the `MapFlags::HUGE` hint — on the
-//! deterministic simulator. The record keeps, per backend and mode,
-//! faults-to-populate, superpage installs/demotions, index and
-//! page-table bytes, and populate throughput. The gate (hinted RadixVM
-//! takes ≥ 8× fewer faults and strictly less index memory than its own
-//! 4 KiB path, and actually installs superpages) exits non-zero on
-//! regression, so the CI smoke step fails loudly.
+//! Three sections:
+//!
+//! * `backends` — every backend populates an aligned multi-block
+//!   anonymous mapping with and without the `MapFlags::HUGE` hint on the
+//!   deterministic simulator (hint-ignoring backends behave identically
+//!   either way, so they get a single row). Per row: faults-to-populate,
+//!   superpage installs/demotions/promotions, index and page-table
+//!   bytes, populate throughput.
+//! * `converge` — the demote-then-converge workload: every block is
+//!   demoted by a protection round-trip and re-touched; the promotion
+//!   gate requires the fault path's fill counters to re-fold each block
+//!   and a fresh core's probe faults and the index bytes to land within
+//!   1.25x of a never-demoted run.
+//! * `shootdown_sweep` — 16 simulated cores: one demotes and promotes a
+//!   shared block while the non-sharing cores fault disjoint pages;
+//!   records the span-invalidation IPI cost against per-page pricing
+//!   per sharer count.
+//!
+//! Any gate failure exits non-zero, so the CI smoke step fails loudly.
 //!
 //! Usage: `cargo run --release -p rvm_bench --bin bench_huge [--quick]`
 //! (or `scripts/bench_record.sh`, which redirects into the checked-in
 //! JSON).
 
-use rvm_bench::huge::{check_gate, huge_blocks, populate_point, HugePoint, HUGE_FAULT_RATIO_FLOOR};
+use rvm_bench::huge::{
+    check_gate, check_sweep, huge_blocks, populate_point, run_converge_gate, shootdown_sweep,
+    HugePoint, CONVERGE_RATIO_CEIL, HUGE_FAULT_RATIO_FLOOR,
+};
 use rvm_bench::BackendKind;
 
 fn print_point(p: &HugePoint, last: bool) {
     let mode = if p.hinted { "huge" } else { "4k" };
     println!(
         "      {{\"mode\": \"{mode}\", \"faults\": {}, \"superpage_installs\": {}, \
-         \"superpage_demotions\": {}, \"index_bytes\": {}, \"pagetable_bytes\": {}, \
-         \"pages_per_sec\": {:.0}}}{}",
+         \"superpage_demotions\": {}, \"superpage_promotions\": {}, \"index_bytes\": {}, \
+         \"pagetable_bytes\": {}, \"pages_per_sec\": {:.0}}}{}",
         p.faults,
         p.superpage_installs,
         p.superpage_demotions,
+        p.superpage_promotions,
         p.index_bytes,
         p.pagetable_bytes,
         p.pages_per_sec(),
@@ -35,38 +50,99 @@ fn print_point(p: &HugePoint, last: bool) {
 
 fn main() {
     let blocks = huge_blocks();
-    let mut sweeps: Vec<(BackendKind, HugePoint, HugePoint)> = Vec::new();
+    let mut sweeps: Vec<(BackendKind, Vec<HugePoint>)> = Vec::new();
     for kind in BackendKind::ALL {
-        eprintln!("populating {blocks} blocks on {kind} (huge + 4k)...");
-        let huge = populate_point(kind, true, blocks);
-        let four_k = populate_point(kind, false, blocks);
-        eprintln!(
-            "  {kind:>20}: huge {} faults / {} idx B, 4k {} faults / {} idx B",
-            huge.faults, huge.index_bytes, four_k.faults, four_k.index_bytes
-        );
-        sweeps.push((kind, huge, four_k));
+        // Hint-ignoring backends produce identical hinted/unhinted
+        // points; one 4 KiB row says everything.
+        let points = if kind.hint_aware() {
+            eprintln!("populating {blocks} blocks on {kind} (huge + 4k)...");
+            vec![
+                populate_point(kind, true, blocks),
+                populate_point(kind, false, blocks),
+            ]
+        } else {
+            eprintln!("populating {blocks} blocks on {kind} (hint-ignoring, 4k only)...");
+            vec![populate_point(kind, false, blocks)]
+        };
+        for p in &points {
+            let mode = if p.hinted { "huge" } else { "  4k" };
+            eprintln!(
+                "  {kind:>20} {mode}: {} faults / {} idx B",
+                p.faults, p.index_bytes
+            );
+        }
+        sweeps.push((kind, points));
     }
     let radix = sweeps
         .iter()
-        .find(|(k, _, _)| *k == BackendKind::Radix)
+        .find(|(k, _)| *k == BackendKind::Radix)
         .expect("Radix sweep missing from results");
-    let report = check_gate(&radix.1, &radix.2);
+    let report = check_gate(&radix.1[0], &radix.1[1]);
+
+    eprintln!("demote-then-converge on RadixVM ({blocks} blocks)...");
+    let converge = run_converge_gate(blocks);
+    eprintln!(
+        "  promotions {}/{}, probe faults {} vs {}, index {} B vs {} B",
+        converge.promotions,
+        converge.blocks,
+        converge.probe_faults,
+        converge.probe_faults_baseline,
+        converge.index_bytes,
+        converge.index_bytes_baseline
+    );
+    eprintln!("span-shootdown sweep (16 cores)...");
+    let sweep = shootdown_sweep();
+    let sweep_failures = check_sweep(&sweep);
 
     println!("{{");
-    println!("  \"schema\": 1,");
+    println!("  \"schema\": 2,");
     println!("  \"bench\": \"huge\",");
     println!(
-        "  \"workload\": \"populate {blocks} aligned 2 MiB anonymous blocks, huge hint vs 4 KiB\","
+        "  \"workload\": \"populate {blocks} aligned 2 MiB anonymous blocks, huge hint vs 4 KiB; \
+         demote-then-converge promotion gate; 16-core span-shootdown sweep\","
     );
     println!("  \"blocks\": {blocks},");
     println!("  \"backends\": {{");
-    for (i, (kind, huge, four_k)) in sweeps.iter().enumerate() {
+    for (i, (kind, points)) in sweeps.iter().enumerate() {
         println!("    \"{}\": [", kind.name());
-        print_point(huge, false);
-        print_point(four_k, true);
+        for (j, p) in points.iter().enumerate() {
+            print_point(p, j + 1 == points.len());
+        }
         println!("    ]{}", if i + 1 == sweeps.len() { "" } else { "," });
     }
     println!("  }},");
+    println!("  \"converge\": {{");
+    println!("    \"ratio_ceil\": {CONVERGE_RATIO_CEIL},");
+    println!("    \"demotions\": {},", converge.demotions);
+    println!("    \"promotions\": {},", converge.promotions);
+    println!("    \"converge_faults\": {},", converge.converge_faults);
+    println!("    \"probe_faults\": {},", converge.probe_faults);
+    println!(
+        "    \"probe_faults_baseline\": {},",
+        converge.probe_faults_baseline
+    );
+    println!("    \"index_bytes\": {},", converge.index_bytes);
+    println!(
+        "    \"index_bytes_baseline\": {},",
+        converge.index_bytes_baseline
+    );
+    println!("    \"passed\": {}", converge.passed());
+    println!("  }},");
+    println!("  \"shootdown_sweep\": [");
+    for (i, p) in sweep.iter().enumerate() {
+        println!(
+            "    {{\"sharers\": {}, \"span_ipis\": {}, \"per_page_ipis\": {}, \
+             \"promotions\": {}, \"bg_faults\": {}, \"virt_ns\": {}}}{}",
+            p.sharers,
+            p.span_ipis,
+            p.per_page_ipis,
+            p.promotions,
+            p.bg_faults,
+            p.virt_ns,
+            if i + 1 == sweep.len() { "" } else { "," }
+        );
+    }
+    println!("  ],");
     println!("  \"gate\": {{");
     println!("    \"fault_ratio_floor\": {HUGE_FAULT_RATIO_FLOOR},");
     println!("    \"fault_ratio\": {:.1},", report.fault_ratio);
@@ -79,19 +155,37 @@ fn main() {
     println!("  }}");
     println!("}}");
 
+    let mut failed = false;
     if !report.passed() {
         eprintln!("HUGE-MAPPING GATE FAILED:");
         for f in &report.failures {
             eprintln!("  {f}");
         }
+        failed = true;
+    }
+    if !converge.passed() {
+        eprintln!("PROMOTION GATE FAILED:");
+        for f in &converge.failures {
+            eprintln!("  {f}");
+        }
+        failed = true;
+    }
+    if !sweep_failures.is_empty() {
+        eprintln!("SHOOTDOWN SWEEP FAILED:");
+        for f in &sweep_failures {
+            eprintln!("  {f}");
+        }
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     eprintln!(
-        "huge-mapping gate passed: {:.0}x fewer faults ({} vs {}), index {} B vs {} B",
+        "huge gates passed: {:.0}x fewer populate faults, {} promotions recovered \
+         span faults ({} vs {}), span shootdown beat per-page at every sharer count",
         report.fault_ratio,
-        report.faults_huge,
-        report.faults_4k,
-        report.index_bytes_huge,
-        report.index_bytes_4k
+        converge.promotions,
+        converge.probe_faults,
+        converge.probe_faults_baseline
     );
 }

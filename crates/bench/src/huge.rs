@@ -46,6 +46,8 @@ pub struct HugePoint {
     pub superpage_installs: u64,
     /// Superpage demotions reported by the backend.
     pub superpage_demotions: u64,
+    /// Superpage promotions reported by the backend.
+    pub superpage_promotions: u64,
     /// Index (metadata) bytes after populating.
     pub index_bytes: u64,
     /// Hardware page-table bytes after populating.
@@ -111,6 +113,7 @@ pub fn populate_point(kind: BackendKind, hinted: bool, blocks: u64) -> HugePoint
         faults: st.faults_alloc + st.faults_fill + st.faults_cow - faults_before,
         superpage_installs: st.superpage_installs,
         superpage_demotions: st.superpage_demotions,
+        superpage_promotions: st.superpage_promotions,
         index_bytes: usage.index_bytes,
         pagetable_bytes: usage.pagetable_bytes,
         virt_ns: stats.max_clock(),
@@ -208,6 +211,298 @@ pub fn run_gate(blocks: u64) -> HugeGateReport {
     check_gate(&huge, &four_k)
 }
 
+// --- Demote-then-converge: the promotion gate (DESIGN.md §12) ---
+
+/// A converged (promoted) address space may cost at most this factor
+/// more than one that never demoted, in probe faults and index bytes.
+pub const CONVERGE_RATIO_CEIL: f64 = 1.25;
+
+/// The demote-then-converge verdict: does opportunistic promotion
+/// actually recover folded-state faults and index size?
+#[derive(Clone, Debug)]
+pub struct ConvergeReport {
+    /// 2 MiB blocks in the run.
+    pub blocks: u64,
+    /// Demotions taken by the mprotect round-trips (one per block).
+    pub demotions: u64,
+    /// Promotions the fault path's fill counters triggered.
+    pub promotions: u64,
+    /// Faults the convergence sweep itself took (the promotion price:
+    /// ~threshold faults per block, then the span entry serves the rest).
+    pub converge_faults: u64,
+    /// Fresh-core probe faults after convergence (1 per block when the
+    /// fold is back; 512 per block if promotion failed).
+    pub probe_faults: u64,
+    /// Fresh-core probe faults on the never-demoted baseline.
+    pub probe_faults_baseline: u64,
+    /// Index bytes after convergence (severed leaves drained).
+    pub index_bytes: u64,
+    /// Index bytes of the never-demoted baseline.
+    pub index_bytes_baseline: u64,
+    /// Human-readable failures; empty means the gate passed.
+    pub failures: Vec<String>,
+}
+
+impl ConvergeReport {
+    /// True when every gate condition held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// One populate-(demote-converge)-probe run on full RadixVM: two
+/// simulated cores, core 0 drives, core 1 probes at the end. Returns
+/// (probe faults, index bytes, promotions, demotions, converge faults).
+fn converge_run(demote: bool, blocks: u64) -> (u64, u64, u64, u64, u64) {
+    let _guard = sim::install(2, CostModel::default());
+    sim::switch(0);
+    let machine = Machine::new(2);
+    let vm = build(&machine, BackendKind::Radix);
+    vm.attach_core(0);
+    vm.attach_core(1);
+    vm.mmap_flags(
+        0,
+        HUGE_BASE,
+        blocks * BLOCK_BYTES,
+        Prot::RW,
+        Backing::Anon,
+        MapFlags::HUGE,
+    )
+    .expect("mmap");
+    for page in 0..blocks * BLOCK_PAGES {
+        machine
+            .touch_page(0, &*vm, HUGE_BASE + page * PAGE_SIZE, 1)
+            .expect("populate");
+    }
+    let mut converge_faults = 0;
+    if demote {
+        // Demote every block with a sub-block protection round-trip
+        // (revoke-and-restore, e.g. a GC write barrier), then touch the
+        // whole region again: the fill counters re-fold each block from
+        // the fault path — no background thread.
+        for b in 0..blocks {
+            let base = HUGE_BASE + b * BLOCK_BYTES;
+            vm.mprotect(0, base, 8 * PAGE_SIZE, Prot::READ)
+                .expect("revoke");
+            vm.mprotect(0, base, 8 * PAGE_SIZE, Prot::RW)
+                .expect("restore");
+        }
+        let faults0 = {
+            let st = vm.op_stats();
+            st.faults_alloc + st.faults_fill + st.faults_cow
+        };
+        for page in 0..blocks * BLOCK_PAGES {
+            machine
+                .touch_page(0, &*vm, HUGE_BASE + page * PAGE_SIZE, 2)
+                .expect("converge");
+        }
+        let st = vm.op_stats();
+        converge_faults = st.faults_alloc + st.faults_fill + st.faults_cow - faults0;
+    }
+    // Drain deferred reclamation (severed leaves, surrendered refs) so
+    // the index measurement reflects the converged steady state.
+    vm.quiesce();
+    let index_bytes = vm.space_usage().index_bytes;
+    let faults0 = {
+        let st = vm.op_stats();
+        st.faults_alloc + st.faults_fill + st.faults_cow
+    };
+    for page in 0..blocks * BLOCK_PAGES {
+        machine
+            .touch_page(1, &*vm, HUGE_BASE + page * PAGE_SIZE, 3)
+            .expect("probe");
+    }
+    let st = vm.op_stats();
+    let probe_faults = st.faults_alloc + st.faults_fill + st.faults_cow - faults0;
+    (
+        probe_faults,
+        index_bytes,
+        st.superpage_promotions,
+        st.superpage_demotions,
+        converge_faults,
+    )
+}
+
+/// Runs the demote-then-converge workload against a never-demoted
+/// baseline and evaluates the promotion gate:
+///
+/// 1. the fill counters actually promoted (one per demoted block);
+/// 2. a fresh core's probe faults are within [`CONVERGE_RATIO_CEIL`] of
+///    the never-demoted run (the span fault path is back);
+/// 3. index bytes are within [`CONVERGE_RATIO_CEIL`] of the
+///    never-demoted run (the 512 leaf copies re-folded and freed).
+pub fn run_converge_gate(blocks: u64) -> ConvergeReport {
+    let (probe_b, index_b, _, _, _) = converge_run(false, blocks);
+    let (probe, index, promotions, demotions, converge_faults) = converge_run(true, blocks);
+    let mut failures = Vec::new();
+    if promotions < blocks {
+        failures.push(format!(
+            "only {promotions}/{blocks} demoted blocks promoted back"
+        ));
+    }
+    if (probe as f64) > probe_b as f64 * CONVERGE_RATIO_CEIL {
+        failures.push(format!(
+            "post-promotion probe faults {probe} exceed {CONVERGE_RATIO_CEIL}x \
+             never-demoted {probe_b}"
+        ));
+    }
+    if (index as f64) > index_b as f64 * CONVERGE_RATIO_CEIL {
+        failures.push(format!(
+            "post-promotion index bytes {index} exceed {CONVERGE_RATIO_CEIL}x \
+             never-demoted {index_b}"
+        ));
+    }
+    ConvergeReport {
+        blocks,
+        demotions,
+        promotions,
+        converge_faults,
+        probe_faults: probe,
+        probe_faults_baseline: probe_b,
+        index_bytes: index,
+        index_bytes_baseline: index_b,
+        failures,
+    }
+}
+
+// --- The 16-core span-shootdown sweep ---
+
+/// Cores in the shootdown sweep.
+pub const SWEEP_CORES: usize = 16;
+
+/// One point of the span-shootdown sweep.
+#[derive(Clone, Debug)]
+pub struct ShootdownPoint {
+    /// Cores sharing the block's span TLB entry (including the driver).
+    pub sharers: usize,
+    /// IPIs one demote + converge + promote cycle actually sent: span
+    /// protocol, one invalidation message per *sharing* core per round.
+    pub span_ipis: u64,
+    /// What the same cycle would send invalidating page-by-page: both
+    /// span teardowns (demote and promote) priced at one message per
+    /// 4 KiB entry per remote sharer.
+    pub per_page_ipis: u64,
+    /// Promotions observed (the cycle must re-fold the block).
+    pub promotions: u64,
+    /// Disjoint pages the non-sharing cores faulted during the cycle —
+    /// targeted shootdown means none of them receives an IPI.
+    pub bg_faults: u64,
+    /// Virtual nanoseconds for the whole cycle (max over cores).
+    pub virt_ns: u64,
+}
+
+/// Drives the span-shootdown sweep: on a [`SWEEP_CORES`]-core machine,
+/// `sharers` cores map one hinted block into their TLBs, core 0 then
+/// demotes it (protection round-trip) and promotes it back through the
+/// fault path, while every non-sharing core faults disjoint private
+/// pages. Records the actual span-invalidation IPI cost against the
+/// per-page-priced equivalent, per sharer count.
+pub fn shootdown_sweep() -> Vec<ShootdownPoint> {
+    let mut points = Vec::new();
+    for sharers in [1usize, 2, 4, 8, SWEEP_CORES] {
+        let guard = sim::install(SWEEP_CORES, CostModel::default());
+        sim::switch(0);
+        let machine = Machine::new(SWEEP_CORES);
+        let vm = build(&machine, BackendKind::Radix);
+        for c in 0..SWEEP_CORES {
+            vm.attach_core(c);
+        }
+        vm.mmap_flags(
+            0,
+            HUGE_BASE,
+            BLOCK_BYTES,
+            Prot::RW,
+            Backing::Anon,
+            MapFlags::HUGE,
+        )
+        .expect("mmap");
+        // Private disjoint regions for the background cores.
+        const BG_PAGES: u64 = 64;
+        let bg_base = |c: usize| HUGE_BASE + (1 + c as u64) * (1 << 30);
+        for c in sharers..SWEEP_CORES {
+            sim::switch(c);
+            vm.mmap(
+                c,
+                bg_base(c),
+                2 * BG_PAGES * PAGE_SIZE,
+                Prot::RW,
+                Backing::Anon,
+            )
+            .expect("bg mmap");
+        }
+        // Every sharer pulls the span entry into its TLB.
+        for c in 0..sharers {
+            sim::switch(c);
+            machine.touch_page(c, &*vm, HUGE_BASE, 1).expect("share");
+        }
+        sim::switch(0);
+        let ipis0 = machine.stats().shootdown_ipis;
+        let promotions0 = vm.op_stats().superpage_promotions;
+        let clock0 = (0..SWEEP_CORES).map(sim::clock).max().unwrap();
+        let mut bg_faults = 0u64;
+        let mut bg_batch = |phase: u64| {
+            for c in sharers..SWEEP_CORES {
+                sim::switch(c);
+                for p in 0..BG_PAGES {
+                    machine
+                        .touch_page(c, &*vm, bg_base(c) + (phase * BG_PAGES + p) * PAGE_SIZE, 1)
+                        .expect("bg touch");
+                    bg_faults += 1;
+                }
+            }
+            sim::switch(0);
+        };
+        // Demote: span shootdown to the sharing cores only.
+        vm.mprotect(0, HUGE_BASE, 8 * PAGE_SIZE, Prot::READ)
+            .expect("revoke");
+        vm.mprotect(0, HUGE_BASE, 8 * PAGE_SIZE, Prot::RW)
+            .expect("restore");
+        bg_batch(0);
+        // Converge: the fill counter promotes the block back; the refold
+        // shoots the 4 KiB entries down, again span-priced.
+        for page in 0..BLOCK_PAGES {
+            machine
+                .touch_page(0, &*vm, HUGE_BASE + page * PAGE_SIZE, 2)
+                .expect("converge");
+        }
+        bg_batch(1);
+        let span_ipis = machine.stats().shootdown_ipis - ipis0;
+        let promotions = vm.op_stats().superpage_promotions - promotions0;
+        let virt_ns = (0..SWEEP_CORES).map(sim::clock).max().unwrap() - clock0;
+        let per_page_ipis = 2 * (sharers as u64 - 1) * BLOCK_PAGES;
+        drop(vm);
+        let _ = guard.finish();
+        points.push(ShootdownPoint {
+            sharers,
+            span_ipis,
+            per_page_ipis,
+            promotions,
+            bg_faults,
+            virt_ns,
+        });
+    }
+    points
+}
+
+/// Sanity conditions for the sweep (CI smoke): every point promoted,
+/// and with remote sharers the span protocol beat per-page pricing.
+pub fn check_sweep(points: &[ShootdownPoint]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for p in points {
+        if p.promotions == 0 {
+            failures.push(format!("{} sharers: no promotion", p.sharers));
+        }
+        if p.sharers > 1 && p.span_ipis >= p.per_page_ipis {
+            failures.push(format!(
+                "{} sharers: span shootdown sent {} IPIs, not fewer than \
+                 per-page {}",
+                p.sharers, p.span_ipis, p.per_page_ipis
+            ));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +531,56 @@ mod tests {
             let p = populate_point(kind, true, 1);
             assert_eq!(p.pages(), BLOCK_PAGES, "{kind}");
             assert!(p.faults >= 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn hint_ignoring_backends_match_their_4k_run() {
+        // The dedup in `bench_huge` is sound: a hint-ignoring backend
+        // produces identical points hinted and unhinted.
+        for kind in BackendKind::ALL {
+            if kind.hint_aware() {
+                continue;
+            }
+            let hinted = populate_point(kind, true, 1);
+            let plain = populate_point(kind, false, 1);
+            assert_eq!(hinted.faults, plain.faults, "{kind}");
+            assert_eq!(hinted.index_bytes, plain.index_bytes, "{kind}");
+            assert_eq!(hinted.superpage_installs, 0, "{kind}");
+        }
+    }
+
+    /// The checked-in promotion gate: after demoting every block and
+    /// re-touching, the fill counters promote each block back, and a
+    /// fresh core pays span-fault prices again. Deterministic.
+    #[test]
+    fn promotion_gate() {
+        let report = run_converge_gate(2);
+        assert!(
+            report.passed(),
+            "promotion gate failed:\n  {}",
+            report.failures.join("\n  ")
+        );
+        assert_eq!(report.demotions, report.blocks);
+        assert_eq!(report.promotions, report.blocks);
+        // The probe is not marginal: one fault per block on both sides.
+        assert_eq!(report.probe_faults, report.probe_faults_baseline);
+    }
+
+    #[test]
+    fn shootdown_sweep_spans_beat_per_page() {
+        let points = shootdown_sweep();
+        assert_eq!(points.len(), 5);
+        let failures = check_sweep(&points);
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+        // Background cores never stall: every disjoint fault completed.
+        for p in &points {
+            assert_eq!(
+                p.bg_faults,
+                2 * 64 * (SWEEP_CORES - p.sharers) as u64,
+                "{} sharers",
+                p.sharers
+            );
         }
     }
 }

@@ -686,4 +686,168 @@ mod tests {
         assert_eq!(st.block_frees, 1);
         assert_eq!(m.stats().stale_detected, 0);
     }
+
+    // --- 1 GiB rung + opportunistic promotion: DESIGN.md §12 ---
+
+    use rvm_hw::GIANT_PAGES;
+    use rvm_sync::failpoint::{self, Trigger};
+
+    /// One combined 1 GiB lifecycle test: populate, demote cascade,
+    /// survivor integrity, full reclaim. Kept as a single test because a
+    /// populated giant block is ~1 GiB of real host memory — parallel
+    /// test threads must not each hold one.
+    #[test]
+    fn giant_rung_lifecycle() {
+        let (m, vm) = setup(1);
+        // 1 GiB-aligned virtual base so the mapping folds at the giant
+        // rung (level LEVELS-3).
+        let gbase: u64 = 0x40_0000_0000;
+        vm.mmap_flags(
+            0,
+            gbase,
+            GIANT_PAGES * PAGE_SIZE,
+            Prot::RW,
+            Backing::Anon,
+            MapFlags::HUGE,
+        )
+        .unwrap();
+        assert_eq!(vm.tree_stats().folded_values(), 1, "one giant fold");
+        // One fault populates the whole GiB.
+        m.write_u64(0, &*vm, gbase, 1).unwrap();
+        let st = vm.op_stats();
+        assert_eq!(
+            st.faults_alloc + st.faults_fill + st.faults_cow,
+            1,
+            "an aligned hinted GiB must populate with exactly one fault"
+        );
+        assert_eq!(st.superpage_installs, 1);
+        assert_eq!(m.pool().stats().block_allocs, 1);
+        // Sampled writes across the GiB all resolve through the one
+        // giant span TLB entry — no further faults.
+        for p in (0..GIANT_PAGES).step_by(4099) {
+            m.write_u64(0, &*vm, gbase + p * PAGE_SIZE, p + 7).unwrap();
+        }
+        let st = vm.op_stats();
+        assert_eq!(st.faults_alloc + st.faults_fill + st.faults_cow, 1);
+        // Unmap the first 64 pages: a sub-2 MiB hole demotes *two*
+        // rungs — giant to 2 MiB folds, then the punctured chunk to
+        // 4 KiB pages — with the other 511 chunks untouched.
+        vm.munmap(0, gbase, 64 * PAGE_SIZE).unwrap();
+        assert_eq!(vm.op_stats().superpage_demotions, 2);
+        assert!(m.read_u64(0, &*vm, gbase).is_err());
+        for p in (0..GIANT_PAGES).step_by(4099) {
+            if p < 64 {
+                continue;
+            }
+            assert_eq!(
+                m.read_u64(0, &*vm, gbase + p * PAGE_SIZE).unwrap(),
+                p + 7,
+                "page {p} lost by the giant demote cascade"
+            );
+        }
+        // No re-allocation happened: survivors refill from the demoted
+        // block's member frames.
+        assert_eq!(vm.op_stats().faults_alloc, 1);
+        vm.quiesce();
+        assert_eq!(m.pool().stats().block_frees, 0, "giant pinned by survivors");
+        // Full unmap: the giant block frees exactly once, whole.
+        vm.munmap(0, gbase + 64 * PAGE_SIZE, (GIANT_PAGES - 64) * PAGE_SIZE)
+            .unwrap();
+        vm.quiesce();
+        assert_eq!(m.pool().stats().block_frees, 1);
+        assert_eq!(m.pool().outstanding_frames(), 0);
+        assert_eq!(m.stats().stale_detected, 0);
+    }
+
+    #[test]
+    fn demoted_block_promotes_back() {
+        let (m, vm) = setup(1);
+        huge_map(&vm, 0, BASE, 1);
+        for p in 0..BLOCK_PAGES {
+            m.write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0xC0DE + p)
+                .unwrap();
+        }
+        assert_eq!(vm.op_stats().superpage_installs, 1);
+        // Demote via a sub-block protection round-trip (a revoke-and-
+        // restore pattern, e.g. a garbage collector's write barrier).
+        vm.mprotect(0, BASE, 8 * PAGE_SIZE, Prot::READ).unwrap();
+        assert_eq!(vm.op_stats().superpage_demotions, 1);
+        assert_eq!(vm.tree_stats().leaf_nodes(), 1);
+        vm.mprotect(0, BASE, 8 * PAGE_SIZE, Prot::RW).unwrap();
+        // Converged again: the fault path's fill counter re-folds the
+        // block without any background thread. Every page still carries
+        // its reference on the original block head, so the promotion
+        // adopts — no frames move, no new allocation.
+        for p in 0..BLOCK_PAGES {
+            assert_eq!(
+                m.read_u64(0, &*vm, BASE + p * PAGE_SIZE).unwrap(),
+                0xC0DE + p
+            );
+        }
+        let st = vm.op_stats();
+        assert_eq!(st.superpage_promotions, 1, "fill counter must re-fold");
+        assert_eq!(
+            m.pool().stats().block_allocs,
+            1,
+            "demoted shape migrates nothing"
+        );
+        vm.quiesce();
+        assert_eq!(vm.tree_stats().leaf_nodes(), 0, "severed leaf reclaimed");
+        assert_eq!(vm.tree_stats().folded_values(), 1);
+        // Post-promotion the block reads through one span entry again.
+        let misses = m.stats().tlb_misses;
+        for p in 0..BLOCK_PAGES {
+            assert_eq!(
+                m.read_u64(0, &*vm, BASE + p * PAGE_SIZE).unwrap(),
+                0xC0DE + p
+            );
+        }
+        assert_eq!(m.stats().tlb_misses, misses, "span entry covers the block");
+        vm.munmap(0, BASE, BLOCK_BYTES).unwrap();
+        vm.quiesce();
+        assert_eq!(m.pool().stats().block_frees, 1);
+        assert_eq!(m.pool().outstanding_frames(), 0);
+        assert_eq!(m.stats().stale_detected, 0);
+    }
+
+    #[test]
+    fn scattered_pages_migrate_into_block() {
+        let (m, vm) = setup(1);
+        failpoint::disarm_all();
+        huge_map(&vm, 0, BASE, 1);
+        // Veto the populate fault's block allocation: the hinted block
+        // degrades to scattered 4 KiB frames (§11's pressure path).
+        failpoint::arm(failpoint::BLOCK_ALLOC, 0, Trigger::EveryK(1));
+        m.write_u64(0, &*vm, BASE, 0xA0).unwrap();
+        failpoint::disarm_all();
+        assert_eq!(vm.op_stats().block_fallbacks, 1);
+        assert_eq!(vm.op_stats().superpage_installs, 0);
+        // Touch every page; the fill counter's crossing at the 512th
+        // fault finds all pages present and migrates them into a fresh
+        // contiguous block (the promotion returns the *new* translation,
+        // so this last write already lands in the block).
+        for p in 0..BLOCK_PAGES {
+            m.write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0xBEEF + p)
+                .unwrap();
+        }
+        let st = vm.op_stats();
+        assert_eq!(st.superpage_promotions, 1, "scattered pages must migrate");
+        assert_eq!(m.pool().stats().block_allocs, 1);
+        // Contents survived the copy; the 512 old frames free once the
+        // surrendered references drain.
+        for p in (0..BLOCK_PAGES).step_by(31) {
+            assert_eq!(
+                m.read_u64(0, &*vm, BASE + p * PAGE_SIZE).unwrap(),
+                0xBEEF + p
+            );
+        }
+        vm.quiesce();
+        let fst = m.pool().stats();
+        assert_eq!(fst.local_frees + fst.remote_frees, 512, "old frames freed");
+        vm.munmap(0, BASE, BLOCK_BYTES).unwrap();
+        vm.quiesce();
+        assert_eq!(m.pool().stats().block_frees, 1);
+        assert_eq!(m.pool().outstanding_frames(), 0);
+        assert_eq!(m.stats().stale_detected, 0);
+    }
 }

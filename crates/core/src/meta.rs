@@ -20,7 +20,7 @@
 //! the table *is* the authority.
 
 use rvm_hw::{Backing, Prot};
-use rvm_mem::{FrameRef, Pfn, BLOCK_ORDER};
+use rvm_mem::{FrameRef, Pfn};
 use rvm_sync::CoreSet;
 
 /// How the page's contents are produced and whether writes must copy.
@@ -92,14 +92,16 @@ impl PageMeta {
     /// The frame backing `vpn` under this metadata, if faulted: the
     /// per-page frame, or the member frame of the superpage block
     /// (blocks are virtually aligned, so the offset is `vpn`'s low
-    /// bits). Pure arithmetic on the handle — no dereference, no
+    /// bits, masked by the *handle's* order — a page demoted out of a
+    /// 1 GiB block keeps a giant-head handle and still resolves its
+    /// member). Pure arithmetic on the handle — no dereference, no
     /// ownership traffic.
     pub fn frame_for(&self, vpn: u64) -> Option<Pfn> {
         if let Some(r) = self.phys {
             return Some(r.pfn);
         }
         if let Some(b) = self.block {
-            let off = (vpn & ((1u64 << BLOCK_ORDER) - 1)) as Pfn;
+            let off = (vpn & ((1u64 << b.order) - 1)) as Pfn;
             return Some(b.pfn + off);
         }
         None
@@ -109,7 +111,7 @@ impl PageMeta {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvm_mem::{FramePool, BLOCK_PAGES};
+    use rvm_mem::{FramePool, BLOCK_ORDER, BLOCK_PAGES};
     use rvm_refcache::Refcache;
 
     #[test]

@@ -24,16 +24,18 @@
 
 use std::sync::Arc;
 
+use std::sync::Mutex;
+
 use rvm_hw::{
     vpn_of, AccessKind, Asid, Backing, Machine, MapFlags, Mmu, MmuKind, PerCoreMmu, Prot, Pte,
     ShardedOpStats, SharedMmu, SpaceUsage, TlbEntry, Translation, Vaddr, VmError, VmResult,
-    VmSystem, Vpn, BLOCK_PAGES, VA_LIMIT,
+    VmSystem, Vpn, BLOCK_PAGES, GIANT_PAGES, VA_LIMIT,
 };
-use rvm_mem::{FrameRef, Pfn, BLOCK_ORDER};
+use rvm_mem::{FrameRef, Pfn, BLOCK_ORDER, GIANT_ORDER};
 use rvm_radix::{LockMode, RadixConfig, RadixTree, RangeGuard, Removed, VPN_LIMIT};
 use rvm_refcache::Refcache;
 use rvm_sync::atomic::AtomicCoreSet;
-use rvm_sync::{sim, CoreSet, RangeLockKind};
+use rvm_sync::{failpoint, sim, CoreSet, RangeLockKind};
 
 use crate::meta::{PageKind, PageMeta};
 
@@ -81,6 +83,52 @@ fn push_run(runs: &mut Vec<(Vpn, u64)>, start: Vpn, pages: u64) {
 /// [`VmSystem`] reports through the trait's `op_stats` method.
 pub type VmOpStats = rvm_hw::OpStats;
 
+/// Ways in each core's direct-mapped promotion-counter table.
+const PROMOTE_WAYS: usize = 8;
+
+/// Eligible 4 KiB faults a block must accumulate (per core) before the
+/// fault path attempts opportunistic promotion. High enough that short-
+/// lived demotions (partial mprotect about to be unmapped) never pay the
+/// full-block lock; low enough that a converged block promotes well
+/// before its 512 pages have each refaulted.
+const PROMOTE_THRESHOLD: u32 = 64;
+
+/// Per-core promotion trigger state: a small direct-mapped table of
+/// `(block base, eligible-fault count)` pairs. Fixed storage — ticking a
+/// counter never allocates — and per-core, so the fault path never
+/// contends on it (the Mutex is only ever taken by its owning core).
+struct PromoteCounters {
+    slots: [(Vpn, u32); PROMOTE_WAYS],
+}
+
+impl PromoteCounters {
+    fn new() -> Self {
+        PromoteCounters {
+            slots: [(Vpn::MAX, 0); PROMOTE_WAYS],
+        }
+    }
+
+    /// Records one eligible 4 KiB fault in `base`'s block; returns true
+    /// when the count crosses the promotion threshold (and resets it, so
+    /// a failed attempt retries only after another full accumulation).
+    fn tick(&mut self, base: Vpn) -> bool {
+        let way = ((base >> BLOCK_ORDER) as usize) % PROMOTE_WAYS;
+        let slot = &mut self.slots[way];
+        if slot.0 != base {
+            // Direct-mapped replacement: the conflicting block restarts.
+            *slot = (base, 1);
+            return false;
+        }
+        slot.1 += 1;
+        if slot.1 >= PROMOTE_THRESHOLD {
+            slot.1 = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// A RadixVM address space.
 pub struct RadixVm {
     machine: Arc<Machine>,
@@ -93,6 +141,10 @@ pub struct RadixVm {
     /// Sharded per-core op counters (one padded cell per core, so the op
     /// path never contends on a statistics line).
     stats: ShardedOpStats,
+    /// Per-core promotion fill counters (DESIGN.md §12): opportunistic
+    /// superpage promotion is triggered from the fault path, not a
+    /// background thread.
+    promote: Vec<Mutex<PromoteCounters>>,
 }
 
 impl RadixVm {
@@ -128,6 +180,9 @@ impl RadixVm {
         Arc::new(RadixVm {
             asid: machine.alloc_asid(),
             stats: ShardedOpStats::new(machine.ncores()),
+            promote: (0..machine.ncores())
+                .map(|_| Mutex::new(PromoteCounters::new()))
+                .collect(),
             machine,
             cache,
             tree,
@@ -246,16 +301,53 @@ impl RadixVm {
     /// PTE is then shattered into 4 KiB PTEs in every tracked table and
     /// the span TLB entries are shot down, all under the same guard.
     fn demote_expanded(&self, core: usize, guard: &mut RangeGuard<'_, PageMeta>) {
-        let mut blocks: Vec<(Vpn, FrameRef, CoreSet, u64)> = Vec::new();
-        guard.for_each_expanded_value_mut(|vpn, m| {
+        let pool = self.machine.pool();
+        // Stage 1 — the 1 GiB rung. A giant fold the lock expanded one
+        // rung left 512 block-spanning clones in a fresh interior node
+        // (born-locked until this guard drops). The fold owned one
+        // reference on the giant-head slot; the clones collectively
+        // adopt 511 more. Chunks the same descent re-expanded down to
+        // leaves are accounted by stage 2 — each leaf expansion adopts
+        // 511 per-page references from its chunk's clone — so the total
+        // is exactly one reference per extra handle however deep the
+        // cascade went. The giant PTE shatters in place into 512 block
+        // PTEs (translations preserved) and the giant span entries are
+        // shot down. A contiguous lock range always leaves at least one
+        // chunk clone folded (at most the two edge chunks expand
+        // further), so every expanded giant is observed here.
+        let mut giants: Vec<(Vpn, FrameRef, CoreSet)> = Vec::new();
+        guard.for_each_expanded_fold_mut(|vpn, _pages, m| {
             if let Some(b) = m.block {
-                match blocks.iter_mut().find(|e| e.1 == b) {
-                    Some(e) => e.3 += 1,
-                    None => blocks.push((vpn & !(BLOCK_PAGES - 1), b, m.coreset, 1)),
+                let gstart = vpn & !(GIANT_PAGES - 1);
+                if !giants.iter().any(|e| e.0 == gstart) {
+                    giants.push((gstart, b, m.coreset));
                 }
             }
         });
-        let pool = self.machine.pool();
+        for (gstart, b, tracked) in giants {
+            let clones = GIANT_PAGES / BLOCK_PAGES;
+            for _ in 1..clones {
+                pool.ref_inc(&self.cache, core, b);
+            }
+            let targets = self.mmu.demote_giant(gstart, tracked, self.attached.load());
+            self.machine
+                .shootdown(core, self.asid, gstart, GIANT_PAGES, targets);
+            self.stats.superpage_demote(core);
+        }
+        // Stage 2 — the 2 MiB rung (§7). Grouped by *virtual* block
+        // start, not by handle: every chunk of one demoted giant carries
+        // the same giant-head handle, and merging two chunks would adopt
+        // the wrong count and shatter the wrong PTE.
+        let mut blocks: Vec<(Vpn, FrameRef, CoreSet, u64)> = Vec::new();
+        guard.for_each_expanded_value_mut(|vpn, m| {
+            if let Some(b) = m.block {
+                let start = vpn & !(BLOCK_PAGES - 1);
+                match blocks.iter_mut().find(|e| e.0 == start) {
+                    Some(e) => e.3 += 1,
+                    None => blocks.push((start, b, m.coreset, 1)),
+                }
+            }
+        });
         for (start, b, tracked, npages) in blocks {
             for _ in 1..npages {
                 pool.ref_inc(&self.cache, core, b);
@@ -444,11 +536,13 @@ impl VmSystem for RadixVm {
                     writable: pte.writable(),
                 };
                 if pte.block() {
-                    // Another core populated the superpage: fill the
-                    // whole span so this core stops faulting on it.
-                    let base_vpn = vpn & !(BLOCK_PAGES - 1);
+                    // Another core populated the superpage (either
+                    // rung): fill the whole span so this core stops
+                    // faulting on it.
+                    let span = pte.span();
+                    let base_vpn = vpn & !(span - 1);
                     let base_pfn = pte.pfn() - (vpn - base_vpn) as Pfn;
-                    self.fill_span(core, base_vpn, base_pfn, pte.writable());
+                    self.fill_span(core, base_vpn, base_pfn, span, pte.writable());
                 } else {
                     self.fill(core, vpn, tr);
                 }
@@ -568,6 +662,14 @@ impl VmSystem for RadixVm {
         if !meta.coreset.contains(core) {
             meta.coreset.insert(core);
         }
+        // Promotion candidacy (§12): a 4 KiB fault in a demoted block
+        // (per-page block reference) or a hinted-but-never-folded run
+        // (block allocation failed under pressure) feeds the fill
+        // counter; crossing the threshold attempts re-folding below,
+        // after this page's slot lock is released.
+        let promote_candidate = meta.backing == Backing::Anon
+            && meta.kind == PageKind::Plain
+            && (meta.huge || meta.block.is_some());
         let tr = Translation {
             pfn,
             gen: self.machine.pool().generation(pfn),
@@ -578,6 +680,20 @@ impl VmSystem for RadixVm {
         // a munmap racing on this page cannot start its shootdown until
         // we are done, so the entry cannot be stale.
         self.fill(core, vpn, tr);
+        if promote_candidate {
+            let base = vpn & !(BLOCK_PAGES - 1);
+            if self.promote[core].lock().unwrap().tick(base) {
+                // Opportunistic promotion, outside the fault's critical
+                // section (the full-block lock must not nest inside this
+                // page's slot lock). On success the returned translation
+                // reflects the promoted mapping — required when the
+                // pages migrated into a fresh block.
+                drop(guard);
+                if let Some(promoted) = self.try_promote(core, vpn, base) {
+                    return Ok(promoted);
+                }
+            }
+        }
         Ok(tr)
     }
 
@@ -679,8 +795,9 @@ impl RadixVm {
         );
     }
 
-    /// Installs a span (superpage) TLB entry covering the whole block.
-    fn fill_span(&self, core: usize, base_vpn: Vpn, base_pfn: Pfn, writable: bool) {
+    /// Installs a span (superpage) TLB entry covering `span` pages —
+    /// [`BLOCK_PAGES`] or [`GIANT_PAGES`] — based at `base_vpn`.
+    fn fill_span(&self, core: usize, base_vpn: Vpn, base_pfn: Pfn, span: u64, writable: bool) {
         self.machine.tlb_fill(
             core,
             TlbEntry {
@@ -688,7 +805,7 @@ impl RadixVm {
                 vpn: base_vpn,
                 pfn: base_pfn,
                 gen: self.machine.pool().generation(base_pfn),
-                span: BLOCK_PAGES,
+                span,
                 writable,
                 valid: true,
             },
@@ -723,7 +840,7 @@ impl RadixVm {
             }
             _ => {}
         }
-        let eligible = pages == BLOCK_PAGES
+        let eligible = (pages == BLOCK_PAGES || pages == GIANT_PAGES)
             && (meta.block.is_some()
                 || (meta.huge && meta.kind == PageKind::Plain && meta.backing == Backing::Anon));
         let cow_write = kind == AccessKind::Write && meta.kind == PageKind::Cow;
@@ -731,19 +848,30 @@ impl RadixVm {
             return BlockPath::Demote;
         }
         let pool = self.machine.pool();
+        let order = if pages == GIANT_PAGES {
+            GIANT_ORDER
+        } else {
+            BLOCK_ORDER
+        };
         let base = match meta.block {
             Some(b) => {
                 self.stats.fault_fill(core);
-                b.pfn
+                // The handle's pfn is its slot's block head; a 2 MiB
+                // chunk demoted out of a 1 GiB block keeps the giant-
+                // head handle, so resolve the chunk base by the virtual
+                // offset (spans are virtually aligned).
+                b.pfn + (start & ((1u64 << b.order) - 1)) as Pfn
             }
             None => {
                 // Populate: one contiguous frame block, one block-head
-                // count cell for its whole lifetime (vs. 512 per-page
-                // references). When no contiguous block exists, degrade
-                // gracefully: demote the fold and serve the fault (and
-                // the block's remaining 511 pages, as they fault) with
-                // scattered 4 KiB frames instead of failing the access.
-                let base = match pool.try_alloc_block(core, BLOCK_ORDER) {
+                // count cell for its whole lifetime (vs. 512 or 262144
+                // per-page references). When no contiguous block of this
+                // order exists, degrade gracefully: demote the fold and
+                // serve the fault (and the span's remaining pages, as
+                // they fault) at the next granularity down instead of
+                // failing the access — a failed 1 GiB populate retries
+                // at 2 MiB, a failed 2 MiB populate at 4 KiB.
+                let base = match pool.try_alloc_block(core, order) {
                     Ok(base) => base,
                     Err(_) => {
                         self.stats.block_fallback(core);
@@ -751,8 +879,8 @@ impl RadixVm {
                     }
                 };
                 self.stats.fault_alloc(core);
-                self.count_fault_placement(core, base, BLOCK_PAGES);
-                meta.block = Some(pool.retain_block(&self.cache, core, base, BLOCK_ORDER, 1));
+                self.count_fault_placement(core, base, pages);
+                meta.block = Some(pool.retain_block(&self.cache, core, base, order, 1));
                 base
             }
         };
@@ -763,8 +891,13 @@ impl RadixVm {
             meta.coreset.insert(core);
             self.stats.superpage_install(core);
         }
-        self.mmu
-            .map_block(core, start, Pte::new_block(base, writable));
+        if pages == GIANT_PAGES {
+            self.mmu
+                .map_giant(core, start, Pte::new_giant(base, writable));
+        } else {
+            self.mmu
+                .map_block(core, start, Pte::new_block(base, writable));
+        }
         let pfn = base + (vpn - start) as Pfn;
         let tr = Translation {
             pfn,
@@ -772,8 +905,166 @@ impl RadixVm {
             writable,
         };
         // Span fill before the slot lock releases, as in the 4 KiB path.
-        self.fill_span(core, start, base, writable);
+        self.fill_span(core, start, base, pages, writable);
         BlockPath::Resolved(Ok(tr))
+    }
+
+    /// Opportunistic superpage promotion — §7's inverse (DESIGN.md §12).
+    ///
+    /// Locks `base`'s whole block at leaf granularity and, when its 512
+    /// page values have converged back to identical templates with
+    /// uniform fault state, re-folds them into one block value backed by
+    /// one contiguous frame block, reinstalls a single block PTE + span
+    /// TLB entry for the promoting core, and shoots down the 4 KiB
+    /// entries. Two backing shapes promote:
+    ///
+    /// * **demoted**: every page carries one reference on the same
+    ///   block-head slot (the §7 demotion protocol's state) — the fold
+    ///   adopts one reference and the other 511 are surrendered; no
+    ///   frame moves, no generation changes;
+    /// * **scattered**: every page has its own 4 KiB frame (a hinted
+    ///   populate that fell back under pressure) — the pages migrate
+    ///   into a freshly allocated block, and the old frames free (their
+    ///   generations bump, so any missed stale translation is detected).
+    ///
+    /// Every failure — failpoint veto, no contiguous block, racing
+    /// mutation, non-converged metadata — leaves the mapping valid at
+    /// 4 KiB and returns `None`; promotion is never a user-visible
+    /// error. Returns the promoted translation for `vpn` on success.
+    fn try_promote(&self, core: usize, vpn: Vpn, base: Vpn) -> Option<Translation> {
+        if failpoint::should_fail(failpoint::PROMOTE, core) {
+            return None;
+        }
+        let mut guard =
+            self.tree
+                .lock_range(core, base, base + BLOCK_PAGES, LockMode::ExpandFolded);
+        // If this lock itself expanded a populated fold (a racing
+        // promotion or giant mapping landed between the tick and the
+        // lock), the expansion must run the demotion protocol before the
+        // born-held locks release — reference adoption is only legal
+        // here. The refold below then bails on the born units.
+        self.demote_expanded(core, &mut guard);
+        let mut pages = 0u64;
+        let mut tracked = CoreSet::EMPTY;
+        let mut tmpl: Option<(Backing, Prot, bool)> = None;
+        let mut demoted: Option<FrameRef> = None;
+        let mut scattered: Vec<FrameRef> = Vec::new();
+        let mut ok = true;
+        guard.for_each_entry_mut(|_, n, m| {
+            pages += n;
+            if n != 1 || m.kind != PageKind::Plain || m.backing != Backing::Anon {
+                ok = false;
+                return;
+            }
+            let key = (m.backing, m.prot, m.huge);
+            match tmpl {
+                None => tmpl = Some(key),
+                Some(t) if t == key => {}
+                Some(_) => ok = false,
+            }
+            tracked = tracked.union(m.coreset);
+            match (m.phys, m.block) {
+                (None, Some(b)) if scattered.is_empty() => match demoted {
+                    None => demoted = Some(b),
+                    Some(d) if d == b => {}
+                    Some(_) => ok = false,
+                },
+                (Some(p), None) if demoted.is_none() => scattered.push(p),
+                _ => ok = false,
+            }
+        });
+        if !ok || pages != BLOCK_PAGES {
+            return None;
+        }
+        let (backing, prot, huge) = tmpl?;
+        let writable = prot.writable();
+        let pool = self.machine.pool();
+        let attached = self.attached.load();
+        let (block, pte_base) = match demoted {
+            Some(b) => {
+                // Demoted shape: the fold takes over one of the 512
+                // per-page references; the handle stays at whatever head
+                // (2 MiB or 1 GiB) backs these pages.
+                (b, b.pfn + (base & ((1u64 << b.order) - 1)) as Pfn)
+            }
+            None => {
+                // Scattered shape: migrate into a contiguous block.
+                // Allocation failure is the graceful-degradation path —
+                // stay at 4 KiB, retry after the next accumulation.
+                let newbase = pool.try_alloc_block(core, BLOCK_ORDER).ok()?;
+                // Copy before any reference is surrendered, under the
+                // guard's slot locks: no fault can observe a half-
+                // migrated page, and an unwind leaks nothing.
+                for (i, p) in scattered.iter().enumerate() {
+                    // SAFETY: old frames are live (their references are
+                    // still held), the new block was just allocated, and
+                    // both copies are FRAME_SIZE-bounded.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            pool.frame_ptr(p.pfn),
+                            pool.frame_ptr(newbase + i as Pfn),
+                            rvm_mem::FRAME_SIZE,
+                        );
+                    }
+                    sim::charge_page_work();
+                }
+                (
+                    pool.retain_block(&self.cache, core, newbase, BLOCK_ORDER, 1),
+                    newbase,
+                )
+            }
+        };
+        let folded = PageMeta {
+            backing,
+            prot,
+            kind: PageKind::Plain,
+            phys: None,
+            block: Some(block),
+            huge,
+            coreset: CoreSet::single(core),
+        };
+        let displaced = match guard.refold(folded) {
+            Some(vals) => vals,
+            None => {
+                if demoted.is_none() {
+                    // Unwind the migration: the fresh block frees whole.
+                    pool.ref_dec(&self.cache, core, block);
+                }
+                return None;
+            }
+        };
+        // Clear the 512 4 KiB PTEs and shoot down every tracked core;
+        // the promoting core's own span entry is installed below. Frames
+        // do not change (demoted) or stay live until the decs drain
+        // through Refcache (scattered), so a racing access through a
+        // not-yet-shot-down entry still reads correct memory.
+        let targets = self.mmu.unmap_range(base, BLOCK_PAGES, tracked, attached);
+        self.machine
+            .shootdown(core, self.asid, base, BLOCK_PAGES, targets);
+        let mut adopted = demoted.is_none();
+        for m in &displaced {
+            if let Some(p) = m.phys {
+                pool.ref_dec(&self.cache, core, p);
+            }
+            if let Some(b) = m.block {
+                if adopted {
+                    pool.ref_dec(&self.cache, core, b);
+                } else {
+                    // The folded value's handle adopts this reference.
+                    adopted = true;
+                }
+            }
+        }
+        self.mmu
+            .map_block(core, base, Pte::new_block(pte_base, writable));
+        self.fill_span(core, base, pte_base, BLOCK_PAGES, writable);
+        self.stats.superpage_promote(core);
+        let pfn = pte_base + (vpn - base) as Pfn;
+        Some(Translation {
+            pfn,
+            gen: pool.generation(pfn),
+            writable,
+        })
     }
 }
 

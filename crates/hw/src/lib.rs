@@ -33,7 +33,7 @@ pub mod pagetable;
 pub mod tlb;
 
 pub use mmu::{Mmu, MmuKind, PerCoreMmu, SharedMmu};
-pub use pagetable::{PageTable, Pte, BLOCK_PAGES};
+pub use pagetable::{PageTable, Pte, BLOCK_PAGES, GIANT_PAGES};
 pub use rvm_mem::{OutOfMemory, PlacementPolicy};
 pub use tlb::{Tlb, TlbEntry};
 
@@ -239,6 +239,9 @@ pub struct OpStats {
     pub superpage_installs: u64,
     /// Superpage demotions (block PTE shattered into 4 KiB PTEs).
     pub superpage_demotions: u64,
+    /// Superpage promotions — demoted (or never-folded) 4 KiB runs
+    /// opportunistically re-folded into one block PTE (§7's inverse).
+    pub superpage_promotions: u64,
     /// Frames installed by faults that were homed on the faulting core's
     /// NUMA node (placement hit).
     pub fault_frames_on_node: u64,
@@ -265,7 +268,7 @@ pub struct OpStats {
 /// exact once the address space is idle — the conformance suite asserts
 /// no count is ever lost.
 pub struct ShardedOpStats {
-    cells: ShardedStats<12>,
+    cells: ShardedStats<13>,
 }
 
 impl ShardedOpStats {
@@ -281,6 +284,7 @@ impl ShardedOpStats {
     const F_OOM_FAULTS: usize = 9;
     const F_BLOCK_FALLBACKS: usize = 10;
     const F_RECLAIM_DRAINS: usize = 11;
+    const F_SUPERPAGE_PROMOTIONS: usize = 12;
 
     /// Creates a block striped for `ncores` cores.
     pub fn new(ncores: usize) -> Self {
@@ -331,6 +335,12 @@ impl ShardedOpStats {
         self.cells.add(core, Self::F_SUPERPAGE_DEMOTIONS, 1);
     }
 
+    /// Counts one superpage promotion (re-fold) by `core`.
+    #[inline]
+    pub fn superpage_promote(&self, core: usize) {
+        self.cells.add(core, Self::F_SUPERPAGE_PROMOTIONS, 1);
+    }
+
     /// Counts `frames` fault-installed frames homed on the faulting
     /// core's node.
     #[inline]
@@ -374,6 +384,7 @@ impl ShardedOpStats {
             faults_cow: self.cells.sum(Self::F_FAULTS_COW),
             superpage_installs: self.cells.sum(Self::F_SUPERPAGE_INSTALLS),
             superpage_demotions: self.cells.sum(Self::F_SUPERPAGE_DEMOTIONS),
+            superpage_promotions: self.cells.sum(Self::F_SUPERPAGE_PROMOTIONS),
             fault_frames_on_node: self.cells.sum(Self::F_FAULT_FRAMES_ON_NODE),
             fault_frames_cross_node: self.cells.sum(Self::F_FAULT_FRAMES_CROSS_NODE),
             oom_faults: self.cells.sum(Self::F_OOM_FAULTS),

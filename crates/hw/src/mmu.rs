@@ -34,6 +34,11 @@ pub trait Mmu: Send + Sync {
     /// covering the whole aligned block containing `base_vpn`.
     fn map_block(&self, core: usize, base_vpn: Vpn, pte: Pte);
 
+    /// Installs a giant (1 GiB) translation visible to `core`, covering
+    /// the whole aligned giant region containing `base_vpn`. The `pte`
+    /// must carry [`Pte::GIANT`] (built with [`Pte::new_giant`]).
+    fn map_giant(&self, core: usize, base_vpn: Vpn, pte: Pte);
+
     /// Walks the table(s) as `core`'s MMU would.
     fn walk(&self, core: usize, vpn: Vpn) -> Pte;
 
@@ -50,6 +55,12 @@ pub trait Mmu: Send + Sync {
     /// TLB entries must be shot down (`tracked` for per-core tables,
     /// `attached` for a shared one).
     fn demote(&self, base_vpn: Vpn, tracked: CoreSet, attached: CoreSet) -> CoreSet;
+
+    /// Demotes the giant (1 GiB) translation covering `base_vpn` one
+    /// rung: every table holding the giant PTE is shattered in place
+    /// into 512 block PTEs, preserving the translations. Returns the
+    /// cores whose span TLB entries must be shot down.
+    fn demote_giant(&self, base_vpn: Vpn, tracked: CoreSet, attached: CoreSet) -> CoreSet;
 
     /// Total bytes of page-table memory currently allocated.
     fn table_bytes(&self) -> u64;
@@ -87,6 +98,10 @@ impl Mmu for PerCoreMmu {
         self.tables[core].set_block(base_vpn, pte);
     }
 
+    fn map_giant(&self, core: usize, base_vpn: Vpn, pte: Pte) {
+        self.tables[core].set_giant(base_vpn, pte);
+    }
+
     fn walk(&self, core: usize, vpn: Vpn) -> Pte {
         self.tables[core].get(vpn)
     }
@@ -101,6 +116,13 @@ impl Mmu for PerCoreMmu {
     fn demote(&self, base_vpn: Vpn, tracked: CoreSet, _attached: CoreSet) -> CoreSet {
         for core in tracked.iter() {
             self.tables[core].shatter_block(base_vpn);
+        }
+        tracked
+    }
+
+    fn demote_giant(&self, base_vpn: Vpn, tracked: CoreSet, _attached: CoreSet) -> CoreSet {
+        for core in tracked.iter() {
+            self.tables[core].shatter_giant(base_vpn);
         }
         tracked
     }
@@ -148,6 +170,10 @@ impl Mmu for SharedMmu {
         self.table.set_block(base_vpn, pte);
     }
 
+    fn map_giant(&self, _core: usize, base_vpn: Vpn, pte: Pte) {
+        self.table.set_giant(base_vpn, pte);
+    }
+
     fn walk(&self, _core: usize, vpn: Vpn) -> Pte {
         self.table.get(vpn)
     }
@@ -162,6 +188,11 @@ impl Mmu for SharedMmu {
     fn demote(&self, base_vpn: Vpn, _tracked: CoreSet, attached: CoreSet) -> CoreSet {
         self.table.shatter_block(base_vpn);
         // Every attached core may hold the span entry.
+        attached
+    }
+
+    fn demote_giant(&self, base_vpn: Vpn, _tracked: CoreSet, attached: CoreSet) -> CoreSet {
+        self.table.shatter_giant(base_vpn);
         attached
     }
 

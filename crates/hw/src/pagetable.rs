@@ -39,10 +39,15 @@ pub const LEVELS: usize = VPN_BITS / LEVEL_BITS;
 /// Pages covered by one block PTE (an entry at the last interior level).
 pub const BLOCK_PAGES: u64 = NODE_SLOTS as u64;
 
+/// Pages covered by one giant PTE (an entry one interior level higher:
+/// the x86 1 GiB PDPT superpage).
+pub const GIANT_PAGES: u64 = BLOCK_PAGES * NODE_SLOTS as u64;
+
 // A block PTE's frame block must be exactly as large as the page span
 // its table slot covers; a drift between the pool's block order and the
 // table fanout would map unrelated frames.
 const _: () = assert!(1u64 << rvm_mem::BLOCK_ORDER == BLOCK_PAGES);
+const _: () = assert!(1u64 << rvm_mem::GIANT_ORDER == GIANT_PAGES);
 
 /// A page table entry.
 ///
@@ -63,6 +68,11 @@ impl Pte {
     /// between block PTEs and [`CHILD_TAG`]-tagged child pointers in
     /// interior slots (aligned pointers never have bit 2 set).
     pub const BLOCK: u64 = 1 << 2;
+    /// Giant bit: together with [`Pte::BLOCK`], the entry sits one
+    /// interior level higher and covers [`GIANT_PAGES`] pages (x86's
+    /// PS bit at the PDPT level). Only interpreted on words already
+    /// known to be block PTEs, so it never ambiguates child pointers.
+    pub const GIANT: u64 = 1 << 3;
 
     /// Builds a present PTE.
     pub fn new(pfn: Pfn, writable: bool) -> Pte {
@@ -73,6 +83,12 @@ impl Pte {
     /// contiguous [`BLOCK_PAGES`]-frame block.
     pub fn new_block(pfn: Pfn, writable: bool) -> Pte {
         Pte(Self::new(pfn, writable).0 | Self::BLOCK)
+    }
+
+    /// Builds a present giant PTE whose `pfn` is the base of a
+    /// contiguous [`GIANT_PAGES`]-frame block.
+    pub fn new_giant(pfn: Pfn, writable: bool) -> Pte {
+        Pte(Self::new(pfn, writable).0 | Self::BLOCK | Self::GIANT)
     }
 
     /// Returns true if the entry is present.
@@ -87,16 +103,25 @@ impl Pte {
         self.0 & Self::WRITABLE != 0
     }
 
-    /// Returns true if the entry is a block (superpage) entry.
+    /// Returns true if the entry is a block (superpage) entry — giant
+    /// entries included.
     #[inline]
     pub fn block(self) -> bool {
         self.0 & Self::BLOCK != 0
     }
 
+    /// Returns true if the entry is a giant (1 GiB) entry.
+    #[inline]
+    pub fn giant(self) -> bool {
+        self.0 & (Self::BLOCK | Self::GIANT) == (Self::BLOCK | Self::GIANT)
+    }
+
     /// Pages this entry translates.
     #[inline]
     pub fn span(self) -> u64 {
-        if self.block() {
+        if self.giant() {
+            GIANT_PAGES
+        } else if self.block() {
             BLOCK_PAGES
         } else {
             1
@@ -189,16 +214,43 @@ impl PageTable {
         Some(unsafe { &*((v & !CHILD_TAG) as *const PtNode) })
     }
 
-    /// Walks the interior levels above the block level, returning the
-    /// node whose slots cover [`BLOCK_PAGES`] pages each (the level block
+    /// Walks the interior levels above the giant level, returning the
+    /// node whose slots cover [`GIANT_PAGES`] pages each (the level giant
     /// PTEs live at), optionally allocating missing interior nodes.
-    fn block_level_node(&self, vpn: Vpn, create: bool) -> Option<&PtNode> {
+    fn giant_level_node(&self, vpn: Vpn, create: bool) -> Option<&PtNode> {
         let mut node: &PtNode = &self.root;
-        for level in 0..LEVELS - 2 {
+        for level in 0..LEVELS - 3 {
             let slot = &node.slots[Self::index(vpn, level)];
             node = self.child_or_create(slot, create)?;
         }
         Some(node)
+    }
+
+    /// The slot at the giant level covering `vpn` (holds a child pointer,
+    /// a giant PTE, or zero).
+    fn giant_slot(&self, vpn: Vpn, create: bool) -> Option<&Atomic64> {
+        self.giant_level_node(vpn, create)
+            .map(|n| &n.slots[Self::index(vpn, LEVELS - 3)])
+    }
+
+    /// Walks the interior levels above the block level, returning the
+    /// node whose slots cover [`BLOCK_PAGES`] pages each (the level block
+    /// PTEs live at), optionally allocating missing interior nodes. A
+    /// giant PTE covering `vpn` is shattered into 512 block PTEs when
+    /// `create` is set, otherwise the walk reports `None`.
+    fn block_level_node(&self, vpn: Vpn, create: bool) -> Option<&PtNode> {
+        let slot = self.giant_slot(vpn, create)?;
+        loop {
+            let v = slot.load(Ordering::Acquire);
+            if is_block_word(v) {
+                if !create {
+                    return None;
+                }
+                self.shatter_giant_word(slot, v);
+                continue;
+            }
+            return self.child_or_create(slot, create);
+        }
     }
 
     /// The slot at the block level covering `vpn` (holds a child pointer,
@@ -232,7 +284,7 @@ impl PageTable {
     /// the 512 equivalent 4 KiB PTEs. Returns true if this call did the
     /// shatter (false: someone else changed the slot first).
     fn shatter_word(&self, slot: &Atomic64, v: u64) -> bool {
-        debug_assert!(is_block_word(v));
+        debug_assert!(is_block_word(v) && !Pte(v).giant());
         let pte = Pte(v);
         let leaf = PtNode::new();
         for (i, s) in leaf.slots.iter().enumerate() {
@@ -242,6 +294,34 @@ impl PageTable {
             );
         }
         let ptr = Box::into_raw(leaf) as u64 | CHILD_TAG;
+        match slot.compare_exchange(v, ptr, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                self.nodes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // SAFETY: never published.
+                unsafe { drop(Box::from_raw((ptr & !CHILD_TAG) as *mut PtNode)) };
+                false
+            }
+        }
+    }
+
+    /// Replaces the giant PTE word `v` in `slot` with an interior node
+    /// holding the 512 equivalent block PTEs (the first rung of the
+    /// demotion cascade: 1 GiB → 2 MiB). Returns true if this call did
+    /// the shatter.
+    fn shatter_giant_word(&self, slot: &Atomic64, v: u64) -> bool {
+        debug_assert!(is_block_word(v) && Pte(v).giant());
+        let pte = Pte(v);
+        let mid = PtNode::new();
+        for (i, s) in mid.slots.iter().enumerate() {
+            s.store(
+                Pte::new_block(pte.pfn() + (i as u64 * BLOCK_PAGES) as Pfn, pte.writable()).0,
+                Ordering::Relaxed,
+            );
+        }
+        let ptr = Box::into_raw(mid) as u64 | CHILD_TAG;
         match slot.compare_exchange(v, ptr, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => {
                 self.nodes.fetch_add(1, Ordering::Relaxed);
@@ -282,7 +362,7 @@ impl PageTable {
     /// excluding concurrent walks of this range in shared-table
     /// configurations (the radix slot lock provides exactly this).
     pub fn set_block(&self, vpn: Vpn, pte: Pte) {
-        debug_assert!(pte.block());
+        debug_assert!(pte.block() && !pte.giant());
         let slot = self
             .block_slot(vpn, true)
             .expect("block_slot(create) cannot fail");
@@ -291,9 +371,47 @@ impl PageTable {
             // Displaced a (cleared) leaf node: reclaim it.
             // SAFETY: the word held an exclusively owned leaf pointer;
             // the caller's range lock excludes concurrent walkers.
-            unsafe { drop(Box::from_raw((old & !CHILD_TAG) as *mut PtNode)) };
-            self.nodes.fetch_sub(1, Ordering::Relaxed);
+            unsafe { self.free_subtree((old & !CHILD_TAG) as *mut PtNode, LEVELS - 1) };
         }
+    }
+
+    /// Installs a giant PTE covering the [`GIANT_PAGES`]-aligned block
+    /// containing `vpn`. Any existing subtree for the region (its
+    /// entries were cleared by the caller's unmap) is freed. Same
+    /// VA-range lock contract as [`PageTable::set_block`], over the
+    /// whole giant span.
+    pub fn set_giant(&self, vpn: Vpn, pte: Pte) {
+        debug_assert!(pte.giant());
+        let slot = self
+            .giant_slot(vpn, true)
+            .expect("giant_slot(create) cannot fail");
+        let old = slot.swap(pte.0, Ordering::AcqRel);
+        if old != 0 && !is_block_word(old) {
+            // Displaced a (cleared) mid-level subtree: reclaim it.
+            // SAFETY: exclusively owned under the caller's range lock.
+            unsafe { self.free_subtree((old & !CHILD_TAG) as *mut PtNode, LEVELS - 2) };
+        }
+    }
+
+    /// Frees `node` and every descendant; `slots_level` is the level its
+    /// slots index ([`LEVELS`]` - 1` slots hold PTE values, so a node
+    /// there has no children). Block/giant PTE words are values, never
+    /// followed.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be an exclusively owned, unpublished subtree.
+    unsafe fn free_subtree(&self, node: *mut PtNode, slots_level: usize) {
+        let boxed = Box::from_raw(node);
+        if slots_level < LEVELS - 1 {
+            for slot in boxed.slots.iter() {
+                let v = slot.load(Ordering::Acquire);
+                if v != 0 && !is_block_word(v) {
+                    self.free_subtree((v & !CHILD_TAG) as *mut PtNode, slots_level + 1);
+                }
+            }
+        }
+        self.nodes.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Demotes a block PTE covering `vpn` into a leaf node of 512
@@ -307,13 +425,36 @@ impl PageTable {
         is_block_word(v) && self.shatter_word(slot, v)
     }
 
+    /// Demotes a giant PTE covering `vpn` into an interior node of 512
+    /// block PTEs, in place. No-op if no giant entry covers `vpn`.
+    /// Returns true when a giant was shattered.
+    pub fn shatter_giant(&self, vpn: Vpn) -> bool {
+        let Some(slot) = self.giant_slot(vpn, false) else {
+            return false;
+        };
+        let v = slot.load(Ordering::Acquire);
+        is_block_word(v) && self.shatter_giant_word(slot, v)
+    }
+
     /// Reads the entry for `vpn` (non-allocating). Under a block PTE the
     /// member frame's translation is synthesized, with [`Pte::BLOCK`]
     /// kept set so callers can recognize the granularity.
     pub fn get(&self, vpn: Vpn) -> Pte {
-        let Some(slot) = self.block_slot(vpn, false) else {
+        let Some(gslot) = self.giant_slot(vpn, false) else {
             return Pte::EMPTY;
         };
+        let gv = gslot.load(Ordering::Acquire);
+        if is_block_word(gv) {
+            let pte = Pte(gv);
+            let off = (vpn & (GIANT_PAGES - 1)) as Pfn;
+            return Pte(((pte.pfn() + off) as u64) << 32 | (gv & 0xFFFF_FFFF));
+        }
+        if gv == 0 {
+            return Pte::EMPTY;
+        }
+        // SAFETY: non-block non-zero words are published child pointers.
+        let mid = unsafe { &*((gv & !CHILD_TAG) as *const PtNode) };
+        let slot = &mid.slots[Self::index(vpn, LEVELS - 2)];
         let v = slot.load(Ordering::Acquire);
         if is_block_word(v) {
             let pte = Pte(v);
@@ -323,7 +464,7 @@ impl PageTable {
         if v == 0 {
             return Pte::EMPTY;
         }
-        // SAFETY: non-block non-zero words are published child pointers.
+        // SAFETY: as above.
         let leaf = unsafe { &*((v & !CHILD_TAG) as *const PtNode) };
         Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].load(Ordering::Acquire))
     }
@@ -334,9 +475,10 @@ impl PageTable {
     pub fn clear(&self, vpn: Vpn) -> Pte {
         match self.walk(vpn, false) {
             None => {
-                // Either absent or covered by a block PTE: shatter and
-                // retry once so the single page can be cleared.
-                if self.shatter_block(vpn) {
+                // Either absent or covered by a block/giant PTE: shatter
+                // and retry so the single page can be cleared (a giant
+                // shatters to blocks first, then the block to a leaf).
+                if self.shatter_block(vpn) || self.shatter_giant(vpn) {
                     self.clear(vpn)
                 } else {
                     Pte::EMPTY
@@ -351,47 +493,75 @@ impl PageTable {
     /// leaf PTEs, [`BLOCK_PAGES`] for block PTEs, so frame-release paths
     /// can account whole blocks exactly once.
     ///
-    /// A block PTE overlapping the range is cleared *whole* and reported
-    /// with its full span and base VPN (even when the range covers only
-    /// part of it); callers that need surviving 4 KiB translations must
-    /// demote first via [`PageTable::shatter_block`].
+    /// A block (or giant) PTE overlapping the range is cleared *whole*
+    /// and reported with its full span and base VPN (even when the range
+    /// covers only part of it); callers that need surviving smaller
+    /// translations must demote first via [`PageTable::shatter_block`] /
+    /// [`PageTable::shatter_giant`].
     pub fn clear_range(&self, start: Vpn, n: u64, mut f: impl FnMut(Vpn, u64, Pte)) {
         let end = start + n;
         let mut vpn = start;
         while vpn < end {
-            let block_base = vpn & !(BLOCK_PAGES - 1);
-            let block_end = block_base + BLOCK_PAGES;
-            let Some(slot) = self.block_slot(vpn, false) else {
-                vpn = block_end.min(end);
+            let giant_base = vpn & !(GIANT_PAGES - 1);
+            let giant_end = giant_base + GIANT_PAGES;
+            let Some(gslot) = self.giant_slot(vpn, false) else {
+                vpn = giant_end.min(end);
                 continue;
             };
-            let v = slot.load(Ordering::Acquire);
-            if is_block_word(v) {
-                if slot
-                    .compare_exchange(v, 0, Ordering::AcqRel, Ordering::Acquire)
+            let gv = gslot.load(Ordering::Acquire);
+            if is_block_word(gv) {
+                if gslot
+                    .compare_exchange(gv, 0, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    f(block_base, BLOCK_PAGES, Pte(v));
+                    f(giant_base, GIANT_PAGES, Pte(gv));
                 }
                 // Changed under us (or cleared): either way re-examine.
-                if slot.load(Ordering::Acquire) == 0 {
-                    vpn = block_end.min(end);
+                if gslot.load(Ordering::Acquire) == 0 {
+                    vpn = giant_end.min(end);
                 }
                 continue;
             }
-            if v == 0 {
-                vpn = block_end.min(end);
+            if gv == 0 {
+                vpn = giant_end.min(end);
                 continue;
             }
             // SAFETY: published child pointer (see `child_or_create`).
-            let leaf = unsafe { &*((v & !CHILD_TAG) as *const PtNode) };
-            let stop = block_end.min(end);
-            while vpn < stop {
-                let old = Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].swap(0, Ordering::AcqRel));
-                if old.present() {
-                    f(vpn, 1, old);
+            let mid = unsafe { &*((gv & !CHILD_TAG) as *const PtNode) };
+            let gstop = giant_end.min(end);
+            while vpn < gstop {
+                let block_base = vpn & !(BLOCK_PAGES - 1);
+                let block_end = block_base + BLOCK_PAGES;
+                let slot = &mid.slots[Self::index(vpn, LEVELS - 2)];
+                let v = slot.load(Ordering::Acquire);
+                if is_block_word(v) {
+                    if slot
+                        .compare_exchange(v, 0, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        f(block_base, BLOCK_PAGES, Pte(v));
+                    }
+                    // Changed under us (or cleared): re-examine.
+                    if slot.load(Ordering::Acquire) == 0 {
+                        vpn = block_end.min(gstop);
+                    }
+                    continue;
                 }
-                vpn += 1;
+                if v == 0 {
+                    vpn = block_end.min(gstop);
+                    continue;
+                }
+                // SAFETY: published child pointer.
+                let leaf = unsafe { &*((v & !CHILD_TAG) as *const PtNode) };
+                let stop = block_end.min(gstop);
+                while vpn < stop {
+                    let old =
+                        Pte(leaf.slots[Self::index(vpn, LEVELS - 1)].swap(0, Ordering::AcqRel));
+                    if old.present() {
+                        f(vpn, 1, old);
+                    }
+                    vpn += 1;
+                }
             }
         }
     }
@@ -583,6 +753,67 @@ mod tests {
         assert_eq!(seen[0], (base - 1, 1, 9));
         assert_eq!(seen[1], (base, BLOCK_PAGES, 4000));
         assert!(!pt.get(base + 100).present());
+    }
+
+    #[test]
+    fn giant_pte_roundtrip_and_cascade() {
+        let pt = PageTable::new();
+        let base: Vpn = GIANT_PAGES * 2;
+        pt.set_giant(base, Pte::new_giant(100_000, true));
+        // Members translate across the whole gigabyte.
+        for off in [0u64, 1, 511, 512, 100_000, GIANT_PAGES - 1] {
+            let p = pt.get(base + off);
+            assert!(p.present() && p.block(), "offset {off}");
+            assert_eq!(p.pfn(), 100_000 + off as Pfn);
+        }
+        assert!(!pt.get(base - 1).present());
+        assert!(!pt.get(base + GIANT_PAGES).present());
+        // One entry, no mid/leaf nodes for the region.
+        let with_giant = pt.node_count();
+        // Cascade: shatter to blocks, then one block to a leaf.
+        assert!(pt.shatter_giant(base + 777));
+        assert!(!pt.shatter_giant(base), "second shatter is a no-op");
+        assert_eq!(pt.node_count(), with_giant + 1);
+        let p = pt.get(base + 777);
+        assert!(p.present() && p.block() && !p.giant());
+        assert_eq!(p.pfn(), 100_777);
+        // A 4 KiB install inside shatters the covering block implicitly.
+        let old = pt.set(base + 777, Pte::new(5, true));
+        assert_eq!(old.pfn(), 100_777);
+        assert_eq!(pt.get(base + 777).pfn(), 5);
+        assert_eq!(pt.get(base + 778).pfn(), 100_778);
+        // clear_range over a giant entry reports it whole, once.
+        let base2: Vpn = GIANT_PAGES * 5;
+        pt.set_giant(base2, Pte::new_giant(7_000_000, false));
+        let mut seen = Vec::new();
+        pt.clear_range(base2 + 10, 20, |vpn, pages, pte| {
+            seen.push((vpn, pages, pte.pfn()));
+        });
+        assert_eq!(seen, vec![(base2, GIANT_PAGES, 7_000_000)]);
+        assert!(!pt.get(base2).present());
+        // A single-page clear under a fresh giant cascades too.
+        pt.set_giant(base2, Pte::new_giant(7_000_000, false));
+        let old = pt.clear(base2 + 3);
+        assert_eq!(old.pfn(), 7_000_003);
+        assert!(pt.get(base2 + 4).present());
+        assert!(!pt.get(base2 + 3).present());
+    }
+
+    #[test]
+    fn set_giant_reclaims_displaced_subtree() {
+        let pt = PageTable::new();
+        let base: Vpn = GIANT_PAGES * 3;
+        // Build a two-level subtree inside the giant region, clear the
+        // entries (callers unmap first), then install the giant.
+        pt.set(base + 5, Pte::new(1, true));
+        pt.set(base + 512 * 7 + 3, Pte::new(2, true));
+        pt.set_block(base + 512 * 9, Pte::new_block(3, true));
+        pt.clear_range(base, GIANT_PAGES, |_, _, _| {});
+        let before = pt.node_count();
+        pt.set_giant(base, Pte::new_giant(50_000, true));
+        // The mid node and both leaves were reclaimed.
+        assert_eq!(pt.node_count(), before - 3);
+        assert_eq!(pt.get(base + 5).pfn(), 50_005);
     }
 
     #[test]

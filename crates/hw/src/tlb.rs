@@ -8,15 +8,16 @@
 
 use rvm_mem::Pfn;
 
-use crate::pagetable::BLOCK_PAGES;
+use crate::pagetable::{BLOCK_PAGES, GIANT_PAGES};
 use crate::{Asid, Vpn};
 
 /// One TLB entry.
 ///
 /// `span` is the number of pages the entry translates: 1 for ordinary
-/// fills, [`BLOCK_PAGES`] for superpage fills (whose `vpn` is the block
-/// base and `pfn` the base of the contiguous frame block). A lookup
-/// inside the span resolves to `pfn + (vpn - entry.vpn)`.
+/// fills, [`BLOCK_PAGES`] or [`GIANT_PAGES`] for superpage fills (whose
+/// `vpn` is the block base and `pfn` the base of the contiguous frame
+/// block). A lookup inside the span resolves to `pfn + (vpn -
+/// entry.vpn)`.
 #[derive(Clone, Copy, Debug)]
 pub struct TlbEntry {
     /// Address-space identifier.
@@ -82,8 +83,9 @@ impl Tlb {
     }
 
     /// Looks up a translation. Probes the page's own slot first (4 KiB
-    /// entries), then the covering block base's slot (span entries) —
-    /// the software analogue of hardware's split 4K/2M TLB probe.
+    /// entries), then the covering block base's slot, then the covering
+    /// giant base's slot (span entries) — the software analogue of
+    /// hardware's split 4K/2M/1G TLB probe.
     #[inline]
     pub fn lookup(&self, asid: Asid, vpn: Vpn) -> Option<TlbEntry> {
         let e = self.entries[self.slot(vpn)];
@@ -93,6 +95,13 @@ impl Tlb {
         let base = vpn & !(BLOCK_PAGES - 1);
         if base != vpn {
             let e = self.entries[self.slot(base)];
+            if e.covers(asid, vpn) {
+                return Some(e);
+            }
+        }
+        let gbase = vpn & !(GIANT_PAGES - 1);
+        if gbase != vpn && gbase != base {
+            let e = self.entries[self.slot(gbase)];
             if e.covers(asid, vpn) {
                 return Some(e);
             }
@@ -127,6 +136,15 @@ impl Tlb {
             let e = &mut self.entries[idx];
             if e.covers(asid, vpn) {
                 e.valid = false;
+                return;
+            }
+        }
+        let gbase = vpn & !(GIANT_PAGES - 1);
+        if gbase != vpn && gbase != base {
+            let idx = self.slot(gbase);
+            let e = &mut self.entries[idx];
+            if e.covers(asid, vpn) {
+                e.valid = false;
             }
         }
     }
@@ -143,8 +161,8 @@ impl Tlb {
             }
             return;
         }
-        // Span entries overlapping the range sit at their block bases,
-        // which may precede `start`: probe each candidate base.
+        // Span entries overlapping the range sit at their block (or
+        // giant) bases, which may precede `start`: probe each candidate.
         let mut base = start & !(BLOCK_PAGES - 1);
         while base < start + n {
             let e = &mut self.entries[self.slot(base)];
@@ -152,6 +170,14 @@ impl Tlb {
                 e.valid = false;
             }
             base += BLOCK_PAGES;
+        }
+        let mut gbase = start & !(GIANT_PAGES - 1);
+        while gbase < start + n {
+            let e = &mut self.entries[self.slot(gbase)];
+            if e.span > 1 && e.overlaps(asid, start, n) {
+                e.valid = false;
+            }
+            gbase += GIANT_PAGES;
         }
         for vpn in start..start + n {
             let e = &mut self.entries[self.slot(vpn)];

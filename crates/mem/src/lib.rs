@@ -94,6 +94,15 @@ pub const BLOCK_ORDER: u8 = 9;
 /// Frames in one contiguous block ([`FramePool::alloc_block`]).
 pub const BLOCK_PAGES: usize = 1 << BLOCK_ORDER;
 
+/// log2 of the frames in a giant-superpage block (1 GiB / 4 KiB): the
+/// second granularity rung. Giant blocks flow through the same
+/// `alloc_block`/`free_block`/`retain_block` machinery as 2 MiB blocks —
+/// only the order differs.
+pub const GIANT_ORDER: u8 = 2 * BLOCK_ORDER;
+
+/// Frames in one contiguous giant block.
+pub const GIANT_PAGES: usize = 1 << GIANT_ORDER;
+
 /// Physical frame number.
 pub type Pfn = u32;
 
@@ -158,6 +167,13 @@ pub struct FrameRef {
     /// Generation at acquisition; a mismatch at `ref_dec` means the
     /// handle outlived its reference (use-after-free bug).
     pub gen: u64,
+    /// log2 frames covered by the slot: 0 for page slots, the block
+    /// order for block-head slots. Member frames of a block resolve as
+    /// `pfn + (offset & ((1 << order) - 1))` — the handle carries the
+    /// order so a demoted member reference (which must keep `pfn` at
+    /// the block head, where the count cell lives) still knows the
+    /// covered span at any rung (2 MiB or 1 GiB).
+    pub order: u8,
 }
 
 /// One frame's table slot: payload storage, homing/generation
@@ -532,7 +548,7 @@ impl FramePool {
         order: u8,
         init_count: i64,
     ) -> FrameRef {
-        assert!(order <= BLOCK_ORDER, "unsupported block order {order}");
+        assert!(order <= GIANT_ORDER, "unsupported block order {order}");
         self.arm(cache, core, base, KIND_BLOCK, order, init_count)
     }
 
@@ -558,6 +574,7 @@ impl FramePool {
         FrameRef {
             pfn,
             gen: slot.gen.load(Ordering::Acquire),
+            order,
         }
     }
 
@@ -887,7 +904,7 @@ impl FramePool {
     /// nearest node first; only when no node holds a block of the
     /// requested order does the allocation fail.
     pub fn try_alloc_block(&self, core: usize, order: u8) -> Result<Pfn, OutOfMemory> {
-        assert!(order <= BLOCK_ORDER, "unsupported block order {order}");
+        assert!(order <= GIANT_ORDER, "unsupported block order {order}");
         if failpoint::should_fail(failpoint::BLOCK_ALLOC, core) {
             return Err(OutOfMemory);
         }
@@ -989,7 +1006,7 @@ impl FramePool {
     /// of contiguity. Surfaced as [`PoolStats::blocks_reserved`].
     /// Reserved blocks are homed on the reserving core's node.
     pub fn reserve(&self, core: usize, n_blocks: usize, order: u8) {
-        assert!(order <= BLOCK_ORDER, "unsupported block order {order}");
+        assert!(order <= GIANT_ORDER, "unsupported block order {order}");
         let node = self.core_node[core] as usize;
         let mut fresh = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {

@@ -153,14 +153,30 @@ mod tests {
     }
 
     #[test]
-    fn expand_to_block_descends_through_high_folds() {
+    fn expand_to_block_locks_high_folds_whole() {
         let t = tree(1);
-        // Folds at level 1 (512 * 512 pages): ExpandToBlock must expand
-        // the high fold down to the bottom interior level, then stop.
+        // Folds at level 1 (512 * 512 pages): ExpandToBlock locks the
+        // giant fold whole — the 1 GiB superpage fault path — instead of
+        // expanding it.
         let span = 512 * 512;
         {
             let mut g = t.lock_range(0, 0, span, LockMode::ExpandAll);
             g.replace(&3);
+        }
+        let expansions = t.stats().expansions();
+        {
+            let mut g = t.lock_range(0, 700, 701, LockMode::ExpandToBlock);
+            let (lo, pages, v) = g.block_entry_mut().expect("giant fold");
+            assert_eq!((lo, pages), (0, span));
+            assert_eq!(*v, 3);
+        }
+        assert_eq!(t.stats().leaf_nodes(), 0);
+        assert_eq!(t.stats().expansions(), expansions, "fold left intact");
+        // Once the giant is demoted one rung (a partial op cascades it
+        // into 512 block folds), the same mode stops at the block fold.
+        {
+            let mut g = t.lock_range(0, 0, 1, LockMode::ExpandFolded);
+            g.clear();
         }
         {
             let mut g = t.lock_range(0, 700, 701, LockMode::ExpandToBlock);
@@ -168,11 +184,82 @@ mod tests {
             assert_eq!((lo, pages), (512, 512));
             assert_eq!(*v, 3);
         }
-        assert_eq!(t.stats().leaf_nodes(), 0);
         // An empty region locks as an empty block: no entry.
         let mut g = t.lock_range(0, span + 5, span + 6, LockMode::ExpandToBlock);
         assert!(g.block_entry_mut().is_none());
         assert!(g.page_value_mut().is_none());
+    }
+
+    #[test]
+    fn refold_collapses_expanded_leaf() {
+        let t = tree(1);
+        let start = 512 * 13;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&6);
+        }
+        // Demote: a partial op expands the fold to a leaf.
+        {
+            let mut g = t.lock_range(0, start + 3, start + 4, LockMode::ExpandFolded);
+            assert_eq!(g.page_value_mut(), Some(&mut 6));
+        }
+        assert_eq!(t.stats().leaf_nodes(), 1);
+        // Promote: refold the fully populated leaf into one folded slot.
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandFolded);
+            let vals = g.refold(6).expect("refolds");
+            assert_eq!(vals.len(), 512);
+            assert!(vals.iter().all(|v| *v == 6));
+        }
+        t.cache().quiesce();
+        assert_eq!(t.stats().leaf_nodes(), 0, "severed leaf collapsed");
+        assert_eq!(t.stats().folded_values(), 1);
+        for vpn in [start, start + 3, start + 511] {
+            assert_eq!(t.get(0, vpn), Some(6), "vpn {vpn}");
+        }
+        assert_eq!(t.get(0, start + 512), None);
+        // A partially populated leaf refuses to refold.
+        {
+            let mut g = t.lock_range(0, start + 9, start + 10, LockMode::ExpandFolded);
+            g.clear();
+        }
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandFolded);
+            assert!(g.refold(6).is_none(), "hole must veto the refold");
+        }
+        assert_eq!(t.get(0, start + 8), Some(6));
+        assert_eq!(t.get(0, start + 9), None);
+    }
+
+    #[test]
+    fn refold_under_no_collapse_frees_the_severed_leaf() {
+        let t = RadixTree::new(
+            Arc::new(Refcache::new(1)),
+            RadixConfig {
+                collapse: false,
+                ..Default::default()
+            },
+        );
+        let start = 512 * 17;
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandAll);
+            g.replace(&4);
+        }
+        {
+            let mut g = t.lock_range(0, start + 1, start + 2, LockMode::ExpandFolded);
+            assert_eq!(g.page_value_mut(), Some(&mut 4));
+        }
+        let live = t.cache().live_objects();
+        {
+            let mut g = t.lock_range(0, start, start + 512, LockMode::ExpandFolded);
+            assert!(g.refold(4).is_some());
+        }
+        t.cache().quiesce();
+        // The severed leaf is unreachable from the tree, so even the
+        // no-collapse configuration must free it (its permanent
+        // reference is surrendered by the refold).
+        assert_eq!(t.cache().live_objects(), live - 1, "severed leaf leaked");
+        assert_eq!(t.get(0, start + 200), Some(4));
     }
 
     #[test]

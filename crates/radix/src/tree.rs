@@ -299,26 +299,34 @@ impl<V: RadixValue> RadixTree<V> {
             + folded * std::mem::size_of::<V>() as u64
     }
 
+    /// True when `node`'s parent slot still publishes it. A refold
+    /// ([`RangeGuard::refold`]) severs a fully populated leaf while
+    /// holding **every** leaf slot lock, so any reader that holds one of
+    /// a leaf's slot locks and observes it linked is guaranteed the leaf
+    /// stays linked (and its values stay put) until that lock drops.
+    /// Readers that find a slot *empty* must re-check linkage: an
+    /// emptied-and-severed leaf means the pages moved into a folded
+    /// block value and the operation must retry from the root.
+    fn leaf_linked(node: RcPtr<Node<V>>) -> bool {
+        match nref(node).parent {
+            Some((parent, idx)) => {
+                let w = nref(parent).interior()[idx as usize].load(Ordering::Acquire);
+                slot_tag(w) == TAG_CHILD && slot_ptr(w) == node.addr()
+            }
+            None => true, // the root is never severed
+        }
+    }
+
     /// Checks a hint against the block containing `vpn`: the block must
-    /// match and the parent slot must still publish the hinted node.
-    ///
-    /// The hint's pin keeps the node alive, and a live node is never
-    /// unlinked (only the freeing CAS empties its parent slot), so the
-    /// parent re-check cannot fail under the current protocol — it is a
-    /// one-load insurance policy that turns any future protocol change
-    /// into a fast-path miss instead of a use-after-free.
+    /// match and the parent slot must still publish the hinted node
+    /// (a refold severs the leaf and replaces it with a folded value, so
+    /// a promoted block's stale hint misses here instead of reading the
+    /// emptied slots).
     fn hint_valid(h: &LeafHint<V>, block_base: Vpn) -> bool {
         if h.block_base != block_base {
             return false;
         }
-        let node = nref(h.node);
-        match node.parent {
-            Some((parent, idx)) => {
-                let w = nref(parent).interior()[idx as usize].load(Ordering::Acquire);
-                slot_tag(w) == TAG_CHILD && slot_ptr(w) == h.node.addr()
-            }
-            None => false,
-        }
+        nref(h.node).parent.is_some() && Self::leaf_linked(h.node)
     }
 
     /// Fault fast path: returns `core`'s hinted leaf for `vpn`'s block
@@ -391,14 +399,20 @@ impl<V: RadixValue> RadixTree<V> {
                 let n = nref(leaf);
                 let first = (lo - n.base_vpn) as usize;
                 lock_leaf_slot(&n.leaf()[first].status, &self.stats);
-                guard.pins.push(leaf);
-                guard.units.push(Unit::LeafRange {
-                    node: leaf,
-                    first,
-                    end: first + 1,
-                    born: false,
-                });
-                return guard;
+                if Self::leaf_linked(leaf) {
+                    guard.pins.push(leaf);
+                    guard.units.push(Unit::LeafRange {
+                        node: leaf,
+                        first,
+                        end: first + 1,
+                        born: false,
+                    });
+                    return guard;
+                }
+                // A refold severed this leaf between the hint check and
+                // the slot lock: surrender and take the full descent.
+                unlock_leaf_slot(&n.leaf()[first].status);
+                self.cache.dec(core, leaf);
             }
         }
         // Multi-page acquisitions under the List substrate serialize on
@@ -426,13 +440,16 @@ impl<V: RadixValue> RadixTree<V> {
     /// Takes the full lock-plan state; splitting it into a struct would
     /// only rename the arguments.
     ///
-    /// Returns true when `node_ptr` itself is referenced by a pushed unit
-    /// and must therefore stay pinned by the guard. When it returns
-    /// false, every unit pushed below lives in a pinned descendant, and a
-    /// pinned descendant transitively keeps this node alive (each linked
-    /// child holds a used-slot reference on its parent) — so the caller
-    /// surrenders the traversal pin immediately instead of accumulating
-    /// one pin per level.
+    /// Returns `Some(true)` when `node_ptr` itself is referenced by a
+    /// pushed unit and must therefore stay pinned by the guard. On
+    /// `Some(false)`, every unit pushed below lives in a pinned
+    /// descendant, and a pinned descendant transitively keeps this node
+    /// alive (each linked child holds a used-slot reference on its
+    /// parent) — so the caller surrenders the traversal pin immediately
+    /// instead of accumulating one pin per level. Returns `None` (with
+    /// nothing pushed for this node) when a concurrent refold severed
+    /// the leaf between the caller's slot read and our lock
+    /// acquisitions; the caller re-reads its slot and retries.
     #[allow(clippy::too_many_arguments)]
     fn descend(
         &self,
@@ -443,7 +460,7 @@ impl<V: RadixValue> RadixTree<V> {
         mode: LockMode,
         born_locked: bool,
         g: &mut RangeGuard<'_, V>,
-    ) -> bool {
+    ) -> Option<bool> {
         let node = nref(node_ptr);
         if node.is_leaf() {
             let first = (lo - node.base_vpn) as usize;
@@ -453,6 +470,14 @@ impl<V: RadixValue> RadixTree<V> {
                 for slot in &node.leaf()[first..end] {
                     lock_leaf_slot(&slot.status, &self.stats);
                 }
+                if !Self::leaf_linked(node_ptr) {
+                    // Refolded under us: the values now live in a folded
+                    // parent slot. Unwind and let the caller retry.
+                    for slot in &node.leaf()[first..end] {
+                        unlock_leaf_slot(&slot.status);
+                    }
+                    return None;
+                }
             }
             g.units.push(Unit::LeafRange {
                 node: node_ptr,
@@ -460,7 +485,7 @@ impl<V: RadixValue> RadixTree<V> {
                 end,
                 born: born_locked,
             });
-            return true;
+            return Some(true);
         }
         let span = node.slot_span();
         let level = node.level as usize;
@@ -483,12 +508,17 @@ impl<V: RadixValue> RadixTree<V> {
                     // `Node<V>` pointers registered with this cache.
                     match unsafe { self.cache.tryget::<Node<V>>(core, slot, TAG_CHILD) } {
                         Some(child) => {
-                            if self.descend(core, child, sub_lo, sub_hi, mode, false, g) {
-                                g.pins.push(child);
-                            } else {
+                            match self.descend(core, child, sub_lo, sub_hi, mode, false, g) {
+                                Some(true) => g.pins.push(child),
                                 // Pin elision: the child's subtree holds
                                 // pinned units that keep it alive.
-                                self.cache.dec(core, child);
+                                Some(false) => self.cache.dec(core, child),
+                                None => {
+                                    // Refolded under us: re-read the slot
+                                    // (it now holds the folded value).
+                                    self.cache.dec(core, child);
+                                    continue;
+                                }
                             }
                             break;
                         }
@@ -511,8 +541,17 @@ impl<V: RadixValue> RadixTree<V> {
                 };
                 let tag = slot_tag(v);
                 debug_assert_ne!(tag, TAG_CHILD);
+                // Under ExpandToBlock a folded slot spanning one block
+                // (level `LEVELS - 2`) *or one giant region* (level
+                // `LEVELS - 3`) is locked whole instead of expanded: the
+                // fold stays intact so one block value governs one
+                // block/giant PTE (the superpage fault path, both rungs).
                 let expand = match tag {
-                    TAG_FOLDED => !full && (mode != LockMode::ExpandToBlock || level != LEVELS - 2),
+                    TAG_FOLDED => {
+                        !full
+                            && (mode != LockMode::ExpandToBlock
+                                || (level != LEVELS - 2 && level != LEVELS - 3))
+                    }
                     TAG_EMPTY => !full && mode == LockMode::ExpandAll,
                     _ => unreachable!("invalid slot tag"),
                 };
@@ -535,7 +574,7 @@ impl<V: RadixValue> RadixTree<V> {
                 break;
             }
         }
-        retain
+        Some(retain)
     }
 
     /// Replaces a locked EMPTY/FOLDED interior slot with a freshly
@@ -618,11 +657,18 @@ impl<V: RadixValue> RadixTree<V> {
             let n = nref(leaf);
             let slot = &n.leaf()[(vpn - n.base_vpn) as usize];
             lock_leaf_slot(&slot.status, &self.stats);
+            // Linkage checked under the slot lock: a linked leaf cannot
+            // be refolded while we hold one of its slot locks, so the
+            // read below is authoritative. A severed leaf's emptied slot
+            // says nothing — fall through to the descent.
+            let linked = Self::leaf_linked(leaf);
             // SAFETY: the slot lock is held.
             let out = unsafe { (*slot.value.get()).clone() };
             unlock_leaf_slot(&slot.status);
             self.cache.dec(core, leaf);
-            return out;
+            if linked {
+                return out;
+            }
         }
         let mut node_ptr = self.root;
         // The single in-flight traversal pin (`None` while at the
@@ -634,9 +680,19 @@ impl<V: RadixValue> RadixTree<V> {
                 let idx = (vpn - node.base_vpn) as usize;
                 let slot = &node.leaf()[idx];
                 lock_leaf_slot(&slot.status, &self.stats);
+                let linked = Self::leaf_linked(node_ptr);
                 // SAFETY: the slot lock is held.
                 let out = unsafe { (*slot.value.get()).clone() };
                 unlock_leaf_slot(&slot.status);
+                if !linked {
+                    // Refolded under us: restart from the root (the
+                    // parent slot now folds the whole block).
+                    if let Some(prev) = pin.take() {
+                        self.cache.dec(core, prev);
+                    }
+                    node_ptr = self.root;
+                    continue;
+                }
                 // We hold the leaf's pin: remember it for the next fault.
                 self.install_hint(core, node_ptr);
                 break out;
@@ -700,9 +756,17 @@ impl<V: RadixValue> RadixTree<V> {
                     let st = nref(h.node).leaf()[(vpn - block_base) as usize]
                         .status
                         .load(Ordering::Acquire);
-                    drop(slot);
-                    self.stats.add(core, F_HINT_HITS, 1);
-                    return st & LEAF_PRESENT != 0;
+                    // A present bit is trustworthy even if a refold races
+                    // with the load: refold moves present values into a
+                    // folded block, so the page stays mapped either way.
+                    // An *absent* bit must be re-confirmed: if the leaf
+                    // was severed after the validity check, the emptied
+                    // slot says nothing — take the descent instead.
+                    if st & LEAF_PRESENT != 0 || Self::hint_valid(h, block_base) {
+                        drop(slot);
+                        self.stats.add(core, F_HINT_HITS, 1);
+                        return st & LEAF_PRESENT != 0;
+                    }
                 }
             }
             drop(slot);
@@ -715,6 +779,14 @@ impl<V: RadixValue> RadixTree<V> {
             if node.is_leaf() {
                 let idx = (vpn - node.base_vpn) as usize;
                 let st = node.leaf()[idx].status.load(Ordering::Acquire);
+                if st & LEAF_PRESENT == 0 && !Self::leaf_linked(node_ptr) {
+                    // Refolded under us: restart from the root.
+                    if let Some(prev) = pin.take() {
+                        self.cache.dec(core, prev);
+                    }
+                    node_ptr = self.root;
+                    continue;
+                }
                 self.install_hint(core, node_ptr);
                 break st & crate::node::LEAF_PRESENT != 0;
             }
@@ -755,12 +827,18 @@ impl<V: RadixValue> RadixTree<V> {
         assert!(hi <= VPN_LIMIT, "bad range {lo}..{hi}");
         let mut out = Vec::new();
         if lo < hi {
-            self.collect_from(core, self.root, lo, hi, &mut out);
+            // The root is interior and never severed, so the top-level
+            // walk cannot request a retry.
+            let ok = self.collect_from(core, self.root, lo, hi, &mut out);
+            debug_assert!(ok, "root walk requested a retry");
         }
         out
     }
 
-    /// Range-walk worker for [`RadixTree::collect_range`].
+    /// Range-walk worker for [`RadixTree::collect_range`]. Returns false
+    /// when a concurrent refold severed this leaf mid-walk (its pages
+    /// were rolled back from `out`); the caller re-reads its slot, which
+    /// now holds the folded value.
     fn collect_from(
         &self,
         core: usize,
@@ -768,9 +846,10 @@ impl<V: RadixValue> RadixTree<V> {
         lo: Vpn,
         hi: Vpn,
         out: &mut Vec<(Vpn, V)>,
-    ) {
+    ) -> bool {
         let node = nref(node_ptr);
         if node.is_leaf() {
+            let mark = out.len();
             let first = (lo - node.base_vpn) as usize;
             let end = (hi - node.base_vpn) as usize;
             for idx in first..end {
@@ -783,7 +862,15 @@ impl<V: RadixValue> RadixTree<V> {
                     out.push((node.base_vpn + idx as u64, v));
                 }
             }
-            return;
+            // Locks were taken slot-by-slot, so a refold may have raced
+            // through the middle of the walk (emptying later slots). If
+            // the leaf is still linked the snapshot is sound; otherwise
+            // discard it and re-read the fold.
+            if !Self::leaf_linked(node_ptr) {
+                out.truncate(mark);
+                return false;
+            }
+            return true;
         }
         let span = node.slot_span();
         let level = node.level as usize;
@@ -806,8 +893,9 @@ impl<V: RadixValue> RadixTree<V> {
                                 })
                         };
                         match done {
-                            Some(()) => break,
-                            None => continue, // freed under us; re-read
+                            Some(true) => break,
+                            // Refolded or freed under us; re-read.
+                            Some(false) | None => continue,
                         }
                     }
                     TAG_FOLDED => {
@@ -835,6 +923,7 @@ impl<V: RadixValue> RadixTree<V> {
                 }
             }
         }
+        true
     }
 
     /// Tears down a subtree, freeing nodes directly (exclusive access).
@@ -1157,6 +1246,128 @@ impl<V: RadixValue> RangeGuard<'_, V> {
                 }
             }
         }
+    }
+
+    /// Applies `f(start_vpn, pages, value)` to every *folded* slot of
+    /// every **interior** node this lock operation created by expansion.
+    ///
+    /// Expanding a folded giant slot clones the giant template into all
+    /// 512 child slots as block-spanning folds, born locked until the
+    /// guard drops — the giant→block demote cascade. As with
+    /// [`RangeGuard::for_each_expanded_value_mut`], the caller has
+    /// exclusive access to fix up clone-sensitive state (adopting block
+    /// references) before any other core can observe the copies.
+    pub fn for_each_expanded_fold_mut(&mut self, mut f: impl FnMut(Vpn, u64, &mut V)) {
+        for unit in self.units.iter() {
+            if let Unit::WholeNode { node } = unit {
+                let n = nref(*node);
+                if n.is_leaf() {
+                    continue;
+                }
+                let span = n.slot_span();
+                for (idx, slot) in n.interior().iter().enumerate() {
+                    let w = slot.load(Ordering::Acquire);
+                    // In-range slots this same descent expanded *further*
+                    // are TAG_CHILD and already published-and-unlocked
+                    // (expand_slot's release store); only the FOLDED
+                    // clones are still born locked.
+                    if slot_tag(w) == TAG_FOLDED {
+                        debug_assert!(w & LOCK_BIT != 0, "expanded fold not locked");
+                        // SAFETY: the slot lock is born held by this
+                        // guard's whole-node unit.
+                        f(n.base_vpn + idx as u64 * span, span, unsafe {
+                            &mut *(slot_ptr(w) as *mut V)
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-folds the locked block into a single folded value — superpage
+    /// promotion's metadata step, the inverse of expansion (§7).
+    ///
+    /// Requires the guard to hold exactly one unit: a full pre-existing
+    /// leaf ([`LockMode::ExpandFolded`] over one whole aligned block)
+    /// with **every** slot populated. The 512 page values are taken out
+    /// and returned, the leaf is severed from its parent slot (its weak
+    /// reference unregistered so Refcache frees it cleanly once the
+    /// guard's pin and any hint pins drain), and the parent slot is
+    /// republished as a FOLDED block holding `folded`. Returns `None`,
+    /// with the mapping untouched, when the guard's shape does not match
+    /// (already folded, partially populated, or freshly expanded).
+    ///
+    /// Lock order: the parent interior slot is acquired *while holding*
+    /// all 512 leaf slot locks. This adds no deadlock edge — descenders
+    /// holding an interior slot lock never wait on leaf locks (expansion
+    /// publishes and releases before descending), and readers take
+    /// interior slot locks only transiently with no leaf lock held.
+    pub fn refold(&mut self, folded: V) -> Option<Vec<V>> {
+        let core = self.core;
+        let cache = &self.tree.cache;
+        let stats = &self.tree.stats;
+        if self.units.len() != 1 {
+            return None;
+        }
+        let node = match self.units.iter().next() {
+            Some(Unit::LeafRange {
+                node,
+                first: 0,
+                end,
+                born: false,
+            }) if *end == FANOUT => *node,
+            _ => return None,
+        };
+        let n = nref(node);
+        let (parent, pidx) = n.parent?;
+        if n.leaf()
+            .iter()
+            .any(|s| s.status.load(Ordering::Acquire) & LEAF_PRESENT == 0)
+        {
+            return None;
+        }
+        let pslot = &nref(parent).interior()[pidx as usize];
+        let w = lock_interior_slot(pslot, stats);
+        if !(slot_tag(w) == TAG_CHILD && slot_ptr(w) == node.addr()) {
+            // Unreachable while we hold every leaf slot lock (only a
+            // refold severs a linked leaf, and it needs those locks);
+            // unwind defensively rather than corrupt the slot.
+            unlock_interior_slot(pslot);
+            return None;
+        }
+        // Take the 512 values; the slots stay locked (and are unlocked,
+        // on the now-severed node, at guard drop).
+        let mut vals = Vec::with_capacity(FANOUT);
+        for slot in n.leaf().iter() {
+            // SAFETY: this guard holds every slot lock.
+            let v = unsafe { (*slot.value.get()).take() }.expect("present slot lost its value");
+            slot.status.fetch_and(!LEAF_PRESENT, Ordering::AcqRel);
+            vals.push(v);
+        }
+        stats.sub(core, F_LEAF_VALUES, FANOUT as u64);
+        // Surrender the used-slot references the values represented; the
+        // node frees once the guard's pin (and any hint pins) drain.
+        for _ in 0..FANOUT {
+            cache.dec(core, node);
+        }
+        if !self.tree.cfg.collapse {
+            // No-collapse trees give nodes a permanent reference; a
+            // severed leaf is unreachable from the tree, so surrender it
+            // too or the node would never free.
+            cache.dec(core, node);
+        }
+        // The severed leaf's `on_release` will surrender one used-slot
+        // reference on the parent; pre-compensate so CHILD → FOLDED
+        // keeps the parent's count balanced at one per occupied slot.
+        cache.inc(core, parent);
+        // Sever the weak reference *before* republishing the slot, so a
+        // later true-zero review of the leaf cannot CAS the folded word.
+        cache.unregister_weak(node);
+        let boxed = Box::into_raw(Box::new(folded)) as usize;
+        // Publish the fold and release the parent slot lock in one store.
+        pslot.store(pack_slot(boxed, TAG_FOLDED), Ordering::Release);
+        stats.add(core, F_FOLDED_VALUES, 1);
+        Some(vals)
     }
 
     /// Number of distinct locked units (diagnostics).

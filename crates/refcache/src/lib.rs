@@ -562,6 +562,26 @@ impl Refcache {
         debug_assert_eq!(prev, 0, "object already had a weak reference");
     }
 
+    /// Severs the weak reference of `obj` without touching the slot word:
+    /// after this, review's freeing pass treats the object as weak-less
+    /// (a confirmed true zero frees it without a slot CAS).
+    ///
+    /// For callers that *repurpose* the slot word while the object is
+    /// still referenced — the radix tree's refold publishes a FOLDED
+    /// value into the slot that used to point at the leaf — this is the
+    /// step that keeps a later zero-count review from CASing the new
+    /// slot contents to zero. The caller must still hold a reference
+    /// (the object is live), and must call this *before* surrendering
+    /// the references that could take the count to zero: the swap is
+    /// then ordered before the decs on this core, and any review that
+    /// observes the true zero also observes `weak == 0`.
+    pub fn unregister_weak<T>(&self, obj: RcPtr<T>) {
+        let hdr = obj.header();
+        // SAFETY: caller holds a reference, so the header is live.
+        let prev = unsafe { (*hdr.as_ptr()).weak.swap(0, Ordering::AcqRel) };
+        debug_assert_ne!(prev, 0, "object had no weak reference to sever");
+    }
+
     /// Attempts to obtain a reference to the object behind a weak word.
     ///
     /// On success the object's count has been incremented on `core` and a

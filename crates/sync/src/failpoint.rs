@@ -33,6 +33,10 @@ pub const CHUNK_GROW: &str = "chunk-grow";
 /// Failpoint site: outbound-magazine flush. Failing this site *defers*
 /// the flush (frames stay parked) — it never surfaces as a user error.
 pub const MAGAZINE_FLUSH: &str = "magazine-flush";
+/// Failpoint site: superpage promotion (the opportunistic re-fold
+/// attempt in `RadixVm`). Failing this site vetoes the promotion — the
+/// mapping simply stays at 4 KiB; it never surfaces as a user error.
+pub const PROMOTE: &str = "promote";
 
 /// When an armed failpoint fires, as a function of the site's per-core
 /// hit counter (1-based: the first `should_fail` call is hit 1).

@@ -15,10 +15,15 @@
 #     scaling/contended/overlap gate verdicts (bench_scale exits
 #     non-zero on regression).
 #   BENCH_huge.json     — huge-mapping (superpage) populate: faults,
-#     superpage installs/demotions, index and page-table bytes for every
-#     backend with and without the huge hint, plus the gate verdict
-#     (≥ 8x fewer faults, strictly smaller index; bench_huge exits
-#     non-zero on regression).
+#     superpage installs/demotions/promotions, index and page-table
+#     bytes for every backend with and without the huge hint
+#     (hint-ignoring backends get one 4 KiB row); the
+#     demote-then-converge promotion gate (every block re-folds, probe
+#     faults and index bytes within 1.25x of never-demoted); the
+#     16-core span-shootdown sweep (span vs per-page IPI pricing by
+#     sharer count); plus the gate verdicts (≥ 8x fewer faults,
+#     strictly smaller index; bench_huge exits non-zero if any gate
+#     regresses).
 #   BENCH_refcount.json — frame-table ownership: cold + warm fault
 #     loops with zero Refcache-object heap allocations, frame-table
 #     cell activation/release balance, and remote-line transfers by

@@ -226,6 +226,94 @@ fn block_alloc_failure_degrades_to_scattered_pages() {
     }
 }
 
+/// Promotion graceful degradation (DESIGN.md §12): with the `promote`
+/// site armed, convergence sweeps keep crossing the fill threshold but
+/// every promotion attempt aborts before taking any lock — the mapping
+/// stays valid at 4 KiB, no block is allocated, no data moves, and no
+/// frame leaks. Once disarmed, the very next convergence promotes.
+#[test]
+fn promotion_failure_leaves_4k_mapping_intact() {
+    failpoint::disarm_all();
+    let machine = numa_machine(PlacementPolicy::FirstTouch);
+    let ctx = "Radix/promote-failpoint";
+    {
+        let vm: Arc<dyn VmSystem> = build(&machine, BackendKind::Radix);
+        vm.attach_core(0);
+        let len = BLOCK_PAGES * PAGE_SIZE;
+        vm.mmap_flags(0, BASE, len, Prot::RW, Backing::Anon, MapFlags::HUGE)
+            .unwrap_or_else(|e| panic!("{ctx}: mmap_flags: {e}"));
+        // Populate scattered: armed block-alloc degrades the hinted
+        // fill to 4 KiB frames and vetoes migration-promotion too.
+        failpoint::arm(failpoint::BLOCK_ALLOC, 0, Trigger::EveryK(1));
+        for p in 0..BLOCK_PAGES {
+            machine
+                .write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0x1000 + p)
+                .unwrap_or_else(|e| panic!("{ctx}: scattered populate: {e}"));
+        }
+        failpoint::disarm_all();
+        assert_eq!(vm.op_stats().superpage_promotions, 0, "{ctx}");
+        assert_eq!(machine.pool().stats().block_allocs, 0, "{ctx}");
+
+        // Refault sweep with the promote site armed: every threshold
+        // crossing attempts promotion, every attempt aborts.
+        failpoint::arm(failpoint::PROMOTE, 0, Trigger::EveryK(1));
+        vm.mprotect(0, BASE, len, Prot::READ)
+            .unwrap_or_else(|e| panic!("{ctx}: mprotect READ: {e}"));
+        vm.mprotect(0, BASE, len, Prot::RW)
+            .unwrap_or_else(|e| panic!("{ctx}: mprotect RW: {e}"));
+        for p in 0..BLOCK_PAGES {
+            assert_eq!(
+                machine.read_u64(0, &*vm, BASE + p * PAGE_SIZE),
+                Ok(0x1000 + p),
+                "{ctx}: page {p} lost under aborted promotion"
+            );
+        }
+        let attempts = failpoint::hits(failpoint::PROMOTE, 0);
+        assert!(
+            attempts >= BLOCK_PAGES / 64,
+            "{ctx}: promotion never attempted ({attempts} hits)"
+        );
+        let stats = vm.op_stats();
+        assert_eq!(
+            stats.superpage_promotions, 0,
+            "{ctx}: promotion succeeded despite armed failpoint"
+        );
+        assert_eq!(
+            machine.pool().stats().block_allocs,
+            0,
+            "{ctx}: aborted promotion took a block"
+        );
+
+        // Relief: the next convergence promotes for real.
+        failpoint::disarm_all();
+        vm.mprotect(0, BASE, len, Prot::READ)
+            .unwrap_or_else(|e| panic!("{ctx}: second mprotect READ: {e}"));
+        vm.mprotect(0, BASE, len, Prot::RW)
+            .unwrap_or_else(|e| panic!("{ctx}: second mprotect RW: {e}"));
+        for p in 0..BLOCK_PAGES {
+            assert_eq!(
+                machine.read_u64(0, &*vm, BASE + p * PAGE_SIZE),
+                Ok(0x1000 + p),
+                "{ctx}: page {p} lost across promotion"
+            );
+        }
+        let stats = vm.op_stats();
+        assert_eq!(
+            stats.superpage_promotions, 1,
+            "{ctx}: promotion did not recover after disarm"
+        );
+        assert_eq!(
+            machine.pool().stats().block_allocs,
+            1,
+            "{ctx}: migration promotion must take exactly one block"
+        );
+        vm.munmap(0, BASE, len)
+            .unwrap_or_else(|e| panic!("{ctx}: munmap: {e}"));
+        vm.quiesce();
+    }
+    assert_clean(&machine, ctx);
+}
+
 /// Same seed ⇒ same injection schedule, observed end-to-end through
 /// the VM: a random-trigger fault loop replays identically.
 #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use radixvm::backend::{build, BackendKind};
 use radixvm::baselines::{SkipList, Vma, VmaMap};
-use radixvm::hw::{Backing, Machine, MapFlags, Prot, VmError, BLOCK_PAGES, PAGE_SIZE};
+use radixvm::hw::{Backing, Machine, MapFlags, Prot, VmError, BLOCK_PAGES, GIANT_PAGES, PAGE_SIZE};
 use radixvm::radix::{LockMode, RadixConfig, RadixTree, Removed};
 use radixvm::refcache::{Managed, Refcache, ReleaseCtx};
 use radixvm::sync::failpoint::{self, Trigger};
@@ -79,6 +79,104 @@ fn vm_op() -> impl Strategy<Value = VmOp> {
         }),
         (0..VM_WINDOW, any::<u64>()).prop_map(|(page, val)| VmOp::Write { page, val }),
         (0..VM_WINDOW).prop_map(|page| VmOp::Read { page }),
+    ]
+}
+
+/// Demote/promote cycle operations over a 2-block window: protection
+/// round-trips and hole-punches demote populated superpages, full-block
+/// sweeps converge them so the fault path's fill counters promote them
+/// back, and a pressure toggle (the block-allocation failpoint) forces
+/// hinted populates into scattered 4 KiB pages — whose sweeps then
+/// promote by *migration* once pressure lifts.
+#[derive(Debug, Clone)]
+enum CycleOp {
+    /// Map one aligned block, hinted.
+    MapHuge {
+        block: u64,
+    },
+    /// Unmap one whole block.
+    UnmapBlock {
+        block: u64,
+    },
+    /// Unmap a single page (demotes a populated superpage).
+    PunchHole {
+        block: u64,
+        page: u64,
+    },
+    /// mprotect READ then RW on a sub-range (demotes; restores RW).
+    ProtCycle {
+        block: u64,
+        pages: u64,
+    },
+    /// Touch every page of the block with `val + page` (converges; the
+    /// crossing promotes when all 512 pages are present and uniform).
+    Sweep {
+        block: u64,
+        val: u64,
+    },
+    /// Arm or disarm the block-allocation failpoint (§11 pressure).
+    Pressure {
+        on: bool,
+    },
+    Write {
+        page: u64,
+        val: u64,
+    },
+    Read {
+        page: u64,
+    },
+}
+
+/// The demote/promote window: 2 superpage blocks.
+const CYCLE_BLOCKS: u64 = 2;
+
+fn cycle_op() -> impl Strategy<Value = CycleOp> {
+    prop_oneof![
+        (0..CYCLE_BLOCKS).prop_map(|block| CycleOp::MapHuge { block }),
+        (0..CYCLE_BLOCKS).prop_map(|block| CycleOp::UnmapBlock { block }),
+        (0..CYCLE_BLOCKS, 0..BLOCK_PAGES)
+            .prop_map(|(block, page)| CycleOp::PunchHole { block, page }),
+        (0..CYCLE_BLOCKS, 1..32u64).prop_map(|(block, pages)| CycleOp::ProtCycle { block, pages }),
+        (0..CYCLE_BLOCKS, any::<u64>()).prop_map(|(block, val)| CycleOp::Sweep { block, val }),
+        any::<bool>().prop_map(|on| CycleOp::Pressure { on }),
+        (0..CYCLE_BLOCKS * BLOCK_PAGES, any::<u64>())
+            .prop_map(|(page, val)| CycleOp::Write { page, val }),
+        (0..CYCLE_BLOCKS * BLOCK_PAGES).prop_map(|page| CycleOp::Read { page }),
+    ]
+}
+
+/// Blocks per giant region.
+const GIANT_BLOCKS: u64 = GIANT_PAGES / BLOCK_PAGES;
+
+/// Block-granular operations over two 1 GiB regions, exercising the
+/// giant rung purely at the tree level (no frames: a *populated* giant
+/// region would cost a real gigabyte of host memory per case).
+#[derive(Debug, Clone)]
+enum GiantOp {
+    /// Set `blks` blocks starting at block `start_blk` to `val`.
+    Set { start_blk: u64, blks: u64, val: u64 },
+    /// Clear `blks` blocks starting at block `start_blk`.
+    Clear { start_blk: u64, blks: u64 },
+    /// Sample block `blk` at both edges.
+    Probe { blk: u64 },
+}
+
+fn giant_op() -> impl Strategy<Value = GiantOp> {
+    // Lengths biased so whole-giant ranges (one fold) actually occur.
+    fn len() -> impl Strategy<Value = u64> {
+        prop_oneof![1..64u64, Just(GIANT_BLOCKS), Just(2 * GIANT_BLOCKS)]
+    }
+    prop_oneof![
+        (0..2 * GIANT_BLOCKS, len(), any::<u64>()).prop_map(|(start_blk, blks, val)| {
+            GiantOp::Set {
+                start_blk,
+                blks,
+                val,
+            }
+        }),
+        (0..2 * GIANT_BLOCKS, len())
+            .prop_map(|(start_blk, blks)| GiantOp::Clear { start_blk, blks }),
+        (0..2 * GIANT_BLOCKS).prop_map(|blk| GiantOp::Probe { blk }),
     ]
 }
 
@@ -290,6 +388,212 @@ proptest! {
             machine.pool().outstanding_frames(), 0,
             "frames leaked across injected failures"
         );
+    }
+
+    /// Random demote/promote cycles agree with a flat per-page oracle
+    /// (DESIGN.md §12). Hole-punches and protection round-trips demote
+    /// hinted blocks; full sweeps converge them, letting the fault
+    /// path's fill counters promote; the pressure toggle arms the
+    /// block-allocation failpoint so hinted populates scatter into
+    /// 4 KiB frames (and migration-promotion is vetoed) until relief.
+    /// None of it may change what a page reads back as, and teardown
+    /// must account for every frame across any number of granularity
+    /// transitions.
+    #[test]
+    fn radix_vm_demote_promote_cycles_match_flat_oracle(
+        ops in proptest::collection::vec(cycle_op(), 1..40)
+    ) {
+        failpoint::disarm_all();
+        let machine = Machine::new(1);
+        let vm = build(&machine, BackendKind::Radix);
+        vm.attach_core(0);
+        let base_va: u64 = 0x80_0000_0000; // superpage aligned
+        let va = |p: u64| base_va + p * PAGE_SIZE;
+        let window = CYCLE_BLOCKS * BLOCK_PAGES;
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                CycleOp::MapHuge { block } => {
+                    let start = block * BLOCK_PAGES;
+                    vm.mmap_flags(0, va(start), BLOCK_PAGES * PAGE_SIZE, Prot::RW,
+                                  Backing::Anon, MapFlags::HUGE).unwrap();
+                    for p in start..start + BLOCK_PAGES {
+                        oracle.insert(p, 0);
+                    }
+                }
+                CycleOp::UnmapBlock { block } => {
+                    let start = block * BLOCK_PAGES;
+                    vm.munmap(0, va(start), BLOCK_PAGES * PAGE_SIZE).unwrap();
+                    for p in start..start + BLOCK_PAGES {
+                        oracle.remove(&p);
+                    }
+                }
+                CycleOp::PunchHole { block, page } => {
+                    let p = block * BLOCK_PAGES + page;
+                    vm.munmap(0, va(p), PAGE_SIZE).unwrap();
+                    oracle.remove(&p);
+                }
+                CycleOp::ProtCycle { block, pages } => {
+                    // Only over fully mapped prefixes: mprotect over a
+                    // hole is a different contract than this test's.
+                    let start = block * BLOCK_PAGES;
+                    if !(start..start + pages).all(|p| oracle.contains_key(&p)) {
+                        continue;
+                    }
+                    vm.mprotect(0, va(start), pages * PAGE_SIZE, Prot::READ).unwrap();
+                    vm.mprotect(0, va(start), pages * PAGE_SIZE, Prot::RW).unwrap();
+                }
+                CycleOp::Sweep { block, val } => {
+                    let start = block * BLOCK_PAGES;
+                    for p in start..start + BLOCK_PAGES {
+                        let r = machine.write_u64(0, &*vm, va(p), val.wrapping_add(p));
+                        match oracle.get_mut(&p) {
+                            Some(slot) => {
+                                prop_assert_eq!(r, Ok(()), "sweep write page {}", p);
+                                *slot = val.wrapping_add(p);
+                            }
+                            None => prop_assert_eq!(r, Err(VmError::NoMapping)),
+                        }
+                    }
+                }
+                CycleOp::Pressure { on } => {
+                    if on {
+                        failpoint::arm(failpoint::BLOCK_ALLOC, 0, Trigger::EveryK(1));
+                    } else {
+                        failpoint::disarm_all();
+                    }
+                }
+                CycleOp::Write { page, val } => {
+                    let r = machine.write_u64(0, &*vm, va(page), val);
+                    match oracle.get_mut(&page) {
+                        Some(slot) => {
+                            prop_assert_eq!(r, Ok(()), "write to mapped page {}", page);
+                            *slot = val;
+                        }
+                        None => prop_assert_eq!(r, Err(VmError::NoMapping)),
+                    }
+                }
+                CycleOp::Read { page } => {
+                    let r = machine.read_u64(0, &*vm, va(page));
+                    match oracle.get(&page) {
+                        Some(v) => prop_assert_eq!(r, Ok(*v), "read of page {}", page),
+                        None => prop_assert_eq!(r, Err(VmError::NoMapping)),
+                    }
+                }
+            }
+        }
+        failpoint::disarm_all();
+        // Whatever granularity each page ended at, it reads the oracle.
+        for p in 0..window {
+            let r = machine.read_u64(0, &*vm, va(p));
+            match oracle.get(&p) {
+                Some(v) => prop_assert_eq!(r, Ok(*v), "final sweep page {}", p),
+                None => prop_assert_eq!(r, Err(VmError::NoMapping), "page {}", p),
+            }
+        }
+        prop_assert_eq!(machine.stats().stale_detected, 0);
+        vm.munmap(0, base_va, window * PAGE_SIZE).unwrap();
+        vm.quiesce();
+        machine.pool().flush_magazines();
+        prop_assert_eq!(
+            machine.pool().outstanding_frames(), 0,
+            "frames leaked across demote/promote cycles"
+        );
+    }
+
+    /// The 1 GiB rung behaves exactly like the 2 MiB rung one level up:
+    /// a block-granular oracle over two giant regions agrees with the
+    /// tree across giant folds, their expansion into 512 block folds,
+    /// and collapse back. Pure tree-level (u64 values, no frames), so a
+    /// "populated giant" costs nothing; probes sample boundaries instead
+    /// of walking 262144 slots.
+    #[test]
+    fn radix_tree_giant_rung_matches_block_oracle(
+        ops in proptest::collection::vec(giant_op(), 1..40)
+    ) {
+        let cache = Arc::new(Refcache::new(1));
+        let tree = RadixTree::<u64>::new(cache.clone(), RadixConfig::default());
+        // block index -> value; every op is block-granular, so a
+        // per-block oracle is exact.
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        let base = GIANT_PAGES * 3; // giant aligned
+        let nblocks = GIANT_BLOCKS * 2;
+        // Checks one removal set against the oracle and returns the
+        // number of blocks it covered.
+        let check_removed = |oracle: &BTreeMap<u64, u64>, removed: &[Removed<u64>]| -> u64 {
+            let mut blocks = 0u64;
+            for d in removed {
+                match d {
+                    Removed::Page(vpn, v) => {
+                        // Block-granular ops never displace loose pages.
+                        prop_assert!(false, "page-grain removal at {} ({})", vpn, v);
+                    }
+                    Removed::Block { start, pages, value } => {
+                        prop_assert_eq!(*pages % BLOCK_PAGES, 0,
+                                        "removal not block-granular");
+                        for b in (*start - base) / BLOCK_PAGES
+                            ..(*start - base + *pages) / BLOCK_PAGES {
+                            prop_assert_eq!(oracle.get(&b), Some(value), "block {}", b);
+                        }
+                        blocks += pages / BLOCK_PAGES;
+                    }
+                }
+            }
+            blocks
+        };
+        for op in &ops {
+            match *op {
+                GiantOp::Set { start_blk, blks, val } => {
+                    let blks = blks.min(nblocks - start_blk);
+                    let (lo, hi) = (base + start_blk * BLOCK_PAGES,
+                                    base + (start_blk + blks) * BLOCK_PAGES);
+                    // ExpandAll: fully covered empty slots stay whole, so
+                    // an exact giant range installs one giant fold.
+                    let displaced =
+                        tree.lock_range(0, lo, hi, LockMode::ExpandAll).replace(&val);
+                    let got = check_removed(&oracle, &displaced);
+                    let expected = (start_blk..start_blk + blks)
+                        .filter(|b| oracle.contains_key(b)).count() as u64;
+                    prop_assert_eq!(got, expected);
+                    for b in start_blk..start_blk + blks {
+                        oracle.insert(b, val);
+                    }
+                }
+                GiantOp::Clear { start_blk, blks } => {
+                    let blks = blks.min(nblocks - start_blk);
+                    let (lo, hi) = (base + start_blk * BLOCK_PAGES,
+                                    base + (start_blk + blks) * BLOCK_PAGES);
+                    let removed =
+                        tree.lock_range(0, lo, hi, LockMode::ExpandFolded).clear();
+                    let got = check_removed(&oracle, &removed);
+                    let expected = (start_blk..start_blk + blks)
+                        .filter(|b| oracle.contains_key(b)).count() as u64;
+                    prop_assert_eq!(got, expected);
+                    for b in start_blk..start_blk + blks {
+                        oracle.remove(&b);
+                    }
+                }
+                GiantOp::Probe { blk } => {
+                    let blk = blk.min(nblocks - 1);
+                    let want = oracle.get(&blk).copied();
+                    // First and last page of the block: a giant fold, a
+                    // block fold, and absence all answer the same.
+                    let lo = base + blk * BLOCK_PAGES;
+                    prop_assert_eq!(tree.get(0, lo), want, "block {} head", blk);
+                    prop_assert_eq!(tree.get(0, lo + BLOCK_PAGES - 1), want,
+                                    "block {} tail", blk);
+                }
+            }
+        }
+        // Collapse everything, then sample every block at both edges.
+        cache.quiesce();
+        for b in 0..nblocks {
+            let want = oracle.get(&b).copied();
+            let lo = base + b * BLOCK_PAGES;
+            prop_assert_eq!(tree.get(0, lo), want, "final block {} head", b);
+            prop_assert_eq!(tree.get(0, lo + BLOCK_PAGES - 1), want,
+                            "final block {} tail", b);
+        }
     }
 
     /// The radix tree behaves exactly like a BTreeMap of per-page values,

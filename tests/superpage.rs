@@ -165,6 +165,89 @@ fn demotion_under_faults_on_every_radix_backend() {
 }
 
 #[test]
+fn promotion_races_faults_without_leaks() {
+    // One thread drives demote/converge cycles — each mprotect
+    // round-trip shatters the block and the following sweep's fill
+    // counter promotes it back — while three reader cores hammer the
+    // same block. Promotion must never lose a translation, corrupt a
+    // page, or disturb the block's reference count; afterwards frame
+    // accounting is exact.
+    let (machine, vm) = radix(4);
+    vm.mmap_flags(
+        0,
+        BASE,
+        BLOCK_BYTES,
+        Prot::RW,
+        Backing::Anon,
+        MapFlags::HUGE,
+    )
+    .unwrap();
+    for p in 0..BLOCK_PAGES {
+        machine
+            .write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0x9000 + p)
+            .unwrap();
+    }
+    let mut handles = Vec::new();
+    {
+        let machine = machine.clone();
+        let vm = vm.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..20 {
+                vm.mprotect(0, BASE, 8 * PAGE_SIZE, Prot::READ).unwrap();
+                vm.mprotect(0, BASE, 8 * PAGE_SIZE, Prot::RW).unwrap();
+                for p in 0..BLOCK_PAGES {
+                    machine
+                        .write_u64(0, &*vm, BASE + p * PAGE_SIZE, 0x9000 + p)
+                        .unwrap();
+                }
+                vm.maintain(0);
+            }
+        }));
+    }
+    for core in 1..4usize {
+        let machine = machine.clone();
+        let vm = vm.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut x = core as u64;
+            for i in 0..2000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                let p = x % BLOCK_PAGES;
+                let got = machine
+                    .read_u64(core, &*vm, BASE + p * PAGE_SIZE)
+                    .unwrap_or_else(|e| panic!("page {p} lost mid-promotion: {e}"));
+                assert_eq!(got, 0x9000 + p, "page {p} corrupted mid-promotion");
+                if i % 64 == 0 {
+                    vm.maintain(core);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ops = vm.op_stats();
+    assert!(ops.superpage_demotions >= 1, "cycles never demoted");
+    assert!(
+        ops.superpage_promotions >= 1,
+        "fill counters never promoted under contention"
+    );
+    assert_eq!(machine.stats().stale_detected, 0, "stale translation");
+    vm.munmap(0, BASE, BLOCK_BYTES).unwrap();
+    vm.quiesce();
+    machine.pool().flush_magazines();
+    assert_eq!(
+        machine.pool().outstanding_frames(),
+        0,
+        "promotion cycles leaked frames"
+    );
+    assert_eq!(
+        machine.pool().stats().block_frees,
+        1,
+        "block freed exactly once despite repeated promote/demote"
+    );
+}
+
+#[test]
 fn reservation_backs_superpage_faults() {
     // A hugetlb-style reservation is drawn by superpage population
     // instead of growing the pool.
